@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the NoCAlert checker array — the software
+//! analogue of the paper's "checkers are much cheaper than the units they
+//! check" claim, measured as simulation-time overhead of observation:
+//! stepping a network bare vs. with the full 32-checker bank vs. with the
+//! ForEVeR baseline attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forever::Forever;
+use noc_sim::{Network, NullObserver};
+use noc_types::NocConfig;
+use nocalert::AlertBank;
+use std::hint::black_box;
+
+fn cfg() -> NocConfig {
+    let mut cfg = NocConfig::paper_baseline();
+    cfg.injection_rate = 0.10;
+    cfg
+}
+
+fn bench_bare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observation_overhead");
+    g.sample_size(10);
+
+    let mut net = Network::new(cfg());
+    net.run(1_000);
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            net.step_observed(&mut NullObserver);
+            black_box(net.cycle())
+        });
+    });
+
+    let mut net2 = Network::new(cfg());
+    let mut bank = AlertBank::new(net2.config());
+    net2.run(1_000);
+    g.bench_function("with_nocalert", |b| {
+        b.iter(|| {
+            net2.step_observed(&mut bank);
+            black_box(net2.cycle())
+        });
+    });
+
+    let mut net3 = Network::new(cfg());
+    let mut fv = Forever::new(net3.config(), 1_500);
+    net3.run(1_000);
+    g.bench_function("with_forever", |b| {
+        b.iter(|| {
+            net3.step_observed(&mut fv);
+            black_box(net3.cycle())
+        });
+    });
+
+    let mut net4 = Network::new(cfg());
+    let mut bank4 = AlertBank::new(net4.config());
+    let mut fv4 = Forever::new(net4.config(), 1_500);
+    net4.run(1_000);
+    g.bench_function("with_both", |b| {
+        b.iter(|| {
+            net4.step_observed(&mut (&mut bank4, &mut fv4));
+            black_box(net4.cycle())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fault_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_plane");
+    g.sample_size(10);
+    // Stepping with a fault armed on a different router: the hot path is a
+    // couple of compares per wire.
+    let mut net = Network::new(cfg());
+    net.run(1_000);
+    let site = fault::enumerate_sites(net.config())[0];
+    net.arm_fault(site, noc_types::FaultKind::Permanent, u64::MAX / 2);
+    g.bench_function("armed_cold_site", |b| {
+        b.iter(|| {
+            net.step();
+            black_box(net.cycle())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bare, bench_fault_plane);
+criterion_main!(benches);

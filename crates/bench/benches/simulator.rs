@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the simulator substrate: cycle
+//! throughput across mesh sizes, VC counts and injection rates, plus the
+//! cost of the building blocks (arbiters, buffers, routing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::arbiter::RoundRobin;
+use noc_sim::buffer::VcBuffer;
+use noc_sim::routing::route;
+use noc_sim::Network;
+use noc_types::flit::make_packet;
+use noc_types::geometry::{Coord, Mesh, NodeId};
+use noc_types::{NocConfig, PacketId, RoutingAlgorithm};
+use std::hint::black_box;
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step");
+    g.sample_size(10);
+    for k in [4u8, 8] {
+        let mut cfg = NocConfig::paper_baseline();
+        cfg.mesh = Mesh::new(k, k);
+        cfg.injection_rate = 0.10;
+        let mut net = Network::new(cfg);
+        net.run(1_000); // warm
+        g.bench_with_input(BenchmarkId::new("mesh", k), &k, |b, _| {
+            b.iter(|| {
+                net.step();
+                black_box(net.cycle())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_vc_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step_vcs");
+    g.sample_size(10);
+    for vcs in [2u8, 4, 8] {
+        let mut cfg = NocConfig::small_test();
+        cfg.vcs_per_port = vcs;
+        cfg.message_classes = 2;
+        cfg.packet_lengths = vec![5, 5];
+        let mut net = Network::new(cfg);
+        net.run(500);
+        g.bench_with_input(BenchmarkId::new("vcs", vcs), &vcs, |b, _| {
+            b.iter(|| {
+                net.step();
+                black_box(net.cycle())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_arbiter(c: &mut Criterion) {
+    c.bench_function("round_robin_arbitrate", |b| {
+        let mut arb = RoundRobin::new(20);
+        let mut req = 0x5_A5A5u64;
+        b.iter(|| {
+            req = req.rotate_left(1);
+            black_box(arb.arbitrate(black_box(req)))
+        });
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("vc_buffer_push_pop", |b| {
+        let mut buf = VcBuffer::new(5);
+        let flit = make_packet(PacketId(1), 1, NodeId(0), NodeId(1), 0, 1, 0)[0];
+        b.iter(|| {
+            buf.push(black_box(flit));
+            black_box(buf.pop())
+        });
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    c.bench_function("xy_route", |b| {
+        let mut x = 0u8;
+        b.iter(|| {
+            x = (x + 1) % 8;
+            black_box(route(
+                RoutingAlgorithm::XY,
+                Coord::new(x, 3),
+                Coord::new(7 - x, 5),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_network_step,
+    bench_vc_sweep,
+    bench_arbiter,
+    bench_buffer,
+    bench_routing
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **Checker-redundancy ablation** (Section 5.4: "all checkers detected
+//! invariances in the absence of any other checker assertions. This fact
+//! indicates that no single checker is redundant.")
+//!
+//! Runs the same sampled campaign once with the full checker array and
+//! once per ablated checker, and reports (a) which checkers were the
+//! *sole* detector of some fault (their removal creates false negatives),
+//! and (b) the false-negative rate each ablation induces.
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin ablate -- [--sites N] \
+//!     [--warm W] [--threads T]
+//! ```
+
+use golden::stats::breakdown;
+use golden::{Campaign, CampaignConfig, Detector};
+use nocalert::{info, CheckerId};
+use nocalert_bench::{Args, Experiment};
+
+fn main() {
+    let args = Args::from_env();
+    let mut exp = Experiment::from_args(&args);
+    exp.sites = args.get("sites", 200);
+    let warm: u64 = args.get("warm", 4_000);
+
+    println!("== Checker-redundancy ablation ==");
+    let cc = CampaignConfig::paper_defaults(exp.noc.clone(), warm);
+    let baseline_campaign = Campaign::new(cc.clone());
+    let sites = exp.site_list();
+    let baseline = baseline_campaign.run_many(&sites, exp.threads);
+    let b0 = breakdown(&baseline, Detector::NoCAlert);
+    println!(
+        "full checker array: TP {:.2}%  FP {:.2}%  FN {:.2}%  over {} injections\n",
+        b0.tp, b0.fp, b0.fn_, b0.runs
+    );
+
+    // Which checkers ever fired in the baseline? Only those can matter.
+    let mut fired = [false; CheckerId::COUNT];
+    for r in &baseline {
+        for c in &r.checkers {
+            fired[c.index()] = true;
+        }
+    }
+
+    println!(
+        "{:<6} {:>8} {:>10}  name",
+        "inv", "FN%", "sole-det."
+    );
+    let mut essential = 0;
+    for id in CheckerId::all() {
+        if !fired[id.index()] {
+            continue;
+        }
+        // Sole-detector count from the baseline results: runs where this
+        // was the only asserted checker.
+        let sole = baseline
+            .iter()
+            .filter(|r| r.checkers == vec![id])
+            .count();
+        let mut campaign = Campaign::new(cc.clone());
+        campaign.disable_checker(id);
+        let results = campaign.run_many(&sites, exp.threads);
+        let b = breakdown(&results, Detector::NoCAlert);
+        if b.fn_ > 0.0 {
+            essential += 1;
+        }
+        println!(
+            "{:<6} {:>8.2} {:>10}  {}",
+            id.to_string(),
+            b.fn_,
+            sole,
+            info(id).name
+        );
+    }
+    println!(
+        "\n{essential} ablations introduced false negatives on this sample;\n\
+         checkers with sole-detections > 0 are non-redundant even when their\n\
+         ablation FN%% is masked by overlapping checkers on malicious faults."
+    );
+}

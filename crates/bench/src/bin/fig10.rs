@@ -1,0 +1,88 @@
+//! **Figure 10 + Section 5.5** — hardware overhead of NoCAlert vs. DMR of
+//! the control logic, swept over 2–8 VCs per port, plus the power and
+//! critical-path summaries, from the analytic 65 nm gate model.
+//!
+//! Paper landmarks: NoCAlert area 1.38–4.42% (≈3% average, "fairly
+//! constant"); DMR-CL 5.41% → 31.32%; power 0.3–1.2% (≈0.7%); critical
+//! path ≤3%, ≈1% average.
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin fig10 -- [--json out.json]
+//! ```
+
+use hw_model::{area, checker_costs, figure10, power, timing, AreaReport, HwParams};
+use nocalert::{info, CheckerId};
+use nocalert_bench::{maybe_write_json, row, Args};
+
+fn main() {
+    let args = Args::from_env();
+    println!("== Figure 10: area overhead vs number of VCs per port ==");
+    println!(
+        "{:>4} {:>14} {:>12} {:>14} {:>14}",
+        "VCs", "NoCAlert area%", "DMR-CL area%", "NoCAlert power%", "crit. path %"
+    );
+    let rows = figure10();
+    for r in &rows {
+        println!(
+            "{:>4} {:>14.2} {:>12.2} {:>14.2} {:>14.2}",
+            r.vcs, r.nocalert_area_pct, r.dmr_area_pct, r.nocalert_power_pct, r.critical_path_pct
+        );
+    }
+    let avg_area: f64 =
+        rows.iter().map(|r| r.nocalert_area_pct).sum::<f64>() / rows.len() as f64;
+    let avg_pow: f64 =
+        rows.iter().map(|r| r.nocalert_power_pct).sum::<f64>() / rows.len() as f64;
+    println!("\nSummary vs paper:");
+    row("NoCAlert area average (paper ~3%)", format!("{avg_area:.2}%"));
+    row(
+        "NoCAlert area range (paper 1.38-4.42%)",
+        format!(
+            "{:.2}-{:.2}%",
+            rows.iter().map(|r| r.nocalert_area_pct).fold(f64::MAX, f64::min),
+            rows.iter().map(|r| r.nocalert_area_pct).fold(0.0, f64::max)
+        ),
+    );
+    row(
+        "DMR-CL range (paper 5.41-31.32%)",
+        format!("{:.2}-{:.2}%", rows[0].dmr_area_pct, rows[6].dmr_area_pct),
+    );
+    row("power average (paper ~0.7%, <1.2%)", format!("{avg_pow:.2}%"));
+    row(
+        "critical path (paper <=3%, ~1%)",
+        format!(
+            "{:.2}-{:.2}%",
+            rows.iter().map(|r| r.critical_path_pct).fold(f64::MAX, f64::min),
+            rows.iter().map(|r| r.critical_path_pct).fold(0.0, f64::max)
+        ),
+    );
+
+    // Absolute baseline decomposition at 4 VCs.
+    let p = HwParams::baseline_with_vcs(4);
+    let a = area(&p);
+    let pw = power(&p);
+    let t = timing(&p);
+    println!("\nBaseline router @ 4 VCs (65 nm estimates):");
+    row("buffers", format!("{:.0} GE", a.buffers_ge));
+    row("crossbar", format!("{:.0} GE", a.xbar_ge));
+    row("control logic", format!("{:.0} GE", a.control_ge));
+    row("32 checkers", format!("{:.0} GE", a.checkers_ge));
+    row(
+        "router area",
+        format!("{:.3} mm²", AreaReport::ge_to_um2(a.router_ge()) / 1e6),
+    );
+    row("router power @1 GHz", format!("{:.1} mW", pw.router_mw));
+    row("checker power", format!("{:.2} mW", pw.checkers_mw));
+    row("critical path", format!("{:.0} ps", t.baseline_ps));
+
+    println!("\nPer-checker gate cost (checkers are far cheaper than the units they watch):");
+    let costs = checker_costs(&p);
+    for id in CheckerId::all() {
+        println!(
+            "  inv{:<3} {:>8.0} GE  {}",
+            id.0,
+            costs[id.index()],
+            info(id).name
+        );
+    }
+    maybe_write_json(&args, &rows);
+}

@@ -1,0 +1,74 @@
+//! **Figure 6** — fault-coverage breakdown (TP/FP/TN/FN) for NoCAlert,
+//! NoCAlert-Cautious and ForEVeR at two injection instants: cycle 0 (empty
+//! network) and a warmed-up steady state.
+//!
+//! Also prints Observation 1 (0% false negatives) explicitly.
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin fig6 -- [--sites N|--full] \
+//!     [--warm W] [--rate F] [--threads T] [--json out.json]
+//! ```
+
+use golden::stats::{breakdown, Breakdown};
+use golden::Detector;
+use nocalert_bench::{maybe_write_json, Args, Experiment};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig6Out {
+    warmups: Vec<u64>,
+    rows: Vec<(String, u64, Breakdown)>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let exp = Experiment::from_args(&args);
+    let warm: u64 = args.get("warm", 32_000);
+    let warmups = [0u64, warm];
+
+    println!("== Figure 6: fault coverage breakdown (over all injected faults) ==");
+    println!(
+        "mesh {}x{}, {} sampled sites, uniform random @ {}",
+        exp.noc.mesh.width(),
+        exp.noc.mesh.height(),
+        exp.site_list().len(),
+        exp.noc.injection_rate
+    );
+
+    let mut out = Fig6Out {
+        warmups: warmups.to_vec(),
+        rows: Vec::new(),
+    };
+    for &w in &warmups {
+        let (_c, results) = exp.run_campaign(w);
+        println!("\n-- injection at cycle {w} --");
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8}",
+            "detector", "TP%", "FP%", "TN%", "FN%"
+        );
+        for (name, d) in [
+            ("NoCAlert", Detector::NoCAlert),
+            ("NoCAlert Cautious", Detector::NoCAlertCautious),
+            ("ForEVeR", Detector::ForEVeR),
+        ] {
+            let b = breakdown(&results, d);
+            println!(
+                "{:<18} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                name, b.tp, b.fp, b.tn, b.fn_
+            );
+            out.rows.push((name.to_string(), w, b));
+        }
+    }
+
+    println!("\nObservation 1: NoCAlert false negatives across all runs:");
+    let all_zero = out
+        .rows
+        .iter()
+        .filter(|(n, _, _)| n.starts_with("NoCAlert"))
+        .all(|(_, _, b)| b.fn_ == 0.0);
+    println!(
+        "  {} (paper: 0% false negatives)",
+        if all_zero { "0.00% — CONFIRMED" } else { "NON-ZERO — see rows above" }
+    );
+    maybe_write_json(&args, &out);
+}

@@ -1,0 +1,54 @@
+//! **Figure 8** — percentage of invariance violations captured by each of
+//! the 32 NoCAlert checkers over all experiments.
+//!
+//! The paper notes invariance 27 is absent (atomic buffers) and that every
+//! checker catches some violations in the absence of all others — no
+//! checker is redundant.
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin fig8 -- [--sites N|--full] \
+//!     [--warm W] [--threads T] [--json out.json]
+//! ```
+
+use golden::stats::checker_shares;
+use nocalert::{info, CheckerId};
+use nocalert_bench::{maybe_write_json, Args, Experiment};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Out {
+    shares_pct: Vec<(u8, f64)>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let exp = Experiment::from_args(&args);
+    let warm: u64 = args.get("warm", 32_000);
+
+    println!("== Figure 8: violations captured per checker ==");
+    let (_c, mut results) = exp.run_campaign(0);
+    let (_c2, mut results2) = exp.run_campaign(warm);
+    results.append(&mut results2);
+
+    let shares = checker_shares(&results);
+    let mut bar = String::new();
+    println!("{:<6} {:>8}  {:<44} ", "inv", "share%", "name");
+    for id in CheckerId::all() {
+        let s = shares[id.index()];
+        bar.clear();
+        for _ in 0..(s as usize) {
+            bar.push('#');
+        }
+        println!("{:<6} {:>8.2}  {:<44} {}", id.to_string(), s, info(id).name, bar);
+    }
+    let active = CheckerId::all().filter(|c| shares[c.index()] > 0.0).count();
+    println!(
+        "\n{active} of 32 checkers captured violations (invariance 27 requires non-atomic buffers)"
+    );
+    maybe_write_json(
+        &args,
+        &Fig8Out {
+            shares_pct: CheckerId::all().map(|c| (c.0, shares[c.index()])).collect(),
+        },
+    );
+}

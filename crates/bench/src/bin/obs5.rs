@@ -1,0 +1,69 @@
+//! **Observation 5 / Section 4.3** — faults that do not cause an
+//! invariance violation *at the injection instant* either (a) trigger a
+//! subsequent invariance violation and are captured, or (b) never violate
+//! any invariance — and those are **always benign**. The paper reports a
+//! 78% / 22% split between (b) and (a).
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin obs5 -- [--sites N|--full] \
+//!     [--warm W] [--threads T]
+//! ```
+
+use nocalert_bench::{row, Args, Experiment};
+
+fn main() {
+    let args = Args::from_env();
+    let exp = Experiment::from_args(&args);
+    let warm: u64 = args.get("warm", 32_000);
+
+    println!("== Observation 5: non-invariant faults are benign ==");
+    let (_c, results) = exp.run_campaign(warm);
+
+    // Consider only faults that actually flipped a live wire.
+    let hit: Vec<_> = results.iter().filter(|r| r.fault_hits > 0).collect();
+    // "No invariance violation at the instance of injection".
+    let not_instant: Vec<_> = hit
+        .iter()
+        .filter(|r| r.nocalert.latency != Some(0))
+        .collect();
+    let never: Vec<_> = not_instant
+        .iter()
+        .filter(|r| !r.nocalert.detected)
+        .collect();
+    let later: Vec<_> = not_instant
+        .iter()
+        .filter(|r| r.nocalert.detected)
+        .collect();
+    let never_malicious = never.iter().filter(|r| r.malicious()).count();
+    let later_malicious = later.iter().filter(|r| r.malicious()).count();
+
+    row("faults that touched a live wire", hit.len());
+    row("…without an instant invariance violation", not_instant.len());
+    row(
+        "   never violated any invariance (paper: 78%)",
+        format!(
+            "{} ({:.0}%)",
+            never.len(),
+            100.0 * never.len() as f64 / not_instant.len().max(1) as f64
+        ),
+    );
+    row(
+        "   violated one later and were captured (22%)",
+        format!(
+            "{} ({:.0}%)",
+            later.len(),
+            100.0 * later.len() as f64 / not_instant.len().max(1) as f64
+        ),
+    );
+    row(
+        "never-violating faults that were malicious",
+        format!("{never_malicious} (paper & Observation 5: must be 0)"),
+    );
+    row("later-captured faults that were malicious", later_malicious);
+
+    if never_malicious == 0 {
+        println!("\nObservation 5 CONFIRMED: every fault that evades all checkers is benign.");
+    } else {
+        println!("\nObservation 5 VIOLATED — investigate the cases above.");
+    }
+}

@@ -1,0 +1,65 @@
+//! **Section 5.2** — fault-site census: how many single-bit injection
+//! locations the model exposes per router and per mesh, next to the
+//! paper's counts (205 per interior 5-port router, 11,808 in the 8×8 mesh
+//! at the paper's module granularity).
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin sites -- [--mesh K]
+//! ```
+
+use noc_sim::enumerate_router_sites;
+use noc_types::geometry::{Coord, NodeId};
+use noc_types::site::ModuleClass;
+use nocalert_bench::{row, Args, Experiment};
+
+fn main() {
+    let args = Args::from_env();
+    let exp = Experiment::from_args(&args);
+    let cfg = &exp.noc;
+    let mesh = cfg.mesh;
+
+    println!("== Fault-site census (Section 5.2 / Figure 5) ==");
+    let interior = mesh.node(Coord::new(mesh.width() / 2, mesh.height() / 2));
+    let edge = mesh.node(Coord::new(mesh.width() / 2, 0));
+    let corner = mesh.node(Coord::new(0, 0));
+
+    for (name, node, paper) in [
+        ("interior router (paper: 205)", interior, 205),
+        ("edge router", edge, 0),
+        ("corner router", corner, 0),
+    ] {
+        let n = enumerate_router_sites(cfg, node).len();
+        if paper > 0 {
+            row(name, format!("{n} sites (paper {paper} at coarser granularity)"));
+        } else {
+            row(name, format!("{n} sites"));
+        }
+    }
+
+    let total: usize = mesh
+        .nodes()
+        .map(|n| enumerate_router_sites(cfg, n).len())
+        .sum();
+    row(
+        &format!("{}x{} mesh total (paper: 11,808)", mesh.width(), mesh.height()),
+        total,
+    );
+
+    println!("\nPer-module breakdown (interior router):");
+    let sites = enumerate_router_sites(cfg, interior);
+    for m in ModuleClass::ALL {
+        let n = sites.iter().filter(|s| s.signal.module() == m).count();
+        let inputs = sites
+            .iter()
+            .filter(|s| {
+                s.signal.module() == m
+                    && s.signal.dir() == noc_types::site::SignalDir::Input
+            })
+            .count();
+        row(
+            &format!("{m}"),
+            format!("{n} bits ({inputs} input-side, {} output-side)", n - inputs),
+        );
+    }
+    let _ = NodeId(0);
+}

@@ -1,0 +1,48 @@
+//! **Table 1** — the complete list of the 32 invariances with their
+//! modules, Figure-3 correctness categories, risk levels and buffer-policy
+//! applicability, straight from the checker registry.
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin table1
+//! ```
+
+use nocalert::{Category, Risk, TABLE1};
+
+fn cat(c: &Category) -> &'static str {
+    match c {
+        Category::NoFlitDrop => "drop",
+        Category::BoundedDelivery => "bounded",
+        Category::NoNewFlit => "new-flit",
+        Category::NoMixing => "mixing",
+    }
+}
+
+fn main() {
+    println!("== Table 1: the 32 NoCAlert invariances ==\n");
+    let mut module = String::new();
+    for e in &TABLE1 {
+        let m = e
+            .module
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "NET".to_string());
+        if m != module {
+            println!("--- {m} ---");
+            module = m;
+        }
+        let cats: Vec<&str> = e.categories.iter().map(cat).collect();
+        println!(
+            "{:>3}  {:<44} [{}]{}{}",
+            e.id.0,
+            e.name,
+            cats.join(", "),
+            if e.risk == Risk::Low { "  (low-risk)" } else { "" },
+            match e.applicability {
+                nocalert::Applicability::Always => "",
+                nocalert::Applicability::AtomicOnly => "  (atomic buffers)",
+                nocalert::Applicability::NonAtomicOnly => "  (non-atomic buffers)",
+            }
+        );
+        println!("     {}", e.rule);
+    }
+    println!("\n{} invariances; low-risk set = {{1, 3}} (Observation 2)", TABLE1.len());
+}

@@ -1,0 +1,159 @@
+//! Shared harness utilities for the per-figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation section (see DESIGN.md's experiment index). They share the
+//! campaign setup, a tiny `--key value` argument parser, and JSON result
+//! dumping so EXPERIMENTS.md can be regenerated mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use golden::{Campaign, CampaignConfig, RunResult};
+use noc_types::{Cycle, NocConfig};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Args {
+        let mut map = HashMap::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    _ => String::from("true"),
+                };
+                map.insert(key.to_string(), val);
+            }
+        }
+        Args { map }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+}
+
+/// The standard experiment setup shared by the campaign figures.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Network configuration.
+    pub noc: NocConfig,
+    /// Number of sampled fault sites (0 = full universe).
+    pub sites: usize,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// Builds the experiment from CLI args: `--sites N` (default 400,
+    /// `--full` for the whole universe), `--rate F`, `--mesh K`,
+    /// `--threads N`, `--seed S`.
+    pub fn from_args(args: &Args) -> Experiment {
+        let mut noc = NocConfig::paper_baseline();
+        let k: u8 = args.get("mesh", 8);
+        noc.mesh = noc_types::Mesh::new(k, k);
+        noc.injection_rate = args.get("rate", 0.10);
+        noc.seed = args.get("seed", noc.seed);
+        let sites = if args.flag("full") {
+            0
+        } else {
+            args.get("sites", 400)
+        };
+        let threads = args.get(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        );
+        Experiment { noc, sites, threads }
+    }
+
+    /// The site list this experiment sweeps.
+    pub fn site_list(&self) -> Vec<noc_types::SiteRef> {
+        let universe = fault::enumerate_sites(&self.noc);
+        if self.sites == 0 || self.sites >= universe.len() {
+            universe
+        } else {
+            fault::sample::stride(&universe, self.sites)
+        }
+    }
+
+    /// Runs the transient-fault campaign at one injection instant.
+    pub fn run_campaign(&self, warmup: Cycle) -> (Campaign, Vec<RunResult>) {
+        let cc = CampaignConfig::paper_defaults(self.noc.clone(), warmup);
+        let campaign = Campaign::new(cc);
+        let sites = self.site_list();
+        eprintln!(
+            "[campaign] warmup={warmup} sites={} threads={}",
+            sites.len(),
+            self.threads
+        );
+        let t0 = std::time::Instant::now();
+        let results = campaign.run_many(&sites, self.threads);
+        eprintln!(
+            "[campaign] {} injections in {:.1}s",
+            results.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        (campaign, results)
+    }
+}
+
+/// Writes `value` as pretty JSON to `--json PATH` if given.
+pub fn maybe_write_json<T: Serialize>(args: &Args, value: &T) {
+    if let Some(path) = args.map.get("json") {
+        let s = serde_json::to_string_pretty(value).expect("serializable");
+        std::fs::write(path, s).expect("write json");
+        eprintln!("[json] wrote {path}");
+    }
+}
+
+/// Renders a simple aligned two-column table row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<46} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let mut a = Args::default();
+        a.map.insert("sites".into(), "123".into());
+        a.map.insert("full".into(), "true".into());
+        assert_eq!(a.get("sites", 0usize), 123);
+        assert_eq!(a.get("missing", 7u32), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("absent"));
+    }
+
+    #[test]
+    fn experiment_site_sampling() {
+        let e = Experiment {
+            noc: NocConfig::small_test(),
+            sites: 50,
+            threads: 1,
+        };
+        assert_eq!(e.site_list().len(), 50);
+        let full = Experiment { sites: 0, ..e.clone() };
+        assert!(full.site_list().len() > 1_000);
+    }
+}

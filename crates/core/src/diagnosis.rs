@@ -1,0 +1,133 @@
+//! Fault localization from the assertion stream.
+//!
+//! NoCAlert is "intended to be used in conjunction with fault recovery
+//! techniques" (Section 1): a recovery/reconfiguration mechanism needs to
+//! know *where* to act. Because every [`AssertionEvent`] carries the
+//! router, port and module of the checker that fired, the earliest
+//! assertions localize the fault: the first checker to see an illegal
+//! wire is (almost always) soldered to the faulty module itself, and
+//! cascade assertions at downstream routers arrive later.
+//!
+//! [`localize`] implements the natural policy — majority vote over the
+//! assertions raised within a short window after first detection, earliest
+//! cycle breaking ties — and reports a confidence. The `diagnose` bench
+//! binary measures its accuracy over a fault campaign.
+
+use crate::bank::AssertionEvent;
+use crate::table::info;
+use noc_types::site::ModuleClass;
+use serde::{Deserialize, Serialize};
+
+/// A localization verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Most likely faulty router.
+    pub router: u16,
+    /// Most likely module class (from the earliest same-router checker
+    /// with a module association; `None` if only network-level checkers
+    /// fired).
+    pub module: Option<ModuleClass>,
+    /// Port context reported by the earliest same-router assertion.
+    pub port: u8,
+    /// Fraction of windowed assertions agreeing with the chosen router.
+    pub confidence: f64,
+    /// Number of assertions considered.
+    pub evidence: usize,
+}
+
+/// Localizes a fault from raised assertions.
+///
+/// Considers every assertion within `window` cycles of the first one,
+/// votes on the router (earliest assertion wins ties), then picks module
+/// and port from the earliest assertion at that router. Returns `None`
+/// when no assertion was raised.
+pub fn localize(events: &[AssertionEvent], window: u64) -> Option<Diagnosis> {
+    let first = events.first()?;
+    let horizon = first.cycle + window;
+    let windowed: Vec<&AssertionEvent> =
+        events.iter().take_while(|e| e.cycle <= horizon).collect();
+
+    // Vote: count per router; ties broken by earliest occurrence.
+    let mut counts: Vec<(u16, usize, usize)> = Vec::new(); // (router, count, first_idx)
+    for (i, e) in windowed.iter().enumerate() {
+        match counts.iter_mut().find(|(r, _, _)| *r == e.router) {
+            Some((_, c, _)) => *c += 1,
+            None => counts.push((e.router, 1, i)),
+        }
+    }
+    let &(router, votes, _) = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))?;
+
+    let earliest_at = windowed.iter().find(|e| e.router == router)?;
+    Some(Diagnosis {
+        router,
+        module: info(earliest_at.checker).module,
+        port: earliest_at.port,
+        confidence: votes as f64 / windowed.len() as f64,
+        evidence: windowed.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::CheckerId;
+
+    fn ev(checker: u8, cycle: u64, router: u16, port: u8) -> AssertionEvent {
+        AssertionEvent {
+            checker: CheckerId(checker),
+            cycle,
+            router,
+            port,
+            vc: 0,
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert_eq!(localize(&[], 10), None);
+    }
+
+    #[test]
+    fn single_assertion_localizes_exactly() {
+        let d = localize(&[ev(4, 100, 7, 2)], 10).unwrap();
+        assert_eq!(d.router, 7);
+        assert_eq!(d.module, Some(ModuleClass::Sa1));
+        assert_eq!(d.port, 2);
+        assert_eq!(d.confidence, 1.0);
+    }
+
+    #[test]
+    fn majority_beats_downstream_cascade() {
+        // Faulty router 7 fires twice; the misrouted flit trips one checker
+        // downstream at router 8.
+        let events = [ev(4, 100, 7, 1), ev(16, 100, 7, 0), ev(1, 103, 8, 3)];
+        let d = localize(&events, 10).unwrap();
+        assert_eq!(d.router, 7);
+        assert!(d.confidence > 0.6);
+        assert_eq!(d.evidence, 3);
+    }
+
+    #[test]
+    fn window_excludes_late_noise() {
+        let events = [ev(2, 100, 7, 1), ev(1, 500, 9, 0), ev(1, 501, 9, 0)];
+        let d = localize(&events, 10).unwrap();
+        assert_eq!(d.router, 7, "late assertions outside the window ignored");
+        assert_eq!(d.evidence, 1);
+    }
+
+    #[test]
+    fn tie_breaks_toward_earliest() {
+        let events = [ev(24, 100, 3, 0), ev(24, 101, 5, 0)];
+        let d = localize(&events, 10).unwrap();
+        assert_eq!(d.router, 3);
+    }
+
+    #[test]
+    fn network_level_checker_has_no_module() {
+        let d = localize(&[ev(32, 50, 12, 4)], 5).unwrap();
+        assert_eq!(d.module, None);
+        assert_eq!(d.router, 12);
+    }
+}

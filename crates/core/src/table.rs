@@ -1,0 +1,475 @@
+//! Table 1 of the paper: the complete list of the 32 invariances, with the
+//! metadata the rest of the system keys off — owning module, the
+//! functional-correctness categories of Figure 3, risk level (Observation
+//! 2) and buffer-policy applicability.
+
+use noc_types::config::BufferPolicy;
+use noc_types::site::ModuleClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one invariance checker, 1–32 as numbered in Table 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CheckerId(pub u8);
+
+impl CheckerId {
+    /// Number of checkers in Table 1.
+    pub const COUNT: usize = 32;
+
+    /// All checker ids in Table-1 order.
+    pub fn all() -> impl Iterator<Item = CheckerId> {
+        (1..=Self::COUNT as u8).map(CheckerId)
+    }
+
+    /// Index into dense per-checker arrays (`id - 1`).
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Display for CheckerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv{}", self.0)
+    }
+}
+
+/// The four fundamental network-correctness conditions of Figure 3
+/// (after Borrione et al. and ForEVeR, restated at flit granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// No flit is lost inside the network.
+    NoFlitDrop,
+    /// Every flit reaches its destination in bounded time (no deadlock or
+    /// livelock).
+    BoundedDelivery,
+    /// No flit is spontaneously generated or duplicated.
+    NoNewFlit,
+    /// No data corruption / packet mixing.
+    NoMixing,
+}
+
+/// Risk level driving the "NoCAlert Cautious" recovery policy of
+/// Observation 2: low-risk checkers (1 and 3) defer the recovery trigger
+/// when asserted alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Risk {
+    /// Assertion should trigger recovery immediately.
+    Normal,
+    /// Misdirection-style assertion that is overwhelmingly benign when it
+    /// appears on its own (RC misroutes that remain legal elsewhere).
+    Low,
+}
+
+/// Which buffer policies an invariance applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Applicability {
+    /// Always checked.
+    Always,
+    /// Only with atomic VC buffers (invariance 26).
+    AtomicOnly,
+    /// Only with non-atomic VC buffers (invariance 27).
+    NonAtomicOnly,
+}
+
+impl Applicability {
+    /// Whether a checker with this applicability runs under `policy`.
+    pub fn applies(self, policy: BufferPolicy) -> bool {
+        match self {
+            Applicability::Always => true,
+            Applicability::AtomicOnly => policy == BufferPolicy::Atomic,
+            Applicability::NonAtomicOnly => policy == BufferPolicy::NonAtomic,
+        }
+    }
+}
+
+/// Static description of one Table-1 invariance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CheckerInfo {
+    /// Table-1 number.
+    pub id: CheckerId,
+    /// Short name, as in the table.
+    pub name: &'static str,
+    /// One-line functional rule.
+    pub rule: &'static str,
+    /// The router module the checker monitors (`None` for the network-level
+    /// end-to-end invariance 32).
+    pub module: Option<ModuleClass>,
+    /// Figure-3 categories the invariance protects.
+    pub categories: &'static [Category],
+    /// Risk level (Observation 2).
+    pub risk: Risk,
+    /// Buffer-policy applicability.
+    pub applicability: Applicability,
+}
+
+use Category::*;
+
+/// The full Table 1.
+pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
+    CheckerInfo {
+        id: CheckerId(1),
+        name: "Illegal turn",
+        rule: "Routing algorithms forbid some turns to prevent deadlocks in the network.",
+        module: Some(ModuleClass::Rc),
+        categories: &[BoundedDelivery],
+        risk: Risk::Low,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(2),
+        name: "Invalid RC output direction",
+        rule: "Some RC output encodings denote no physical port (e.g. value 6 on a 5-port router).",
+        module: Some(ModuleClass::Rc),
+        categories: &[BoundedDelivery],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(3),
+        name: "Non-minimal routing",
+        rule: "The RC output direction must take the flit one step closer to its destination.",
+        module: Some(ModuleClass::Rc),
+        categories: &[BoundedDelivery],
+        risk: Risk::Low,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(4),
+        name: "Grant w/o request",
+        rule: "It is not possible for a client to win a grant without making a request.",
+        module: Some(ModuleClass::Sa1),
+        categories: &[NoNewFlit, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(5),
+        name: "Grant to nobody",
+        rule: "The arbiter must always provide a winner when there is at least one client request.",
+        module: Some(ModuleClass::Sa1),
+        categories: &[BoundedDelivery],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(6),
+        name: "1-hot grant vector",
+        rule: "The arbiter's output vector must have at most one bit set to logic high.",
+        module: Some(ModuleClass::Sa1),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(7),
+        name: "Grant to occupied or full VC",
+        rule: "A grant to an occupied output VC, or without downstream credits, is forbidden.",
+        module: Some(ModuleClass::Va2),
+        categories: &[NoFlitDrop, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(8),
+        name: "One-to-one VC assignment",
+        rule: "An input VC must not be assigned to multiple output VCs.",
+        module: Some(ModuleClass::Va2),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(9),
+        name: "One-to-one port assignment",
+        rule: "An input port must not gain simultaneous access to multiple output ports.",
+        module: Some(ModuleClass::Sa2),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(10),
+        name: "VA agrees with RC",
+        rule: "The output VC assigned by VA must belong to the output port computed by RC.",
+        module: Some(ModuleClass::Va2),
+        categories: &[BoundedDelivery, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(11),
+        name: "SA agrees with RC",
+        rule: "The SA result must be in agreement with the result of the RC stage.",
+        module: Some(ModuleClass::Sa2),
+        categories: &[BoundedDelivery, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(12),
+        name: "Intra-VA stage order",
+        rule: "If a VC wins the VA2 arbitration stage, it must also have won the VA1 stage.",
+        module: Some(ModuleClass::Va2),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(13),
+        name: "Intra-SA stage order",
+        rule: "If a VC wins the SA2 arbitration stage, it must also have won the SA1 stage.",
+        module: Some(ModuleClass::Sa2),
+        categories: &[NoFlitDrop, BoundedDelivery, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(14),
+        name: "1-hot XBAR column control vector",
+        rule: "At most one connection may be active per crossbar column per cycle (no flit mixing).",
+        module: Some(ModuleClass::XbarCtl),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(15),
+        name: "1-hot XBAR row control vector",
+        rule: "At most one connection may be active per crossbar row per cycle (no multicasting).",
+        module: Some(ModuleClass::XbarCtl),
+        categories: &[NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(16),
+        name: "#incoming flits equals #outgoing flits",
+        rule: "Each cycle, the number of flits leaving the XBAR must equal the number entering it.",
+        module: Some(ModuleClass::XbarCtl),
+        categories: &[NoFlitDrop, NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(17),
+        name: "Consistent VC buffer state",
+        rule: "The NoC router pipeline stages must be executed in the correct order.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoFlitDrop, NoNewFlit, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(18),
+        name: "Only header flits in free VC buffers",
+        rule: "Only a header flit may enter a free (unallocated) VC buffer.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(19),
+        name: "Invalid output VC value",
+        rule: "The output VC saved at the end of VA must be within range and message class.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoFlitDrop, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(20),
+        name: "Complete RC stage on a non-header flit",
+        rule: "Routing computation is performed only on header flits.",
+        module: Some(ModuleClass::VcState),
+        categories: &[BoundedDelivery],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(21),
+        name: "Complete RC stage on an empty VC",
+        rule: "A transition from RC to VA is forbidden if the VC's buffer is empty.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(22),
+        name: "Complete VA stage on a non-header flit",
+        rule: "Virtual-channel allocation is performed only on header flits.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(23),
+        name: "Complete VA stage on an empty VC",
+        rule: "A transition from VA to SA is forbidden if the VC's buffer is empty.",
+        module: Some(ModuleClass::VcState),
+        categories: &[NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(24),
+        name: "Read from an empty buffer",
+        rule: "A read signal cannot be issued to an empty VC buffer.",
+        module: Some(ModuleClass::BufState),
+        categories: &[NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(25),
+        name: "Write to a full buffer",
+        rule: "A write signal cannot be issued to a full VC buffer.",
+        module: Some(ModuleClass::BufState),
+        categories: &[NoFlitDrop],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(26),
+        name: "Buffer atomicity violation",
+        rule: "With atomic buffers, a header flit cannot arrive at a non-free VC buffer.",
+        module: Some(ModuleClass::BufState),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::AtomicOnly,
+    },
+    CheckerInfo {
+        id: CheckerId(27),
+        name: "Packet mixing in non-atomic buffer",
+        rule: "With non-atomic buffers, a tail flit may only be followed by a header flit.",
+        module: Some(ModuleClass::BufState),
+        categories: &[NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::NonAtomicOnly,
+    },
+    CheckerInfo {
+        id: CheckerId(28),
+        name: "Packet flit-count violation",
+        rule: "Packets of a message class all have the same pre-defined number of flits.",
+        module: Some(ModuleClass::BufState),
+        categories: &[NoFlitDrop, NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(29),
+        name: "Concurrent read from multiple VCs",
+        rule: "Only one flit may leave a single input port per cycle (single output multiplexer).",
+        module: None,
+        categories: &[NoMixing, NoFlitDrop],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(30),
+        name: "Concurrent write to multiple VCs",
+        rule: "Only one flit may arrive at a single input port per cycle (single demultiplexer).",
+        module: None,
+        categories: &[NoMixing, NoNewFlit],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(31),
+        name: "Concurrent RC stage completion of multiple VCs",
+        rule: "Only one VC per input port may complete its RC stage per cycle.",
+        module: None,
+        categories: &[BoundedDelivery],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+    CheckerInfo {
+        id: CheckerId(32),
+        name: "Network-level invariance (end-to-end)",
+        rule: "Flits arrive at their intended destination, in order, with no stray continuations.",
+        module: None,
+        categories: &[NoFlitDrop, BoundedDelivery, NoNewFlit, NoMixing],
+        risk: Risk::Normal,
+        applicability: Applicability::Always,
+    },
+];
+
+/// Looks up the Table-1 entry for a checker id.
+///
+/// # Panics
+///
+/// Panics if `id` is outside `1..=32`.
+pub fn info(id: CheckerId) -> &'static CheckerInfo {
+    &TABLE1[id.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_32_entries_in_order() {
+        assert_eq!(TABLE1.len(), 32);
+        for (i, e) in TABLE1.iter().enumerate() {
+            assert_eq!(e.id.0 as usize, i + 1);
+            assert!(!e.name.is_empty());
+            assert!(!e.rule.is_empty());
+            assert!(!e.categories.is_empty());
+        }
+    }
+
+    #[test]
+    fn low_risk_checkers_are_1_and_3() {
+        let low: Vec<u8> = TABLE1
+            .iter()
+            .filter(|e| e.risk == Risk::Low)
+            .map(|e| e.id.0)
+            .collect();
+        assert_eq!(low, vec![1, 3]);
+    }
+
+    #[test]
+    fn buffer_policy_applicability() {
+        assert!(info(CheckerId(26))
+            .applicability
+            .applies(BufferPolicy::Atomic));
+        assert!(!info(CheckerId(26))
+            .applicability
+            .applies(BufferPolicy::NonAtomic));
+        assert!(info(CheckerId(27))
+            .applicability
+            .applies(BufferPolicy::NonAtomic));
+        assert!(!info(CheckerId(27))
+            .applicability
+            .applies(BufferPolicy::Atomic));
+        assert!(info(CheckerId(1)).applicability.applies(BufferPolicy::Atomic));
+    }
+
+    #[test]
+    fn every_figure3_category_is_covered() {
+        for cat in [
+            Category::NoFlitDrop,
+            Category::BoundedDelivery,
+            Category::NoNewFlit,
+            Category::NoMixing,
+        ] {
+            assert!(
+                TABLE1.iter().any(|e| e.categories.contains(&cat)),
+                "{cat:?} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn checker_id_iteration_and_display() {
+        let all: Vec<_> = CheckerId::all().collect();
+        assert_eq!(all.len(), 32);
+        assert_eq!(all[0].to_string(), "inv1");
+        assert_eq!(all[31].index(), 31);
+    }
+}

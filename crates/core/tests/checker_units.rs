@@ -1,0 +1,546 @@
+//! Checker-by-checker unit tests: each of the 32 invariances is driven
+//! with hand-built wire records — one clearly legal case (must stay
+//! silent) and one clearly illegal case (must fire exactly that checker
+//! family) — independent of the simulator.
+
+#![allow(clippy::identity_op, clippy::erasing_op)]
+
+use noc_sim::Observer;
+use noc_types::record::{
+    CycleRecord, EjectEvent, LocalArbEvent, RcEvent, ReadEvent, Sa2Event, Va2Event, VcEvent,
+    WriteEvent,
+};
+use noc_types::{NocConfig, NodeId, PacketId};
+use nocalert::AlertBank;
+
+fn bank() -> AlertBank {
+    AlertBank::new(&NocConfig::paper_baseline())
+}
+
+fn rec(router: u16) -> CycleRecord {
+    let mut r = CycleRecord::default();
+    r.reset(router);
+    r
+}
+
+fn fired(bank: &AlertBank) -> Vec<u8> {
+    bank.asserted_set().iter().map(|c| c.0).collect()
+}
+
+fn feed(bank: &mut AlertBank, r: &CycleRecord) {
+    bank.on_cycle_record(100, r);
+}
+
+/// A legal RC event: header at head, East out from the Local port of an
+/// interior router (id 27 = (3,3) in the 8×8 mesh), one hop to (4,3).
+fn legal_rc() -> RcEvent {
+    RcEvent {
+        port: 4,
+        vc: 0,
+        dest_x: 4,
+        dest_y: 3,
+        head_valid: true,
+        buf_empty: false,
+        out_dir: 1, // East
+    }
+}
+
+#[test]
+fn inv1_illegal_turn() {
+    let mut b = bank();
+    let mut r = rec(27);
+    // Arrived on North (travelling south), exits East: forbidden Y→X.
+    r.rc.push(RcEvent {
+        port: 0,
+        dest_x: 4,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&1));
+}
+
+#[test]
+fn inv2_invalid_direction_and_dead_port() {
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent { out_dir: 6, ..legal_rc() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&2));
+
+    // Corner router 0 has no West port: direction 3 is a dead port.
+    let mut b = bank();
+    let mut r = rec(0);
+    r.rc.push(RcEvent {
+        out_dir: 3,
+        dest_x: 0,
+        dest_y: 0,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&2));
+}
+
+#[test]
+fn inv3_non_minimal_route() {
+    let mut b = bank();
+    let mut r = rec(27);
+    // Destination is East but RC says West.
+    r.rc.push(RcEvent {
+        port: 4,
+        out_dir: 3,
+        dest_x: 5,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&3));
+}
+
+#[test]
+fn inv4_5_6_arbiter_anomalies() {
+    // Grant without request.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.sa1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0010, credit_ok: 0b0001 });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&4));
+
+    // Requests but no grant.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.va1.push(LocalArbEvent { port: 0, req: 0b0110, grant: 0, credit_ok: 0b0110 });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&5));
+
+    // Two grants at once.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.sa1.push(LocalArbEvent { port: 0, req: 0b0111, grant: 0b0011, credit_ok: 0b0111 });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&6));
+}
+
+fn legal_va2() -> Va2Event {
+    Va2Event {
+        out_port: 1,
+        req: 0b00001,
+        grant: 0b00001,
+        out_vc: 0,
+        free_mask: 0b1111,
+        winner: Some((0, 0)),
+        winner_rc_port: Some(1),
+        winner_class: Some(0),
+        winner_won_va1: true,
+    }
+}
+
+#[test]
+fn inv7_grant_to_occupied_or_full() {
+    // VA2 hands out a VC that is not free.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.va2.push(Va2Event { free_mask: 0b1110, ..legal_va2() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&7));
+
+    // SA2 winner without a downstream credit.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.sa2.push(Sa2Event {
+        out_port: 1,
+        req: 0b00001,
+        grant: 0b00001,
+        winner: Some((0, 0)),
+        winner_rc_port: Some(1),
+        winner_won_sa1: true,
+        winner_credit_ok: false,
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&7));
+}
+
+#[test]
+fn inv8_input_vc_double_allocation() {
+    let mut b = bank();
+    let mut r = rec(1);
+    // Port 0's VA1 winner is VC 2; two different VA2 arbiters both grant
+    // port 0 in the same cycle.
+    r.va1.push(LocalArbEvent { port: 0, req: 0b0100, grant: 0b0100, credit_ok: 0b0100 });
+    r.va2.push(legal_va2());
+    r.va2.push(Va2Event { out_port: 2, ..legal_va2() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&8));
+}
+
+#[test]
+fn inv9_input_port_double_switch_grant() {
+    let mut b = bank();
+    let mut r = rec(1);
+    for out_port in [1u8, 2] {
+        r.sa2.push(Sa2Event {
+            out_port,
+            req: 0b00001,
+            grant: 0b00001,
+            winner: Some((0, 0)),
+            winner_rc_port: Some(out_port as u64),
+            winner_won_sa1: true,
+            winner_credit_ok: true,
+        });
+    }
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&9));
+}
+
+#[test]
+fn inv10_11_allocation_disagrees_with_rc() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.va2.push(Va2Event { winner_rc_port: Some(3), ..legal_va2() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&10));
+
+    let mut b = bank();
+    let mut r = rec(1);
+    r.sa2.push(Sa2Event {
+        out_port: 1,
+        req: 0b00001,
+        grant: 0b00001,
+        winner: Some((0, 0)),
+        winner_rc_port: Some(2),
+        winner_won_sa1: true,
+        winner_credit_ok: true,
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&11));
+}
+
+#[test]
+fn inv12_13_stage_order() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.va2.push(Va2Event { winner_won_va1: false, ..legal_va2() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&12));
+
+    let mut b = bank();
+    let mut r = rec(1);
+    r.sa2.push(Sa2Event {
+        out_port: 1,
+        req: 0b00001,
+        grant: 0b00001,
+        winner: Some((0, 0)),
+        winner_rc_port: Some(1),
+        winner_won_sa1: false,
+        winner_credit_ok: true,
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&13));
+}
+
+#[test]
+fn inv14_15_16_crossbar() {
+    // Column with two drivers.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.xbar.matrix = (1 << (1 * 8 + 0)) | (1 << (1 * 8 + 2));
+    r.xbar.in_count = 2;
+    r.xbar.out_count = 2;
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&14));
+
+    // Row driving two columns (multicast).
+    let mut b = bank();
+    let mut r = rec(1);
+    r.xbar.matrix = (1 << (1 * 8 + 0)) | (1 << (2 * 8 + 0));
+    r.xbar.in_count = 1;
+    r.xbar.out_count = 1;
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&15));
+
+    // Count mismatch.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.xbar.in_count = 2;
+    r.xbar.out_count = 1;
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&16));
+}
+
+fn idle_vc_event() -> VcEvent {
+    VcEvent {
+        port: 0,
+        vc: 0,
+        state_before: 0,
+        state_after: 0,
+        ev_rc_done: false,
+        ev_va_done: false,
+        ev_sa_won: false,
+        head_kind: 0,
+        empty: true,
+        out_port: 0,
+        out_vc: 0,
+    }
+}
+
+#[test]
+fn inv17_pipeline_order() {
+    for (ev_rc, ev_va, ev_sa, state) in [
+        (true, false, false, 3u64), // RC fires on an Active VC
+        (false, true, false, 1),    // VA fires before RC finished
+        (false, false, true, 2),    // SA fires before VA finished
+    ] {
+        let mut b = bank();
+        let mut r = rec(1);
+        r.vc.push(VcEvent {
+            state_before: state,
+            state_after: state,
+            ev_rc_done: ev_rc,
+            ev_va_done: ev_va,
+            ev_sa_won: ev_sa,
+            empty: false,
+            head_kind: 0,
+            out_port: 1,
+            out_vc: 0,
+            ..idle_vc_event()
+        });
+        feed(&mut b, &r);
+        assert!(fired(&b).contains(&17), "case {ev_rc}{ev_va}{ev_sa}");
+    }
+}
+
+fn legal_write() -> WriteEvent {
+    WriteEvent {
+        port: 0,
+        vc: 0,
+        kind: 0,
+        is_head: true,
+        is_tail: false,
+        vc_was_free: true,
+        buf_was_full: false,
+        prev_written_was_tail: true,
+        arrived_count: 1,
+        expected_len: 5,
+    }
+}
+
+#[test]
+fn inv18_body_flit_into_free_vc() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(WriteEvent {
+        is_head: false,
+        kind: 1,
+        ..legal_write()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&18));
+}
+
+#[test]
+fn inv19_invalid_stored_out_vc() {
+    // Out-of-class VC parked in an Active VC's register (4 VCs, classes
+    // {0,1}|{2,3}: input VC 0 with out_vc 3 is cross-class).
+    let mut b = bank();
+    let mut r = rec(1);
+    r.vc.push(VcEvent {
+        state_before: 3,
+        state_after: 3,
+        empty: false,
+        out_port: 1,
+        out_vc: 3,
+        ..idle_vc_event()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&19));
+}
+
+#[test]
+fn inv20_21_rc_on_bad_input() {
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent { head_valid: false, ..legal_rc() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&20));
+
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent { buf_empty: true, ..legal_rc() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&21));
+}
+
+#[test]
+fn inv22_23_va_on_bad_input() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.vc.push(VcEvent {
+        state_before: 2,
+        state_after: 3,
+        ev_va_done: true,
+        empty: false,
+        head_kind: 1, // Body at the head
+        out_port: 1,
+        ..idle_vc_event()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&22));
+
+    let mut b = bank();
+    let mut r = rec(1);
+    r.vc.push(VcEvent {
+        state_before: 2,
+        state_after: 3,
+        ev_va_done: true,
+        empty: true,
+        out_port: 1,
+        ..idle_vc_event()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&23));
+}
+
+#[test]
+fn inv24_25_buffer_anomalies() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.reads.push(ReadEvent { port: 0, vc: 0, was_empty: true });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&24));
+
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(WriteEvent { buf_was_full: true, ..legal_write() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&25));
+}
+
+#[test]
+fn inv26_atomicity_violation() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(WriteEvent { vc_was_free: false, ..legal_write() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&26));
+}
+
+#[test]
+fn inv27_non_atomic_mixing() {
+    let mut cfg = NocConfig::paper_baseline();
+    cfg.buffer_policy = noc_types::BufferPolicy::NonAtomic;
+    let mut b = AlertBank::new(&cfg);
+    let mut r = rec(1);
+    // A body flit follows a tail into an occupied VC.
+    r.writes.push(WriteEvent {
+        is_head: false,
+        kind: 1,
+        vc_was_free: false,
+        prev_written_was_tail: true,
+        arrived_count: 2,
+        ..legal_write()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&27));
+    // The same record must NOT fire 26 in non-atomic mode.
+    assert!(!fired(&b).contains(&26));
+}
+
+#[test]
+fn inv28_flit_count_violation() {
+    // Tail arriving as the 4th flit of a 5-flit packet.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(WriteEvent {
+        is_head: false,
+        is_tail: true,
+        kind: 2,
+        vc_was_free: false,
+        arrived_count: 4,
+        ..legal_write()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&28));
+
+    // 6th flit of a 5-flit packet.
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(WriteEvent {
+        is_head: false,
+        kind: 1,
+        vc_was_free: false,
+        arrived_count: 6,
+        ..legal_write()
+    });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&28));
+}
+
+#[test]
+fn inv29_30_31_port_level_concurrency() {
+    let mut b = bank();
+    let mut r = rec(1);
+    r.reads.push(ReadEvent { port: 0, vc: 0, was_empty: false });
+    r.reads.push(ReadEvent { port: 0, vc: 2, was_empty: false });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&29));
+
+    let mut b = bank();
+    let mut r = rec(1);
+    r.writes.push(legal_write());
+    r.writes.push(WriteEvent { vc: 1, ..legal_write() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&30));
+
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(legal_rc());
+    r.rc.push(RcEvent { vc: 1, ..legal_rc() });
+    feed(&mut b, &r);
+    assert!(fired(&b).contains(&31));
+}
+
+#[test]
+fn inv32_end_to_end() {
+    let mut b = bank();
+    let flit = noc_types::flit::make_packet(PacketId(9), 1, NodeId(0), NodeId(7), 0, 1, 0)[0];
+    b.on_eject(&EjectEvent {
+        node: NodeId(3),
+        cycle: 5,
+        flit,
+    });
+    assert_eq!(fired(&b), vec![32]);
+}
+
+#[test]
+fn legal_records_fire_nothing() {
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(legal_rc());
+    r.va1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0001, credit_ok: 0b0001 });
+    r.sa1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0001, credit_ok: 0b0001 });
+    r.va2.push(legal_va2());
+    r.sa2.push(Sa2Event {
+        out_port: 1,
+        req: 0b00001,
+        grant: 0b00001,
+        winner: Some((0, 0)),
+        winner_rc_port: Some(1),
+        winner_won_sa1: true,
+        winner_credit_ok: true,
+    });
+    r.xbar.matrix = 1 << (1 * 8 + 0);
+    r.xbar.in_valid = 1;
+    r.xbar.out_valid = 0b10;
+    r.xbar.in_count = 1;
+    r.xbar.out_count = 1;
+    r.vc.push(VcEvent {
+        state_before: 1,
+        state_after: 2,
+        ev_rc_done: true,
+        empty: false,
+        out_port: 1,
+        ..idle_vc_event()
+    });
+    r.writes.push(legal_write());
+    r.reads.push(ReadEvent { port: 1, vc: 0, was_empty: false });
+    feed(&mut b, &r);
+    assert!(fired(&b).is_empty(), "spurious: {:?}", fired(&b));
+}

@@ -1,0 +1,243 @@
+//! Fault model and injection framework (Section 5.2 / Figure 5).
+//!
+//! The paper injects **single-bit, single-event transient faults** at the
+//! inputs and outputs of every control module of every router — 205
+//! locations per interior 5-port router, 11,808 in the 8×8 mesh at their
+//! module granularity (our signal catalogue is finer-grained; see
+//! EXPERIMENTS.md for the measured counts). This crate provides:
+//!
+//! * [`FaultSpec`] — one injection: a site, a temporal kind (transient /
+//!   permanent / intermittent) and a start cycle;
+//! * [`enumerate_sites`] — the exhaustive campaign universe;
+//! * [`sample`] — deterministic sub-sampling (stride / seeded random) so
+//!   laptop-scale runs sweep a representative subset and `--full` runs the
+//!   whole universe;
+//! * [`rollout`] — execute one injection from a warmed-up network
+//!   snapshot and report whether the network drained and whether the
+//!   armed bit ever flipped a live wire.
+//!
+//! # Example
+//!
+//! ```
+//! use nocalert_fault::{enumerate_sites, rollout, FaultSpec};
+//! use noc_sim::{Network, NullObserver};
+//! use noc_types::{FaultKind, NocConfig};
+//!
+//! let cfg = NocConfig::small_test();
+//! let sites = enumerate_sites(&cfg);
+//! let mut net = Network::new(cfg);
+//! net.run(200); // warm up
+//! let spec = FaultSpec::transient(sites[0], net.cycle());
+//! let outcome = rollout(&mut net, Some(&spec), 300, 5_000, &mut NullObserver);
+//! assert!(outcome.drained || !outcome.drained); // campaign classifies this
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use noc_sim::{Network, Observer};
+use noc_types::site::{FaultKind, SiteRef};
+use noc_types::{Cycle, NocConfig};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One fault injection: where, how, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The wire bit to corrupt.
+    pub site: SiteRef,
+    /// Temporal behaviour.
+    pub kind: FaultKind,
+    /// Injection cycle.
+    pub start: Cycle,
+}
+
+impl FaultSpec {
+    /// A single-event transient at `site`, active during `start` only —
+    /// the paper's campaign fault.
+    pub fn transient(site: SiteRef, start: Cycle) -> FaultSpec {
+        FaultSpec {
+            site,
+            kind: FaultKind::Transient,
+            start,
+        }
+    }
+
+    /// A stuck-bit permanent fault from `start` onward (Observation 3).
+    pub fn permanent(site: SiteRef, start: Cycle) -> FaultSpec {
+        FaultSpec {
+            site,
+            kind: FaultKind::Permanent,
+            start,
+        }
+    }
+}
+
+/// The exhaustive fault-site universe for a configuration: every bit of
+/// every module-boundary wire of every router (dead ports excluded).
+pub fn enumerate_sites(cfg: &NocConfig) -> Vec<SiteRef> {
+    noc_sim::enumerate_all_sites(cfg)
+}
+
+/// Deterministic site sub-sampling strategies for laptop-scale campaigns.
+pub mod sample {
+    use super::*;
+
+    /// Every `k`-th site, `k = ceil(len / n)` — uniform structural
+    /// coverage with at most `n` sites.
+    pub fn stride(sites: &[SiteRef], n: usize) -> Vec<SiteRef> {
+        if n == 0 || sites.is_empty() {
+            return Vec::new();
+        }
+        if n >= sites.len() {
+            return sites.to_vec();
+        }
+        let k = sites.len().div_ceil(n);
+        sites.iter().copied().step_by(k).collect()
+    }
+
+    /// `n` sites drawn without replacement with a seeded RNG (stable
+    /// across runs and platforms).
+    pub fn random(sites: &[SiteRef], n: usize, seed: u64) -> Vec<SiteRef> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut v = sites.to_vec();
+        v.shuffle(&mut rng);
+        v.truncate(n);
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Result of one [`rollout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolloutOutcome {
+    /// The network emptied completely within the drain deadline.
+    pub drained: bool,
+    /// Times the armed bit flipped a live wire (0 ⇒ the injection was
+    /// vacuous: the wire was never evaluated while the fault was active).
+    pub fault_hits: u64,
+    /// Cycle at which the rollout stopped.
+    pub end_cycle: Cycle,
+}
+
+/// Executes one injection experiment on `net` (typically a clone of a
+/// warmed-up golden snapshot):
+///
+/// 1. arms `spec` (if any) and runs `active_window` cycles of live traffic,
+/// 2. stops packet generation and drains for at most `drain_deadline`
+///    cycles,
+/// 3. reports drain status and fault-hit count.
+///
+/// The observer sees every cycle record, injection and ejection — attach
+/// the NoCAlert bank / ForEVeR / run logs here.
+pub fn rollout<O: Observer>(
+    net: &mut Network,
+    spec: Option<&FaultSpec>,
+    active_window: Cycle,
+    drain_deadline: Cycle,
+    obs: &mut O,
+) -> RolloutOutcome {
+    if let Some(s) = spec {
+        net.arm_fault(s.site, s.kind, s.start);
+    } else {
+        net.disarm_fault();
+    }
+    for _ in 0..active_window {
+        net.step_observed(obs);
+    }
+    let drained = net.drain(obs, drain_deadline);
+    RolloutOutcome {
+        drained,
+        fault_hits: net.fault_hits(),
+        end_cycle: net.cycle(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NullObserver;
+
+    #[test]
+    fn universe_is_nonempty_and_unique() {
+        let cfg = NocConfig::small_test();
+        let sites = enumerate_sites(&cfg);
+        assert!(sites.len() > 1_000, "got {}", sites.len());
+        let mut dedup = sites.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sites.len());
+    }
+
+    #[test]
+    fn stride_sampling_bounds_and_coverage() {
+        let cfg = NocConfig::small_test();
+        let sites = enumerate_sites(&cfg);
+        let s = sample::stride(&sites, 100);
+        assert!(s.len() <= 100 && s.len() > 80);
+        // First and (near-)last structural regions are represented.
+        assert_eq!(s[0], sites[0]);
+        assert!(s.last().unwrap().router >= sites.last().unwrap().router / 2);
+        assert!(sample::stride(&sites, 0).is_empty());
+        assert_eq!(sample::stride(&sites, usize::MAX).len(), sites.len());
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic() {
+        let cfg = NocConfig::small_test();
+        let sites = enumerate_sites(&cfg);
+        let a = sample::random(&sites, 50, 42);
+        let b = sample::random(&sites, 50, 42);
+        let c = sample::random(&sites, 50, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn faultless_rollout_drains() {
+        let mut net = Network::new(NocConfig::small_test());
+        net.run(500);
+        let out = rollout(&mut net, None, 200, 10_000, &mut NullObserver);
+        assert!(out.drained);
+        assert_eq!(out.fault_hits, 0);
+    }
+
+    #[test]
+    fn armed_rollout_counts_hits_on_hot_wire() {
+        let cfg = NocConfig::small_test();
+        let mut net = Network::new(cfg.clone());
+        net.run(500);
+        // Sa1Req of a live port is evaluated every cycle: a permanent
+        // fault must hit immediately.
+        let site = SiteRef {
+            router: 5,
+            port: 4,
+            vc: 0,
+            signal: noc_types::site::SignalKind::Sa1Req,
+            bit: 0,
+        };
+        let spec = FaultSpec::permanent(site, net.cycle());
+        let out = rollout(&mut net, Some(&spec), 100, 20_000, &mut NullObserver);
+        assert!(out.fault_hits >= 100, "hits {}", out.fault_hits);
+    }
+
+    #[test]
+    fn transient_rollout_hits_at_most_per_cycle_evaluations() {
+        let cfg = NocConfig::small_test();
+        let mut net = Network::new(cfg.clone());
+        net.run(300);
+        let site = SiteRef {
+            router: 0,
+            port: 4,
+            vc: 0,
+            signal: noc_types::site::SignalKind::Sa1Req,
+            bit: 0,
+        };
+        let spec = FaultSpec::transient(site, net.cycle());
+        let out = rollout(&mut net, Some(&spec), 50, 20_000, &mut NullObserver);
+        assert_eq!(out.fault_hits, 1, "Sa1Req evaluated once per cycle");
+    }
+}

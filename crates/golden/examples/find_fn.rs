@@ -1,0 +1,30 @@
+//! Diagnostic: hunt for false negatives (violations NoCAlert missed) in a
+//! sampled campaign and print full details of each.
+
+use nocalert_golden::{Campaign, CampaignConfig, Detector, Outcome};
+use noc_types::NocConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let warmup: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let mut noc = NocConfig::paper_baseline();
+    noc.injection_rate = 0.10;
+    let cc = CampaignConfig::paper_defaults(noc, warmup);
+    let campaign = Campaign::new(cc);
+    let sites = fault::sample::stride(&fault::enumerate_sites(&campaign.config().noc), n);
+    let results = campaign.run_many(&sites, 4);
+    let mut fn_count = 0;
+    for r in &results {
+        for d in [Detector::NoCAlert, Detector::ForEVeR] {
+            if r.outcome(d) == Outcome::FalseNegative {
+                fn_count += 1;
+                println!(
+                    "FN[{d:?}] site={} kind={:?} hits={} verdict={:?} nocalert={:?} forever={:?}",
+                    r.site, r.kind, r.fault_hits, r.verdict.violations, r.nocalert, r.forever
+                );
+            }
+        }
+    }
+    println!("total {} runs, {} FN entries", results.len(), fn_count);
+}

@@ -1,0 +1,226 @@
+//! Aggregation of campaign results into the paper's figures.
+//!
+//! Each function here computes exactly one published artifact:
+//!
+//! * [`breakdown`] → Figure 6 (TP/FP/TN/FN percentages per detector view),
+//! * [`latency_cdf`] → Figure 7 (cumulative detection-delay distribution
+//!   over true positives),
+//! * [`checker_shares`] → Figure 8 (share of violations caught per
+//!   checker),
+//! * [`simultaneity_cdf`] → Figure 9 (CDF of simultaneously asserted
+//!   checkers at first detection).
+
+use crate::campaign::{Detector, Outcome, RunResult};
+use nocalert::CheckerId;
+use serde::{Deserialize, Serialize};
+
+/// Figure-6 style fault-coverage breakdown, in percent of all injections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Breakdown {
+    /// % true positives.
+    pub tp: f64,
+    /// % false positives.
+    pub fp: f64,
+    /// % true negatives.
+    pub tn: f64,
+    /// % false negatives (the paper's headline: 0 for NoCAlert).
+    pub fn_: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Computes the Figure-6 breakdown for one detector view.
+pub fn breakdown(results: &[RunResult], d: Detector) -> Breakdown {
+    let mut b = Breakdown {
+        runs: results.len(),
+        ..Breakdown::default()
+    };
+    if results.is_empty() {
+        return b;
+    }
+    for r in results {
+        match r.outcome(d) {
+            Outcome::TruePositive => b.tp += 1.0,
+            Outcome::FalsePositive => b.fp += 1.0,
+            Outcome::TrueNegative => b.tn += 1.0,
+            Outcome::FalseNegative => b.fn_ += 1.0,
+        }
+    }
+    let n = results.len() as f64 / 100.0;
+    b.tp /= n;
+    b.fp /= n;
+    b.tn /= n;
+    b.fn_ /= n;
+    b
+}
+
+/// Cumulative detection-delay distribution over **true positives**
+/// (Figure 7): sorted `(latency, cumulative %)` pairs.
+pub fn latency_cdf(results: &[RunResult], d: Detector) -> Vec<(u64, f64)> {
+    let mut lats: Vec<u64> = results
+        .iter()
+        .filter(|r| r.outcome(d) == Outcome::TruePositive)
+        .filter_map(|r| r.latency(d))
+        .collect();
+    lats.sort_unstable();
+    let n = lats.len() as f64;
+    let mut out = Vec::new();
+    for (i, l) in lats.iter().enumerate() {
+        // Collapse duplicates to the highest cumulative fraction.
+        if i + 1 == lats.len() || lats[i + 1] != *l {
+            out.push((*l, (i + 1) as f64 / n * 100.0));
+        }
+    }
+    out
+}
+
+/// Fraction of the CDF at or below `latency` (e.g. `cdf_at(..,0)` = the
+/// "% detected instantaneously" headline).
+pub fn cdf_at(cdf: &[(u64, f64)], latency: u64) -> f64 {
+    cdf.iter()
+        .take_while(|(l, _)| *l <= latency)
+        .last()
+        .map(|(_, p)| *p)
+        .unwrap_or(0.0)
+}
+
+/// Figure 8: per-checker share (%) of all (run × checker) assertion
+/// incidences across the campaign. Indexed by `CheckerId::index()`.
+pub fn checker_shares(results: &[RunResult]) -> [f64; CheckerId::COUNT] {
+    let mut counts = [0u64; CheckerId::COUNT];
+    for r in results {
+        for c in &r.checkers {
+            counts[c.index()] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    let mut shares = [0.0; CheckerId::COUNT];
+    if total > 0 {
+        for (i, &c) in counts.iter().enumerate() {
+            shares[i] = c as f64 / total as f64 * 100.0;
+        }
+    }
+    shares
+}
+
+/// Figure 9: cumulative distribution of the number of simultaneously
+/// asserted checkers at the first detection cycle, over detected runs.
+pub fn simultaneity_cdf(results: &[RunResult]) -> Vec<(u8, f64)> {
+    let mut sims: Vec<u8> = results
+        .iter()
+        .filter(|r| r.nocalert.detected)
+        .map(|r| r.simultaneous)
+        .collect();
+    sims.sort_unstable();
+    let n = sims.len() as f64;
+    let mut out = Vec::new();
+    for (i, s) in sims.iter().enumerate() {
+        if i + 1 == sims.len() || sims[i + 1] != *s {
+            out.push((*s, (i + 1) as f64 / n * 100.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::DetectorOutcome;
+    use crate::oracle::{Verdict, ViolationKind};
+    use noc_types::site::{FaultKind, SignalKind, SiteRef};
+
+    fn result(detected: bool, latency: Option<u64>, malicious: bool, sim: u8) -> RunResult {
+        RunResult {
+            site: SiteRef {
+                router: 0,
+                port: 0,
+                vc: 0,
+                signal: SignalKind::RcOutDir,
+                bit: 0,
+            },
+            kind: FaultKind::Transient,
+            injected_at: 0,
+            fault_hits: 1,
+            verdict: Verdict {
+                violations: if malicious {
+                    vec![ViolationKind::FlitDropped]
+                } else {
+                    vec![]
+                },
+            },
+            nocalert: DetectorOutcome { detected, latency },
+            cautious: DetectorOutcome { detected, latency },
+            forever: DetectorOutcome { detected, latency },
+            checkers: if detected {
+                vec![CheckerId(16), CheckerId(24)]
+            } else {
+                vec![]
+            },
+            simultaneous: sim,
+        }
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let rs = vec![
+            result(true, Some(0), true, 2),
+            result(true, Some(3), false, 1),
+            result(false, None, false, 0),
+            result(false, None, true, 0),
+        ];
+        let b = breakdown(&rs, Detector::NoCAlert);
+        assert_eq!(b.tp, 25.0);
+        assert_eq!(b.fp, 25.0);
+        assert_eq!(b.tn, 25.0);
+        assert_eq!(b.fn_, 25.0);
+        assert!((b.tp + b.fp + b.tn + b.fn_ - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_cdf_over_true_positives_only() {
+        let rs = vec![
+            result(true, Some(0), true, 1),
+            result(true, Some(0), true, 1),
+            result(true, Some(5), true, 1),
+            result(true, Some(9), false, 1), // FP: excluded
+        ];
+        let cdf = latency_cdf(&rs, Detector::NoCAlert);
+        assert_eq!(cdf, vec![(0, 66.66666666666666), (5, 100.0)]);
+        assert!((cdf_at(&cdf, 0) - 66.666).abs() < 0.1);
+        assert_eq!(cdf_at(&cdf, 4), cdf_at(&cdf, 0));
+        assert_eq!(cdf_at(&cdf, 5), 100.0);
+    }
+
+    #[test]
+    fn checker_shares_normalize() {
+        let rs = vec![result(true, Some(0), true, 2), result(true, Some(1), true, 1)];
+        let shares = checker_shares(&rs);
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(shares[CheckerId(16).index()], 50.0);
+        assert_eq!(shares[CheckerId(24).index()], 50.0);
+    }
+
+    #[test]
+    fn simultaneity_cdf_counts_detected_runs() {
+        let rs = vec![
+            result(true, Some(0), true, 1),
+            result(true, Some(0), true, 2),
+            result(true, Some(0), true, 2),
+            result(false, None, false, 0),
+        ];
+        let cdf = simultaneity_cdf(&rs);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].0, 1);
+        assert!((cdf[0].1 - 33.333).abs() < 0.1);
+        assert_eq!(cdf[1], (2, 100.0));
+    }
+
+    #[test]
+    fn empty_inputs_do_not_divide_by_zero() {
+        let b = breakdown(&[], Detector::ForEVeR);
+        assert_eq!(b.runs, 0);
+        assert!(latency_cdf(&[], Detector::NoCAlert).is_empty());
+        assert!(simultaneity_cdf(&[]).is_empty());
+        assert_eq!(checker_shares(&[]).iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The fault plane: in-line single-bit fault injection at module boundaries.
+//!
+//! Every signal a router module consumes or produces is routed through
+//! [`FaultPlane::xf`]. When a fault is armed on that exact wire
+//! ([`SiteRef`]) and temporally active ([`FaultKind`]), the value comes
+//! back with the addressed bit flipped; otherwise it passes through
+//! untouched. Both the router's functional logic *and* the observation
+//! record consume the transformed value — faults therefore propagate
+//! through real state, and checkers see exactly what the hardware wires
+//! would carry (Figure 5 of the paper).
+
+use noc_types::site::{FaultKind, SignalKind, SiteRef};
+use noc_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// A fault armed on one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArmedFault {
+    /// The wire bit to corrupt.
+    pub site: SiteRef,
+    /// Temporal behaviour.
+    pub kind: FaultKind,
+    /// First cycle at which the fault is (potentially) active.
+    pub start: Cycle,
+}
+
+/// The injection surface threaded through every router.
+///
+/// At most one fault is armed at a time, matching the paper's single-fault
+/// model; `hits` counts how many times the armed bit actually flipped a
+/// live wire (used by coverage tests and the campaign driver to discard
+/// vacuous injections).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlane {
+    armed: Option<ArmedFault>,
+    hits: u64,
+}
+
+impl FaultPlane {
+    /// A plane with no fault armed.
+    pub fn new() -> FaultPlane {
+        FaultPlane::default()
+    }
+
+    /// Arms `fault`, replacing any previous one and resetting the hit count.
+    pub fn arm(&mut self, fault: ArmedFault) {
+        self.armed = Some(fault);
+        self.hits = 0;
+    }
+
+    /// Disarms the plane.
+    pub fn disarm(&mut self) {
+        self.armed = None;
+    }
+
+    /// The armed fault, if any.
+    pub fn armed(&self) -> Option<&ArmedFault> {
+        self.armed.as_ref()
+    }
+
+    /// How many times the armed bit has been flipped on a live wire.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// If the armed fault is a **transient on a state register**, and
+    /// `cycle` is its injection instant, returns the site so the owner can
+    /// flip the stored bit in place (a single-event upset persists until
+    /// the register is rewritten). Such faults are *not* applied by
+    /// [`FaultPlane::xf`].
+    pub fn register_upset_due(&self, cycle: Cycle) -> Option<SiteRef> {
+        match &self.armed {
+            Some(f)
+                if f.kind == FaultKind::Transient
+                    && f.site.signal.is_register()
+                    && cycle == f.start =>
+            {
+                Some(f.site)
+            }
+            _ => None,
+        }
+    }
+
+    /// Records an out-of-band hit (used when a register upset is applied
+    /// directly to stored state).
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Transforms the wire `value` of `signal` at instance
+    /// `(router, port, vc)` during `cycle`.
+    ///
+    /// The hot path (no fault armed, or armed on another router) is a
+    /// couple of compares.
+    #[inline]
+    pub fn xf(
+        &mut self,
+        cycle: Cycle,
+        router: u16,
+        port: u8,
+        vc: u8,
+        signal: SignalKind,
+        value: u64,
+    ) -> u64 {
+        match &self.armed {
+            None => value,
+            Some(f) => {
+                if f.kind == FaultKind::Transient && f.site.signal.is_register() {
+                    // Register SEUs are applied to the stored value once,
+                    // not to every read of it.
+                    return value;
+                }
+                let s = &f.site;
+                if s.router == router
+                    && s.signal == signal
+                    && s.port == port
+                    && s.vc == vc
+                    && cycle >= f.start
+                    && f.kind.active_at(cycle - f.start)
+                {
+                    self.hits += 1;
+                    value ^ (1u64 << s.bit)
+                } else {
+                    value
+                }
+            }
+        }
+    }
+
+    /// Boolean-wire convenience wrapper around [`FaultPlane::xf`].
+    #[inline]
+    pub fn xf_bool(
+        &mut self,
+        cycle: Cycle,
+        router: u16,
+        port: u8,
+        vc: u8,
+        signal: SignalKind,
+        value: bool,
+    ) -> bool {
+        self.xf(cycle, router, port, vc, signal, value as u64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> SiteRef {
+        SiteRef {
+            router: 3,
+            port: 1,
+            vc: 2,
+            signal: SignalKind::RcOutDir,
+            bit: 1,
+        }
+    }
+
+    #[test]
+    fn pass_through_when_disarmed() {
+        let mut p = FaultPlane::new();
+        assert_eq!(p.xf(0, 3, 1, 2, SignalKind::RcOutDir, 0b101), 0b101);
+        assert_eq!(p.hits(), 0);
+    }
+
+    #[test]
+    fn transient_flips_exactly_once_in_time() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Transient,
+            start: 10,
+        });
+        // Before start: untouched.
+        assert_eq!(p.xf(9, 3, 1, 2, SignalKind::RcOutDir, 0), 0);
+        // At start: bit 1 flipped.
+        assert_eq!(p.xf(10, 3, 1, 2, SignalKind::RcOutDir, 0), 0b10);
+        // After: untouched.
+        assert_eq!(p.xf(11, 3, 1, 2, SignalKind::RcOutDir, 0), 0);
+        assert_eq!(p.hits(), 1);
+    }
+
+    #[test]
+    fn permanent_keeps_flipping() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Permanent,
+            start: 5,
+        });
+        for c in 5..20 {
+            assert_eq!(p.xf(c, 3, 1, 2, SignalKind::RcOutDir, 0b100), 0b110);
+        }
+        assert_eq!(p.hits(), 15);
+    }
+
+    #[test]
+    fn only_matching_instance_is_hit() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Permanent,
+            start: 0,
+        });
+        // Wrong router / port / vc / signal — untouched.
+        assert_eq!(p.xf(1, 4, 1, 2, SignalKind::RcOutDir, 0), 0);
+        assert_eq!(p.xf(1, 3, 0, 2, SignalKind::RcOutDir, 0), 0);
+        assert_eq!(p.xf(1, 3, 1, 0, SignalKind::RcOutDir, 0), 0);
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcDestX, 0), 0);
+        assert_eq!(p.hits(), 0);
+    }
+
+    #[test]
+    fn bool_wrapper_flips_bit_zero() {
+        let mut p = FaultPlane::new();
+        let mut s = site();
+        s.bit = 0;
+        s.signal = SignalKind::BufRead;
+        p.arm(ArmedFault {
+            site: s,
+            kind: FaultKind::Transient,
+            start: 0,
+        });
+        assert!(p.xf_bool(0, 3, 1, 2, SignalKind::BufRead, false));
+        assert!(!p.xf_bool(1, 3, 1, 2, SignalKind::BufRead, false));
+    }
+
+    #[test]
+    fn rearm_resets_hits() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Transient,
+            start: 0,
+        });
+        p.xf(0, 3, 1, 2, SignalKind::RcOutDir, 0);
+        assert_eq!(p.hits(), 1);
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Transient,
+            start: 5,
+        });
+        assert_eq!(p.hits(), 0);
+    }
+}

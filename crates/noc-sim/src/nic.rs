@@ -1,0 +1,337 @@
+//! Network interfaces: packet sources (injection) and sinks (ejection).
+//!
+//! The NI plays the upstream-router role for its router's **local input
+//! port** (it allocates local input VCs and respects their credits) and the
+//! downstream-router role for the **local output port** (it buffers ejected
+//! flits per VC, drains them at `ejection_rate`, and returns credits).
+//!
+//! Traffic generation draws from a per-node deterministic RNG **every
+//! cycle, regardless of backpressure**, so the generated stream is
+//! identical between a golden and a faulty run (see `traffic`).
+
+use crate::router::{CreditMsg, LinkFlit};
+use noc_types::config::{BufferPolicy, NocConfig};
+use noc_types::flit::{make_packet, Flit, PacketId};
+use noc_types::geometry::NodeId;
+use noc_types::record::EjectEvent;
+use noc_types::Cycle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::VecDeque;
+
+/// One node's network interface.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    node: NodeId,
+    rng: SmallRng,
+    class_rr: u8,
+    /// Flits generated but not yet injected, in packet order.
+    source: VecDeque<Flit>,
+    /// Local-input VC of the worm currently being injected.
+    alloc: Option<u8>,
+    /// NI-side bookkeeping of the router's local input VCs.
+    ni_free: Vec<bool>,
+    ni_credits: Vec<u8>,
+    /// Per-VC ejection buffers (filled by the router's local output port).
+    eject: Vec<VecDeque<Flit>>,
+    eject_next: u8,
+    /// Flits handed to the router so far.
+    pub injected: u64,
+    /// Flits delivered to this NI so far.
+    pub ejected: u64,
+}
+
+impl Nic {
+    /// Creates the NI for `node`, deriving its RNG stream from the global
+    /// seed.
+    pub fn new(cfg: &NocConfig, node: NodeId) -> Nic {
+        let v = cfg.vcs_per_port as usize;
+        Nic {
+            node,
+            rng: SmallRng::seed_from_u64(
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(node.0 as u64 + 1)),
+            ),
+            class_rr: 0,
+            source: VecDeque::new(),
+            alloc: None,
+            ni_free: vec![true; v],
+            ni_credits: vec![cfg.buffer_depth; v],
+            eject: vec![VecDeque::new(); v],
+            eject_next: 0,
+            injected: 0,
+            ejected: 0,
+        }
+    }
+
+    /// The node this NI serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Flits waiting in the source queue.
+    pub fn source_backlog(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Flits waiting in ejection buffers.
+    pub fn eject_backlog(&self) -> usize {
+        self.eject.iter().map(VecDeque::len).sum()
+    }
+
+    /// Draws this cycle's traffic. When the Bernoulli draw fires and
+    /// generation is enabled, a new packet is appended to the source queue.
+    ///
+    /// The RNG is advanced even when `enabled` is false so that enabling or
+    /// disabling generation never desynchronizes the stream suffix.
+    pub fn generate(
+        &mut self,
+        cfg: &NocConfig,
+        cycle: Cycle,
+        next_packet: &mut u64,
+        next_uid: &mut u64,
+        enabled: bool,
+    ) {
+        let mean_len = cfg.packet_lengths.iter().map(|&l| l as f64).sum::<f64>()
+            / cfg.packet_lengths.len() as f64;
+        let p = (cfg.injection_rate / mean_len).min(1.0);
+        let fire = self.rng.gen::<f64>() < p;
+        if !fire {
+            return;
+        }
+        let class = self.class_rr % cfg.message_classes;
+        self.class_rr = self.class_rr.wrapping_add(1);
+        let dest = crate::traffic::pick_destination(
+            cfg.traffic,
+            cfg.mesh,
+            self.node,
+            cfg.hotspot_fraction,
+            &mut self.rng,
+        );
+        if !enabled {
+            return;
+        }
+        let Some(dest) = dest else { return };
+        let len = cfg.packet_len(class);
+        let pkt = PacketId(*next_packet);
+        *next_packet += 1;
+        let flits = make_packet(pkt, *next_uid, self.node, dest, class, len, cycle);
+        *next_uid += len as u64;
+        self.source.extend(flits);
+    }
+
+    /// Tries to hand one flit to the router's local input port this cycle.
+    pub fn inject(&mut self, cfg: &NocConfig) -> Option<LinkFlit> {
+        if self.alloc.is_none() {
+            let head = self.source.front()?;
+            // Under correct operation the queue front between worms is a
+            // header; pick the lowest free VC of its class.
+            let (lo, hi) = cfg.vc_range_of_class(head.class.min(cfg.message_classes - 1));
+            let vc = (lo..hi).find(|&v| self.ni_free[v as usize])?;
+            self.ni_free[vc as usize] = false;
+            self.alloc = Some(vc);
+        }
+        let vc = self.alloc.unwrap();
+        if self.ni_credits[vc as usize] == 0 {
+            return None;
+        }
+        let flit = self.source.pop_front()?;
+        self.ni_credits[vc as usize] -= 1;
+        if flit.is_tail() {
+            self.alloc = None;
+            if cfg.buffer_policy == BufferPolicy::NonAtomic {
+                self.ni_free[vc as usize] = true;
+            }
+        }
+        self.injected += 1;
+        Some(LinkFlit { flit, vc })
+    }
+
+    /// Applies a credit returned by the router's local input port.
+    pub fn credit_return(&mut self, cfg: &NocConfig, vc: u8, tail: bool) {
+        if let Some(c) = self.ni_credits.get_mut(vc as usize) {
+            *c = (*c + 1).min(cfg.buffer_depth);
+        }
+        if tail && cfg.buffer_policy == BufferPolicy::Atomic {
+            if let Some(f) = self.ni_free.get_mut(vc as usize) {
+                *f = true;
+            }
+        }
+    }
+
+    /// Accepts a flit from the router's local output port. Raw VC values
+    /// beyond the physical range select no buffer: the flit vanishes, as it
+    /// would at a demux with an illegal select.
+    pub fn eject_push(&mut self, vc: u8, flit: Flit) {
+        if let Some(q) = self.eject.get_mut(vc as usize) {
+            q.push_back(flit);
+        }
+    }
+
+    /// Drains up to `ejection_rate` flits round-robin across the ejection
+    /// VCs; returns the ejected flits plus the credits to hand back to the
+    /// router's local *output* port.
+    pub fn eject_step(&mut self, cfg: &NocConfig, cycle: Cycle) -> (Vec<EjectEvent>, Vec<CreditMsg>) {
+        let mut events = Vec::new();
+        let mut credits = Vec::new();
+        let v = cfg.vcs_per_port;
+        for _ in 0..cfg.ejection_rate {
+            // Round-robin scan for a non-empty ejection VC.
+            let mut found = None;
+            for off in 0..v {
+                let idx = (self.eject_next + off) % v;
+                if !self.eject[idx as usize].is_empty() {
+                    found = Some(idx);
+                    break;
+                }
+            }
+            let Some(idx) = found else { break };
+            self.eject_next = (idx + 1) % v;
+            let flit = self.eject[idx as usize].pop_front().expect("non-empty");
+            self.ejected += 1;
+            credits.push(CreditMsg {
+                port: noc_types::geometry::Direction::Local.index() as u8,
+                vc: idx,
+                tail: flit.is_tail(),
+            });
+            events.push(EjectEvent {
+                node: self.node,
+                cycle,
+                flit,
+            });
+        }
+        (events, credits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NocConfig {
+        NocConfig::small_test()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_respects_enable() {
+        let cfg = cfg();
+        let mut a = Nic::new(&cfg, NodeId(3));
+        let mut b = Nic::new(&cfg, NodeId(3));
+        let (mut pa, mut ua, mut pb, mut ub) = (0, 0, 0, 0);
+        for cy in 0..500 {
+            a.generate(&cfg, cy, &mut pa, &mut ua, true);
+            b.generate(&cfg, cy, &mut pb, &mut ub, true);
+        }
+        assert_eq!(a.source_backlog(), b.source_backlog());
+        assert!(a.source_backlog() > 0, "some packets generated");
+        let qa: Vec<_> = a.source.iter().map(|f| (f.uid, f.dest)).collect();
+        let qb: Vec<_> = b.source.iter().map(|f| (f.uid, f.dest)).collect();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn disabled_generation_keeps_rng_in_sync() {
+        let cfg = cfg();
+        let mut a = Nic::new(&cfg, NodeId(3));
+        let mut b = Nic::new(&cfg, NodeId(3));
+        let (mut pa, mut ua, mut pb, mut ub) = (0, 0, 0, 0);
+        for cy in 0..100 {
+            a.generate(&cfg, cy, &mut pa, &mut ua, true);
+            b.generate(&cfg, cy, &mut pb, &mut ub, cy >= 50);
+        }
+        // After cycle 50 both draw identically; b simply missed earlier
+        // packets. Compare future draws by running both enabled.
+        let before_a = a.source_backlog();
+        let before_b = b.source_backlog();
+        for cy in 100..300 {
+            a.generate(&cfg, cy, &mut pa, &mut ua, true);
+            b.generate(&cfg, cy, &mut pb, &mut ub, true);
+        }
+        assert_eq!(
+            a.source_backlog() - before_a,
+            b.source_backlog() - before_b,
+            "suffix streams identical"
+        );
+    }
+
+    #[test]
+    fn injection_respects_credits_and_wormhole() {
+        let cfg = cfg();
+        let mut nic = Nic::new(&cfg, NodeId(0));
+        let (mut p, mut u) = (0, 0);
+        // Force one packet.
+        let mut tries = 0;
+        while nic.source_backlog() == 0 {
+            nic.generate(&cfg, tries, &mut p, &mut u, true);
+            tries += 1;
+            assert!(tries < 100_000, "generation never fired");
+        }
+        let len = nic.source_backlog().min(cfg.buffer_depth as usize);
+        let mut sent = Vec::new();
+        for _ in 0..len {
+            let lf = nic.inject(&cfg).expect("credit available");
+            sent.push(lf);
+        }
+        // All flits of one packet go to the same VC, depth-limited.
+        assert!(sent.len() <= cfg.buffer_depth as usize);
+        assert!(sent.windows(2).all(|w| w[0].vc == w[1].vc));
+        assert_eq!(sent[0].flit.seq, 0);
+        // Credits exhausted after depth sends (packet len == depth == 5).
+        assert!(nic.inject(&cfg).is_none());
+        // Returning credits allows more.
+        nic.credit_return(&cfg, sent[0].vc, false);
+        assert_eq!(nic.ni_credits[sent[0].vc as usize], 1);
+    }
+
+    #[test]
+    fn atomic_vc_frees_only_on_tail_credit() {
+        let cfg = cfg();
+        let mut nic = Nic::new(&cfg, NodeId(0));
+        let (mut p, mut u) = (0, 0);
+        let mut cy = 0;
+        while nic.source_backlog() == 0 {
+            nic.generate(&cfg, cy, &mut p, &mut u, true);
+            cy += 1;
+        }
+        let first = nic.inject(&cfg).unwrap();
+        let vc = first.vc;
+        assert!(!nic.ni_free[vc as usize]);
+        // Non-tail credit: still allocated.
+        nic.credit_return(&cfg, vc, false);
+        assert!(!nic.ni_free[vc as usize]);
+        nic.credit_return(&cfg, vc, true);
+        assert!(nic.ni_free[vc as usize]);
+    }
+
+    #[test]
+    fn ejection_round_robin_and_credits() {
+        let cfg = cfg();
+        let mut nic = Nic::new(&cfg, NodeId(1));
+        let flits = make_packet(PacketId(9), 0, NodeId(0), NodeId(1), 0, 3, 0);
+        nic.eject_push(0, flits[0]);
+        nic.eject_push(1, flits[1]);
+        nic.eject_push(0, flits[2]);
+        // rate = 1: one flit per step, alternating VCs.
+        let (e1, c1) = nic.eject_step(&cfg, 10);
+        assert_eq!(e1.len(), 1);
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1[0].vc, 0);
+        let (e2, c2) = nic.eject_step(&cfg, 11);
+        assert_eq!(c2[0].vc, 1);
+        let (e3, _c3) = nic.eject_step(&cfg, 12);
+        assert_eq!(e3[0].flit.uid, flits[2].uid);
+        assert_eq!(nic.ejected, 3);
+        let (e4, c4) = nic.eject_step(&cfg, 13);
+        assert!(e4.is_empty() && c4.is_empty());
+        let _ = (e1, e2);
+    }
+
+    #[test]
+    fn out_of_range_eject_vc_drops_flit() {
+        let cfg = cfg();
+        let mut nic = Nic::new(&cfg, NodeId(1));
+        let flits = make_packet(PacketId(9), 0, NodeId(0), NodeId(1), 0, 1, 0);
+        nic.eject_push(200, flits[0]);
+        assert_eq!(nic.eject_backlog(), 0);
+    }
+}

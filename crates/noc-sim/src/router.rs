@@ -1,0 +1,1025 @@
+//! The five-stage input-buffered VC router (Section 3.1 of the paper).
+//!
+//! Pipeline: **RC → VA → SA → ST(XBAR) → LT**, with VA and SA each split
+//! into a local (per-input-port) and a global (per-output-port) sub-stage.
+//! Header flits take all stages; body/tail flits start at SA. Wormhole
+//! switching with credit-based flow control; atomic or non-atomic VCs.
+//!
+//! ## Evaluation order and timing
+//!
+//! Within one cycle the stages are evaluated in *reverse* pipeline order —
+//! ST, then SA, then VA, then RC, then buffer-write (BW) — so a flit
+//! advances at most one stage per cycle, giving the classical 5-cycle
+//! per-hop latency (RC, VA, SA, ST, LT) for headers and 3 cycles for body
+//! flits, plus queueing.
+//!
+//! ## Fault honesty
+//!
+//! Every module-boundary wire is routed through [`FaultPlane::xf`] and the
+//! *transformed* value drives both the downstream logic and the observation
+//! record. Consequences are modelled physically rather than sanitized:
+//!
+//! * reading an "empty" FIFO replays the stale slot (new-flit generation),
+//! * a non-one-hot crossbar column ORs two flits into a corrupted one,
+//! * a non-one-hot crossbar row duplicates a flit (multicast),
+//! * an overrun buffer write destroys the oldest flit,
+//! * a suppressed read-enable silently keeps a flit that the crossbar
+//!   expected, and so on.
+
+use crate::arbiter::RoundRobin;
+use crate::fault_plane::FaultPlane;
+use crate::routing::route;
+use crate::vc::{state, OutputPort, VirtualChannel};
+use noc_types::config::{BufferPolicy, NocConfig};
+use noc_types::flit::{Flit, FlitOrigin};
+use noc_types::geometry::{Coord, Direction};
+use noc_types::record::{
+    CycleRecord, LocalArbEvent, RcEvent, ReadEvent, Sa2Event, Va2Event, VcEvent, WriteEvent,
+};
+use noc_types::site::SignalKind;
+use noc_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Number of ports of the canonical router.
+pub const P: usize = Direction::COUNT;
+
+/// A flit in flight on a link, tagged with the downstream VC the upstream
+/// VA stage assigned (the "VC id" field of the flit's control overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkFlit {
+    /// The flit.
+    pub flit: Flit,
+    /// Raw downstream VC index (normally `< vcs_per_port`).
+    pub vc: u8,
+}
+
+/// A credit returning upstream: "input port `port` of the sender popped a
+/// flit out of VC `vc`; `tail` tells whether that flit's kind wire said
+/// tail" (which, in atomic mode, releases the upstream allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CreditMsg {
+    /// Port index (meaning depends on hop: see `Network` routing of
+    /// credits).
+    pub port: u8,
+    /// VC index.
+    pub vc: u8,
+    /// The popped flit was a tail.
+    pub tail: bool,
+}
+
+/// One router: five input ports × V VCs, five output ports, the arbiters,
+/// the SA→ST latches and the link-side registers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    id: u16,
+    coord: Coord,
+    live: [bool; P],
+    /// `inputs[port][vc]`.
+    inputs: Vec<Vec<VirtualChannel>>,
+    /// `outputs[port]` — downstream allocation + credit bookkeeping.
+    pub(crate) outputs: Vec<OutputPort>,
+    rc_rr: Vec<RoundRobin>,
+    va1: Vec<RoundRobin>,
+    sa1: Vec<RoundRobin>,
+    va2: Vec<RoundRobin>,
+    sa2: Vec<RoundRobin>,
+    /// SA results latched for next cycle's ST: per input port, VC read mask.
+    st_read: [u64; P],
+    /// SA2 grant vectors latched for next cycle's crossbar control.
+    st_grant: [u64; P],
+    /// Stale "result bus" registers (what a spurious latch-enable captures).
+    rc_bus: Vec<u64>,
+    va_bus: Vec<u64>,
+    va2_bus: Vec<u64>,
+    /// Link-input registers: flit arriving this cycle per input port.
+    pub(crate) incoming: Vec<Option<LinkFlit>>,
+    /// Credits arriving this cycle, addressed to output ports.
+    pub(crate) incoming_credits: Vec<CreditMsg>,
+    /// Staged link outputs (moved to neighbours by the network).
+    pub(crate) out_flits: Vec<Option<LinkFlit>>,
+    /// Staged credit returns (port = *input* port where the pop happened).
+    pub(crate) out_credits: Vec<CreditMsg>,
+    /// Stale link-data registers per input port (spurious writes replay
+    /// these).
+    last_arrival: Vec<Option<LinkFlit>>,
+}
+
+/// Per-cycle scratch shared across stages; lives in the network and is
+/// reused for every router to avoid allocation in the hot loop.
+#[derive(Debug, Default, Clone)]
+pub struct RouterScratch {
+    ev_rc: [[bool; 16]; P],
+    ev_va: [[bool; 16]; P],
+    ev_sa: [[bool; 16]; P],
+    rc_result: [[Option<u64>; 16]; P],
+    va_result: [[Option<u64>; 16]; P],
+    state_snap: [[u64; 16]; P],
+    row_flit: [Option<(Flit, u8)>; P],
+}
+
+impl RouterScratch {
+    fn reset(&mut self) {
+        *self = RouterScratch::default();
+    }
+}
+
+impl Router {
+    /// Creates the router for node `id` at `coord` with liveness derived
+    /// from the mesh position.
+    pub fn new(cfg: &NocConfig, id: u16) -> Router {
+        let node = noc_types::geometry::NodeId(id);
+        let coord = cfg.mesh.coord(node);
+        let mut live = [false; P];
+        for d in Direction::ALL {
+            live[d.index()] = cfg.mesh.port_live(node, d);
+        }
+        let v = cfg.vcs_per_port;
+        Router {
+            id,
+            coord,
+            live,
+            inputs: (0..P)
+                .map(|_| (0..v).map(|_| VirtualChannel::new(cfg.buffer_depth)).collect())
+                .collect(),
+            outputs: (0..P)
+                .map(|p| OutputPort::new(live[p], v, cfg.buffer_depth))
+                .collect(),
+            rc_rr: (0..P).map(|_| RoundRobin::new(v)).collect(),
+            va1: (0..P).map(|_| RoundRobin::new(v)).collect(),
+            sa1: (0..P).map(|_| RoundRobin::new(v)).collect(),
+            va2: (0..P).map(|_| RoundRobin::new(P as u8)).collect(),
+            sa2: (0..P).map(|_| RoundRobin::new(P as u8)).collect(),
+            st_read: [0; P],
+            st_grant: [0; P],
+            rc_bus: vec![0; P],
+            va_bus: vec![0; P],
+            va2_bus: vec![0; P],
+            incoming: vec![None; P],
+            incoming_credits: Vec::new(),
+            out_flits: vec![None; P],
+            out_credits: Vec::new(),
+            last_arrival: vec![None; P],
+        }
+    }
+
+    /// Router (node) id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Mesh coordinate.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// Port liveness mask.
+    pub fn live(&self) -> &[bool; P] {
+        &self.live
+    }
+
+    /// Immutable view of an input VC (diagnostics and tests).
+    pub fn input_vc(&self, port: u8, vc: u8) -> &VirtualChannel {
+        &self.inputs[port as usize][vc as usize]
+    }
+
+    /// Immutable view of an output port (diagnostics and tests).
+    pub fn output_port(&self, port: u8) -> &OutputPort {
+        &self.outputs[port as usize]
+    }
+
+    /// Total flits buffered in this router (input buffers only).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|port| port.iter())
+            .map(|vc| vc.buffer.len())
+            .sum()
+    }
+
+    /// True when no flit is buffered, latched or staged anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.buffered_flits() == 0
+            && self.incoming.iter().all(Option::is_none)
+            && self.out_flits.iter().all(Option::is_none)
+            && self.st_read.iter().all(|&m| m == 0)
+    }
+
+    /// Applies a single-event upset directly to a stored state-table bit
+    /// (see `SignalKind::is_register`). Returns whether a register was
+    /// actually flipped.
+    pub(crate) fn apply_register_upset(&mut self, site: &noc_types::site::SiteRef) -> bool {
+        let p = site.port as usize;
+        let v = site.vc as usize;
+        if p >= P || !self.live[p] || v >= self.inputs[p].len() {
+            return false;
+        }
+        let vc = &mut self.inputs[p][v];
+        match site.signal {
+            SignalKind::VcStateCode => {
+                vc.state = (vc.state ^ (1 << site.bit)) & 0b11;
+                true
+            }
+            SignalKind::VcOutPort => {
+                vc.out_port = (vc.out_port ^ (1 << site.bit)) & 0b111;
+                true
+            }
+            SignalKind::VcOutVc => {
+                vc.out_vc ^= 1 << site.bit;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    #[inline]
+    fn state_wire(&self, pl: &mut FaultPlane, cy: Cycle, p: u8, v: u8) -> u64 {
+        pl.xf(
+            cy,
+            self.id,
+            p,
+            v,
+            SignalKind::VcStateCode,
+            self.inputs[p as usize][v as usize].state,
+        ) & 0b11
+    }
+
+    /// One full cycle of the router's control logic. `rec` must already be
+    /// reset to this router.
+    pub fn step(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        scratch.reset();
+        let vcs = cfg.vcs_per_port;
+
+        self.apply_credits(cfg, cy);
+        self.stage_st(cfg, cy, pl, scratch, rec);
+        // Snapshot the state wires between ST and SA: this is the
+        // "state_before" the pipeline-order checkers reason about.
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            for v in 0..vcs {
+                scratch.state_snap[p as usize][v as usize] = self.state_wire(pl, cy, p, v);
+            }
+        }
+        self.stage_sa(cfg, cy, pl, scratch, rec);
+        self.stage_va(cfg, cy, pl, scratch, rec);
+        self.stage_rc(cfg, cy, pl, scratch, rec);
+        self.stage_bw(cfg, cy, pl, rec);
+        self.state_table_update(cfg, cy, pl, scratch, rec);
+    }
+
+    /// Applies credits that arrived on the reverse links.
+    fn apply_credits(&mut self, cfg: &NocConfig, _cy: Cycle) {
+        let atomic = cfg.buffer_policy == BufferPolicy::Atomic;
+        let credits = std::mem::take(&mut self.incoming_credits);
+        for c in credits {
+            let op = &mut self.outputs[c.port as usize];
+            op.return_credit(c.vc as u64, cfg.buffer_depth);
+            if c.tail && atomic {
+                op.release(c.vc as u64);
+            }
+        }
+    }
+
+    /// ST stage: execute last cycle's SA decisions — buffer reads, port
+    /// muxes, crossbar traversal, link launch, credit returns.
+    fn stage_st(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        let vcs = cfg.vcs_per_port;
+        let non_atomic = cfg.buffer_policy == BufferPolicy::NonAtomic;
+        let read_latch = std::mem::replace(&mut self.st_read, [0; P]);
+        let grant_latch = std::mem::replace(&mut self.st_grant, [0; P]);
+
+        // Per-port buffer reads + port mux. Tail-triggered wormhole
+        // teardown is deferred until after crossbar traversal: the VC state
+        // table's outputs (out_port / out_vc) are still driving the switch
+        // during this cycle.
+        let mut tail_release: Vec<(u8, u8)> = Vec::new();
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            let mut mux: Option<(Flit, u8)> = None;
+            for v in 0..vcs {
+                let mut enabled = (read_latch[p as usize] >> v) & 1 == 1;
+                if enabled && cfg.speculative {
+                    // Speculative switch allocation: the bid was made while
+                    // VC allocation was (possibly) still pending. Squash
+                    // the traversal unless allocation succeeded and a
+                    // credit is available for the allocated VC.
+                    let st = self.state_wire(pl, cy, p, v);
+                    if st != state::ACTIVE {
+                        enabled = false;
+                    } else {
+                        let op = pl.xf(
+                            cy,
+                            self.id,
+                            p,
+                            v,
+                            SignalKind::VcOutPort,
+                            self.inputs[p as usize][v as usize].out_port,
+                        ) & 0b111;
+                        let ovc = pl.xf(
+                            cy,
+                            self.id,
+                            p,
+                            v,
+                            SignalKind::VcOutVc,
+                            self.inputs[p as usize][v as usize].out_vc,
+                        );
+                        if (op as usize) >= P
+                            || !self.live[op as usize]
+                            || !self.outputs[op as usize].has_credit(ovc)
+                        {
+                            enabled = false;
+                        }
+                    }
+                }
+                let rd = pl.xf_bool(cy, self.id, p, v, SignalKind::BufRead, enabled);
+                if !rd {
+                    continue;
+                }
+                let vcref = &mut self.inputs[p as usize][v as usize];
+                let was_empty = vcref.buffer.is_empty();
+                rec.reads.push(ReadEvent {
+                    port: p,
+                    vc: v,
+                    was_empty,
+                });
+                let flit = match vcref.buffer.pop() {
+                    Some(f) => f,
+                    None => vcref.buffer.read_stale(),
+                };
+                // Credit pulse travels upstream per read-enable, with the
+                // tail wire decoded from the read data.
+                self.out_credits.push(CreditMsg {
+                    port: p,
+                    vc: v,
+                    tail: flit.is_tail(),
+                });
+                if flit.is_tail() {
+                    tail_release.push((p, v));
+                }
+                // Port output mux: the lowest-indexed read wins; any other
+                // concurrently popped flit is physically lost at the mux
+                // (invariance 29 is the checker for this).
+                if mux.is_none() {
+                    mux = Some((flit, v));
+                }
+            }
+            scratch.row_flit[p as usize] = mux;
+        }
+
+        // Crossbar control + traversal.
+        let mut matrix = 0u64;
+        let mut out_valid = 0u64;
+        let mut out_count = 0u8;
+        for o in 0..P as u8 {
+            if !self.live[o as usize] {
+                continue;
+            }
+            let gr_in = pl.xf(
+                cy,
+                self.id,
+                o,
+                0,
+                SignalKind::XbarGrantIn,
+                grant_latch[o as usize],
+            );
+            let col = pl.xf(cy, self.id, o, 0, SignalKind::XbarCol, gr_in) & 0b11111;
+            for p in 0..P as u8 {
+                if (col >> p) & 1 == 1 {
+                    matrix |= 1 << (o * 8 + p);
+                }
+            }
+            // Gather the valid rows this column connects to.
+            let mut first: Option<u8> = None;
+            let mut extra = false;
+            for p in 0..P as u8 {
+                if (col >> p) & 1 == 1 && scratch.row_flit[p as usize].is_some() {
+                    if first.is_none() {
+                        first = Some(p);
+                    } else {
+                        extra = true;
+                    }
+                }
+            }
+            let Some(src_p) = first else { continue };
+            let (mut flit, src_v) = scratch.row_flit[src_p as usize].unwrap();
+            if extra {
+                // Two drivers on one column: the payloads collide. EDC on
+                // the datapath would flag the damage, but the control-level
+                // outcome is a corrupted flit continuing downstream.
+                flit.corrupted = true;
+            }
+            let ovc = pl.xf(
+                cy,
+                self.id,
+                src_p,
+                src_v,
+                SignalKind::VcOutVc,
+                self.inputs[src_p as usize][src_v as usize].out_vc,
+            );
+            self.outputs[o as usize].consume_credit(ovc);
+            if flit.is_tail() && non_atomic {
+                self.outputs[o as usize].release(ovc);
+            }
+            self.out_flits[o as usize] = Some(LinkFlit {
+                flit,
+                vc: ovc as u8,
+            });
+            out_valid |= 1 << o;
+            out_count += 1;
+        }
+
+        // Deferred wormhole teardown at the input side.
+        for (p, v) in tail_release {
+            let vcref = &mut self.inputs[p as usize][v as usize];
+            vcref.release();
+            if let Some(next) = vcref.buffer.peek() {
+                if next.is_head() {
+                    vcref.state = state::ROUTING;
+                }
+            }
+        }
+
+        let mut in_valid = 0u64;
+        for p in 0..P as u8 {
+            if scratch.row_flit[p as usize].is_some() {
+                in_valid |= 1 << p;
+            }
+        }
+        rec.xbar.matrix = matrix;
+        rec.xbar.in_valid = in_valid;
+        rec.xbar.out_valid = out_valid;
+        rec.xbar.in_count = in_valid.count_ones() as u8;
+        rec.xbar.out_count = out_count;
+    }
+
+    /// SA stage: SA1 per input port (credits are checked here, per the
+    /// paper), SA2 per output port; winners are latched for next cycle's ST.
+    fn stage_sa(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        let vcs = cfg.vcs_per_port;
+        let mut sa1_winner: [Option<u8>; P] = [None; P];
+        let mut sa2_req = [0u64; P];
+        let mut sa2_cand: [[Option<u8>; P]; P] = [[None; P]; P];
+        let mut vc_target: [[Option<(u64, u64)>; 16]; P] = [[None; 16]; P];
+
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            let mut req = 0u64;
+            let mut credit_mask = 0u64;
+            let mut any_interest = false;
+            for v in 0..vcs {
+                let st = self.state_wire(pl, cy, p, v);
+                let empty = pl.xf_bool(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::BufEmpty,
+                    self.inputs[p as usize][v as usize].buffer.is_empty(),
+                );
+                let speculating = cfg.speculative && st == state::VA_PENDING;
+                if (st != state::ACTIVE && !speculating) || empty {
+                    continue;
+                }
+                any_interest = true;
+                let op = pl.xf(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::VcOutPort,
+                    self.inputs[p as usize][v as usize].out_port,
+                ) & 0b111;
+                let ovc = pl.xf(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::VcOutVc,
+                    self.inputs[p as usize][v as usize].out_vc,
+                );
+                vc_target[p as usize][v as usize] = Some((op, ovc));
+                let credit = if speculating {
+                    // Speculative bids cannot know the output VC yet; the
+                    // credit gate moves to switch traversal (the squash).
+                    true
+                } else {
+                    (op as usize) < P
+                        && self.live[op as usize]
+                        && self.outputs[op as usize].has_credit(ovc)
+                };
+                if credit {
+                    credit_mask |= 1 << v;
+                    req |= 1 << v;
+                }
+            }
+            let req_w = pl.xf(cy, self.id, p, 0, SignalKind::Sa1Req, req);
+            let g_int = self.sa1[p as usize].arbitrate(req_w);
+            let g = pl.xf(cy, self.id, p, 0, SignalKind::Sa1Grant, g_int);
+            if req_w != 0 || g != 0 || any_interest {
+                rec.sa1.push(LocalArbEvent {
+                    port: p,
+                    req: req_w,
+                    grant: g,
+                    credit_ok: credit_mask,
+                });
+            }
+            // The port's winner path latches the lowest granted VC.
+            if g != 0 {
+                let v = g.trailing_zeros() as u8;
+                if v < vcs {
+                    sa1_winner[p as usize] = Some(v);
+                    let (op, _) = match vc_target[p as usize][v as usize] {
+                        Some(t) => t,
+                        None => {
+                            // A granted VC that never qualified: the port
+                            // control reads its (stale) target wires now.
+                            let op = pl.xf(
+                                cy,
+                                self.id,
+                                p,
+                                v,
+                                SignalKind::VcOutPort,
+                                self.inputs[p as usize][v as usize].out_port,
+                            ) & 0b111;
+                            let ovc = pl.xf(
+                                cy,
+                                self.id,
+                                p,
+                                v,
+                                SignalKind::VcOutVc,
+                                self.inputs[p as usize][v as usize].out_vc,
+                            );
+                            vc_target[p as usize][v as usize] = Some((op, ovc));
+                            (op, ovc)
+                        }
+                    };
+                    if (op as usize) < P && self.live[op as usize] {
+                        sa2_req[op as usize] |= 1 << p;
+                        sa2_cand[op as usize][p as usize] = Some(v);
+                    }
+                }
+            }
+        }
+
+        for o in 0..P as u8 {
+            if !self.live[o as usize] {
+                continue;
+            }
+            let req_w = pl.xf(cy, self.id, o, 0, SignalKind::Sa2Req, sa2_req[o as usize]);
+            let g_int = self.sa2[o as usize].arbitrate(req_w);
+            let g = pl.xf(cy, self.id, o, 0, SignalKind::Sa2Grant, g_int);
+            self.st_grant[o as usize] = g;
+            let mut winner: Option<(u8, u8)> = None;
+            let mut winner_rc_port = None;
+            let mut winner_won_sa1 = false;
+            let mut winner_credit_ok = false;
+            for p in 0..P as u8 {
+                if (g >> p) & 1 == 0 {
+                    continue;
+                }
+                if let Some(v) = sa1_winner[p as usize] {
+                    self.st_read[p as usize] |= 1 << v;
+                    scratch.ev_sa[p as usize][v as usize] = true;
+                    if winner.is_none() {
+                        winner = Some((p, v));
+                        let (op, ovc) = vc_target[p as usize][v as usize].unwrap_or((0, 0));
+                        winner_rc_port = Some(op);
+                        winner_won_sa1 = sa2_cand[o as usize][p as usize] == Some(v);
+                        // A speculative bid has no allocated VC yet: its
+                        // credit gate moves to switch traversal, so the
+                        // wire checkers treat it as satisfied (the paper's
+                        // Section-4.4 invariance adaptation).
+                        let speculating = cfg.speculative
+                            && self.state_wire(pl, cy, p, v) == state::VA_PENDING;
+                        winner_credit_ok = speculating
+                            || ((op as usize) < P
+                                && self.live[op as usize]
+                                && self.outputs[op as usize].has_credit(ovc));
+                    }
+                }
+            }
+            if req_w != 0 || g != 0 {
+                rec.sa2.push(Sa2Event {
+                    out_port: o,
+                    req: req_w,
+                    grant: g,
+                    winner,
+                    winner_rc_port,
+                    winner_won_sa1,
+                    winner_credit_ok,
+                });
+            }
+        }
+    }
+
+    /// VA stage: VA1 per input port, VA2 per output port; winners get a
+    /// downstream VC.
+    fn stage_va(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        let vcs = cfg.vcs_per_port;
+        let mut va1_winner: [Option<u8>; P] = [None; P];
+        let mut va2_req = [0u64; P];
+        let mut va2_cand: [[Option<u8>; P]; P] = [[None; P]; P];
+
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            let mut req = 0u64;
+            for v in 0..vcs {
+                if self.state_wire(pl, cy, p, v) == state::VA_PENDING {
+                    req |= 1 << v;
+                }
+            }
+            let req_w = pl.xf(cy, self.id, p, 0, SignalKind::Va1Req, req);
+            let g_int = self.va1[p as usize].arbitrate(req_w);
+            let g = pl.xf(cy, self.id, p, 0, SignalKind::Va1Grant, g_int);
+            if req_w != 0 || g != 0 {
+                rec.va1.push(LocalArbEvent {
+                    port: p,
+                    req: req_w,
+                    grant: g,
+                    credit_ok: req_w,
+                });
+            }
+            if g != 0 {
+                let v = g.trailing_zeros() as u8;
+                if v < vcs {
+                    va1_winner[p as usize] = Some(v);
+                    let op = pl.xf(
+                        cy,
+                        self.id,
+                        p,
+                        v,
+                        SignalKind::VcOutPort,
+                        self.inputs[p as usize][v as usize].out_port,
+                    ) & 0b111;
+                    if (op as usize) < P && self.live[op as usize] {
+                        va2_req[op as usize] |= 1 << p;
+                        va2_cand[op as usize][p as usize] = Some(v);
+                    }
+                }
+            }
+        }
+
+        for o in 0..P as u8 {
+            if !self.live[o as usize] {
+                continue;
+            }
+            // Only requests whose message class has a free downstream VC
+            // are eligible.
+            let mut elig = 0u64;
+            for p in 0..P as u8 {
+                if (va2_req[o as usize] >> p) & 1 == 0 {
+                    continue;
+                }
+                let v = va2_cand[o as usize][p as usize].expect("request implies candidate");
+                let class = cfg.class_of_vc(v);
+                let (lo, hi) = cfg.vc_range_of_class(class);
+                if self.outputs[o as usize].lowest_free_in(lo, hi).is_some() {
+                    elig |= 1 << p;
+                }
+            }
+            let req_w = pl.xf(cy, self.id, o, 0, SignalKind::Va2Req, elig);
+            let g_int = self.va2[o as usize].arbitrate(req_w);
+            let g = pl.xf(cy, self.id, o, 0, SignalKind::Va2Grant, g_int);
+            if req_w == 0 && g == 0 {
+                continue;
+            }
+            // The VC-select bus: computed for the internal winner; a
+            // spurious grant latches whatever the bus last carried.
+            let chosen = g_int
+                .checked_trailing_zeros_lt(P as u32)
+                .and_then(|p_int| va2_cand[o as usize][p_int as usize])
+                .map(|v| {
+                    let class = cfg.class_of_vc(v);
+                    let (lo, hi) = cfg.vc_range_of_class(class);
+                    self.outputs[o as usize]
+                        .lowest_free_in(lo, hi)
+                        .unwrap_or(0) as u64
+                })
+                .unwrap_or(self.va2_bus[o as usize]);
+            self.va2_bus[o as usize] = chosen;
+            let out_vc_w = pl.xf(cy, self.id, o, 0, SignalKind::Va2OutVc, chosen);
+            let free_mask = self.outputs[o as usize].free_mask();
+
+            let mut winner = None;
+            let mut winner_rc_port = None;
+            let mut winner_class = None;
+            let mut winner_won_va1 = false;
+            for p in 0..P as u8 {
+                if (g >> p) & 1 == 0 {
+                    continue;
+                }
+                if let Some(v) = va1_winner[p as usize] {
+                    scratch.va_result[p as usize][v as usize] = Some(out_vc_w);
+                    scratch.ev_va[p as usize][v as usize] = true;
+                    self.va_bus[p as usize] = out_vc_w;
+                    self.outputs[o as usize].allocate(out_vc_w, (p, v));
+                    if winner.is_none() {
+                        winner = Some((p, v));
+                        winner_rc_port = Some(
+                            pl.xf(
+                                cy,
+                                self.id,
+                                p,
+                                v,
+                                SignalKind::VcOutPort,
+                                self.inputs[p as usize][v as usize].out_port,
+                            ) & 0b111,
+                        );
+                        winner_class = Some(cfg.class_of_vc(v));
+                        winner_won_va1 = va2_cand[o as usize][p as usize] == Some(v);
+                    }
+                }
+            }
+            rec.va2.push(Va2Event {
+                out_port: o,
+                req: req_w,
+                grant: g,
+                out_vc: out_vc_w,
+                free_mask,
+                winner,
+                winner_rc_port,
+                winner_class,
+                winner_won_va1,
+            });
+        }
+    }
+
+    /// RC stage: one routing computation per input port per cycle.
+    fn stage_rc(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        let vcs = cfg.vcs_per_port;
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            let mut pending = 0u64;
+            for v in 0..vcs {
+                if self.state_wire(pl, cy, p, v) == state::ROUTING {
+                    pending |= 1 << v;
+                }
+            }
+            if pending == 0 {
+                continue;
+            }
+            let pick = self.rc_rr[p as usize].arbitrate(pending);
+            let v = pick.trailing_zeros() as u8;
+            let vcref = &self.inputs[p as usize][v as usize];
+            let head = vcref.buffer.peek().copied();
+            let wire_flit = head.unwrap_or_else(|| vcref.buffer.read_stale());
+            let dest = cfg.mesh.coord(noc_types::geometry::NodeId(
+                wire_flit.dest.0 % cfg.mesh.len() as u16,
+            ));
+            let dx = pl.xf(cy, self.id, p, v, SignalKind::RcDestX, dest.x as u64);
+            let dy = pl.xf(cy, self.id, p, v, SignalKind::RcDestY, dest.y as u64);
+            let head_valid = pl.xf_bool(
+                cy,
+                self.id,
+                p,
+                v,
+                SignalKind::RcHeadValid,
+                head.map(|f| f.is_head()).unwrap_or(false),
+            );
+            let dir = route(
+                cfg.routing,
+                self.coord,
+                Coord::new(
+                    (dx as u8).min(cfg.mesh.width().saturating_sub(1).max(dx as u8)),
+                    (dy as u8).min(cfg.mesh.height().saturating_sub(1).max(dy as u8)),
+                ),
+            );
+            let out_raw = pl.xf(cy, self.id, p, v, SignalKind::RcOutDir, dir.bits()) & 0b111;
+            scratch.rc_result[p as usize][v as usize] = Some(out_raw);
+            scratch.ev_rc[p as usize][v as usize] = true;
+            self.rc_bus[p as usize] = out_raw;
+            let empty_w = pl.xf_bool(
+                cy,
+                self.id,
+                p,
+                v,
+                SignalKind::BufEmpty,
+                vcref.buffer.is_empty(),
+            );
+            rec.rc.push(RcEvent {
+                port: p,
+                vc: v,
+                dest_x: dx,
+                dest_y: dy,
+                head_valid,
+                buf_empty: empty_w,
+                out_dir: out_raw,
+            });
+        }
+    }
+
+    /// BW stage: write arriving link flits into the addressed VC buffers.
+    fn stage_bw(&mut self, cfg: &NocConfig, cy: Cycle, pl: &mut FaultPlane, rec: &mut CycleRecord) {
+        let vcs = cfg.vcs_per_port;
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            let arrival = self.incoming[p as usize].take();
+            if let Some(lf) = arrival {
+                self.last_arrival[p as usize] = Some(lf);
+            }
+            for v in 0..vcs {
+                let addressed = arrival.map(|lf| lf.vc == v).unwrap_or(false);
+                let wr = pl.xf_bool(cy, self.id, p, v, SignalKind::BufWrite, addressed);
+                if !wr {
+                    continue;
+                }
+                let flit = if addressed {
+                    arrival.unwrap().flit
+                } else {
+                    // Spurious write-enable: the buffer captures whatever
+                    // the link data register holds — a stale replay.
+                    match self.last_arrival[p as usize] {
+                        Some(lf) => {
+                            let mut f = lf.flit;
+                            f.origin = FlitOrigin::StaleReplay;
+                            f
+                        }
+                        None => {
+                            let mut f =
+                                crate::buffer::VcBuffer::new(cfg.buffer_depth).read_stale();
+                            f.origin = FlitOrigin::StaleReplay;
+                            f
+                        }
+                    }
+                };
+                let was_free = self.state_wire(pl, cy, p, v) == state::IDLE;
+                let vcref = &mut self.inputs[p as usize][v as usize];
+                let was_full = pl.xf_bool(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::BufFull,
+                    vcref.buffer.is_full(),
+                );
+                if flit.is_head() {
+                    vcref.arrived = 1;
+                } else {
+                    vcref.arrived = vcref.arrived.saturating_add(1);
+                }
+                rec.writes.push(WriteEvent {
+                    port: p,
+                    vc: v,
+                    kind: flit.kind.bits(),
+                    is_head: flit.is_head(),
+                    is_tail: flit.is_tail(),
+                    vc_was_free: was_free,
+                    buf_was_full: was_full,
+                    prev_written_was_tail: vcref.prev_written_was_tail,
+                    arrived_count: vcref.arrived,
+                    expected_len: cfg.packet_len(cfg.class_of_vc(v)),
+                });
+                vcref.prev_written_was_tail = flit.is_tail();
+                let _lost = vcref.buffer.push(flit);
+                if flit.is_head() && was_free {
+                    vcref.state = state::ROUTING;
+                }
+            }
+        }
+    }
+
+    /// End-of-cycle state-table update: latch RC/VA results through the
+    /// (possibly faulty) event wires and emit the VC snapshots checkers use.
+    fn state_table_update(
+        &mut self,
+        cfg: &NocConfig,
+        cy: Cycle,
+        pl: &mut FaultPlane,
+        scratch: &mut RouterScratch,
+        rec: &mut CycleRecord,
+    ) {
+        let vcs = cfg.vcs_per_port;
+        for p in 0..P as u8 {
+            if !self.live[p as usize] {
+                continue;
+            }
+            for v in 0..vcs {
+                let pi = p as usize;
+                let vi = v as usize;
+                let ev_rc =
+                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvRcDone, scratch.ev_rc[pi][vi]);
+                let ev_va =
+                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvVaDone, scratch.ev_va[pi][vi]);
+                let ev_sa =
+                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvSaWon, scratch.ev_sa[pi][vi]);
+                let before = scratch.state_snap[pi][vi];
+                {
+                    let vcref = &mut self.inputs[pi][vi];
+                    if ev_rc {
+                        vcref.state = state::VA_PENDING;
+                        vcref.out_port =
+                            scratch.rc_result[pi][vi].unwrap_or(self.rc_bus[pi]) & 0b111;
+                    }
+                    if ev_va {
+                        vcref.state = state::ACTIVE;
+                        vcref.out_vc = scratch.va_result[pi][vi].unwrap_or(self.va_bus[pi]);
+                    }
+                }
+                let vcref = &self.inputs[pi][vi];
+                let after = vcref.state;
+                let interesting = ev_rc
+                    || ev_va
+                    || ev_sa
+                    || before != state::IDLE
+                    || after != state::IDLE
+                    || !vcref.buffer.is_empty();
+                if interesting {
+                    let head_kind = pl.xf(
+                        cy,
+                        self.id,
+                        p,
+                        v,
+                        SignalKind::BufHeadKind,
+                        vcref.buffer.head_kind_wire().bits(),
+                    ) & 0b11;
+                    let empty = pl.xf_bool(
+                        cy,
+                        self.id,
+                        p,
+                        v,
+                        SignalKind::BufEmpty,
+                        vcref.buffer.is_empty(),
+                    );
+                    let out_port =
+                        pl.xf(cy, self.id, p, v, SignalKind::VcOutPort, vcref.out_port) & 0b111;
+                    let out_vc = pl.xf(cy, self.id, p, v, SignalKind::VcOutVc, vcref.out_vc);
+                    rec.vc.push(VcEvent {
+                        port: p,
+                        vc: v,
+                        state_before: before,
+                        state_after: after,
+                        ev_rc_done: ev_rc,
+                        ev_va_done: ev_va,
+                        ev_sa_won: ev_sa,
+                        head_kind,
+                        empty,
+                        out_port,
+                        out_vc,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `u64` helper: `trailing_zeros` as `Option`, bounded by `limit`.
+trait CheckedTz {
+    fn checked_trailing_zeros_lt(self, limit: u32) -> Option<u32>;
+}
+
+impl CheckedTz for u64 {
+    #[inline]
+    fn checked_trailing_zeros_lt(self, limit: u32) -> Option<u32> {
+        if self == 0 {
+            return None;
+        }
+        let tz = self.trailing_zeros();
+        (tz < limit).then_some(tz)
+    }
+}

@@ -1,0 +1,222 @@
+//! Routing Computation algorithms and the turn rules they induce.
+//!
+//! Two algorithms are provided, matching Section 5.1 (deterministic XY,
+//! the evaluation baseline) and Section 4.4 (an adaptive turn-model
+//! variant, demonstrating how the invariance set adapts to the routing
+//! function):
+//!
+//! * [`RoutingAlgorithm::XY`] — dimension-order: all X hops first, then Y.
+//!   Forbidden turns: any Y→X turn (invariance 1).
+//! * [`RoutingAlgorithm::WestFirst`] — all westward hops first; afterwards
+//!   the packet may never turn (back) to the West. Forbidden turns: N→W and
+//!   S→W.
+//!
+//! The *same* functions are used by the router's RC units and by the
+//! NoCAlert checkers (invariances 1–3): the checker re-derives legality
+//! from the algorithm definition, exactly as the paper derives assertions
+//! from "each functional rule in the algorithm".
+
+use noc_types::config::RoutingAlgorithm;
+use noc_types::geometry::{Coord, Direction, Mesh};
+
+/// Computes the output direction for a header at `cur` destined to `dest`.
+///
+/// Both algorithms implemented here are **minimal**: the returned direction
+/// always decreases the Manhattan distance, or is [`Direction::Local`] when
+/// `cur == dest`. This is the property invariance 3 asserts.
+pub fn route(alg: RoutingAlgorithm, cur: Coord, dest: Coord) -> Direction {
+    match alg {
+        RoutingAlgorithm::XY => {
+            if dest.x > cur.x {
+                Direction::East
+            } else if dest.x < cur.x {
+                Direction::West
+            } else if dest.y > cur.y {
+                Direction::North
+            } else if dest.y < cur.y {
+                Direction::South
+            } else {
+                Direction::Local
+            }
+        }
+        RoutingAlgorithm::WestFirst => {
+            if dest.x < cur.x {
+                Direction::West
+            } else if dest.x > cur.x {
+                // Deterministic preference among the adaptive options:
+                // East before the Y directions.
+                Direction::East
+            } else if dest.y > cur.y {
+                Direction::North
+            } else if dest.y < cur.y {
+                Direction::South
+            } else {
+                Direction::Local
+            }
+        }
+    }
+}
+
+/// Whether a turn from input port `in_port` to output direction `out` is
+/// permitted by the routing algorithm's turn model (invariance 1).
+///
+/// `in_port` is the port the flit *arrived on*: a flit arriving on the
+/// North input port is travelling southward. Injection (`in_port ==
+/// Local`) may start in any direction; ejection (`out == Local`) is always
+/// a legal "turn".
+pub fn turn_legal(alg: RoutingAlgorithm, in_port: Direction, out: Direction) -> bool {
+    if out == Direction::Local || in_port == Direction::Local {
+        return true;
+    }
+    // A u-turn (exiting back through the arrival link) is never legal.
+    if out == in_port {
+        return false;
+    }
+    match alg {
+        RoutingAlgorithm::XY => {
+            // Travelling along Y (arrived on N or S) may not turn to X.
+            !(in_port.is_y() && out.is_x())
+        }
+        RoutingAlgorithm::WestFirst => {
+            // Once not travelling west, never turn to West. A westbound
+            // flit arrives on the East port.
+            !(out == Direction::West && in_port != Direction::East)
+        }
+    }
+}
+
+/// Whether `out` takes a flit at `cur` strictly closer to `dest`
+/// (invariance 3: minimal progress). `Local` is productive iff arrived.
+pub fn productive(mesh: Mesh, cur: Coord, dest: Coord, out: Direction) -> bool {
+    if out == Direction::Local {
+        return cur == dest;
+    }
+    match cur.step(out, mesh.width(), mesh.height()) {
+        Some(next) => next.manhattan(dest) < cur.manhattan(dest),
+        None => false, // off-mesh is never productive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MESH: fn() -> Mesh = || Mesh::new(8, 8);
+
+    #[test]
+    fn xy_routes_x_first() {
+        let alg = RoutingAlgorithm::XY;
+        assert_eq!(
+            route(alg, Coord::new(1, 1), Coord::new(4, 5)),
+            Direction::East
+        );
+        assert_eq!(
+            route(alg, Coord::new(4, 1), Coord::new(4, 5)),
+            Direction::North
+        );
+        assert_eq!(
+            route(alg, Coord::new(4, 5), Coord::new(4, 5)),
+            Direction::Local
+        );
+        assert_eq!(
+            route(alg, Coord::new(4, 5), Coord::new(2, 5)),
+            Direction::West
+        );
+        assert_eq!(
+            route(alg, Coord::new(4, 5), Coord::new(4, 2)),
+            Direction::South
+        );
+    }
+
+    #[test]
+    fn west_first_goes_west_first() {
+        let alg = RoutingAlgorithm::WestFirst;
+        assert_eq!(
+            route(alg, Coord::new(5, 3), Coord::new(1, 7)),
+            Direction::West
+        );
+        assert_eq!(
+            route(alg, Coord::new(1, 3), Coord::new(1, 7)),
+            Direction::North
+        );
+    }
+
+    #[test]
+    fn xy_turn_rules_match_paper_example() {
+        // Figure 2(a): a packet arriving from the Y dimension (N or S input
+        // ports) may not turn into the X dimension (E or W outputs).
+        let alg = RoutingAlgorithm::XY;
+        assert!(!turn_legal(alg, Direction::North, Direction::East));
+        assert!(!turn_legal(alg, Direction::South, Direction::West));
+        assert!(turn_legal(alg, Direction::East, Direction::North));
+        assert!(turn_legal(alg, Direction::West, Direction::South));
+        assert!(turn_legal(alg, Direction::North, Direction::South));
+        assert!(turn_legal(alg, Direction::Local, Direction::East));
+        assert!(turn_legal(alg, Direction::North, Direction::Local));
+    }
+
+    #[test]
+    fn u_turns_are_illegal() {
+        for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::WestFirst] {
+            for d in Direction::ALL {
+                if d.is_cardinal() {
+                    assert!(!turn_legal(alg, d, d), "{alg:?} {d} u-turn");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_turn_rules() {
+        let alg = RoutingAlgorithm::WestFirst;
+        assert!(!turn_legal(alg, Direction::North, Direction::West));
+        assert!(!turn_legal(alg, Direction::South, Direction::West));
+        assert!(turn_legal(alg, Direction::East, Direction::West));
+        assert!(turn_legal(alg, Direction::Local, Direction::West));
+        assert!(turn_legal(alg, Direction::North, Direction::East));
+    }
+
+    #[test]
+    fn productive_detects_progress() {
+        let mesh = MESH();
+        let cur = Coord::new(3, 3);
+        let dest = Coord::new(5, 3);
+        assert!(productive(mesh, cur, dest, Direction::East));
+        assert!(!productive(mesh, cur, dest, Direction::West));
+        assert!(!productive(mesh, cur, dest, Direction::North));
+        assert!(!productive(mesh, cur, dest, Direction::Local));
+        assert!(productive(mesh, dest, dest, Direction::Local));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_routes_are_minimal_and_legal(
+            alg_xy in proptest::bool::ANY,
+            sx in 0u8..8, sy in 0u8..8, dx in 0u8..8, dy in 0u8..8,
+        ) {
+            let alg = if alg_xy { RoutingAlgorithm::XY } else { RoutingAlgorithm::WestFirst };
+            let mesh = MESH();
+            let mut cur = Coord::new(sx, sy);
+            let dest = Coord::new(dx, dy);
+            let mut in_port = Direction::Local;
+            let mut hops = 0;
+            loop {
+                let out = route(alg, cur, dest);
+                prop_assert!(productive(mesh, cur, dest, out),
+                    "unproductive hop {out} at {cur} toward {dest}");
+                prop_assert!(turn_legal(alg, in_port, out),
+                    "illegal turn {in_port}->{out} at {cur}");
+                if out == Direction::Local {
+                    break;
+                }
+                cur = cur.step(out, 8, 8).unwrap();
+                in_port = out.opposite();
+                hops += 1;
+                prop_assert!(hops <= 14, "route did not converge");
+            }
+            prop_assert_eq!(cur, dest);
+            prop_assert_eq!(hops, Coord::new(sx, sy).manhattan(dest));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The signal catalogue: widths and live bits of every module wire.
+//!
+//! One source of truth for the fault-injection surface (Section 5.2 /
+//! Figure 5 of the paper): the same tables drive the campaign's exhaustive
+//! site enumeration and are, by the coverage test in `tests/`, guaranteed
+//! to match the hooks the router actually evaluates. Routers at mesh edges
+//! and corners have dead ports, so they expose fewer sites — which is why
+//! the paper counts 11,808 sites in an 8×8 mesh instead of 64× the
+//! interior-router count.
+
+use noc_types::config::NocConfig;
+use noc_types::geometry::{Direction, NodeId};
+use noc_types::site::{SignalKind, SiteRef};
+
+/// Nominal width in bits of a signal under `cfg` (ignoring liveness).
+pub fn signal_width(cfg: &NocConfig, sig: SignalKind) -> u8 {
+    use SignalKind::*;
+    match sig {
+        RcDestX | RcDestY => cfg.coord_bits(),
+        RcHeadValid => 1,
+        RcOutDir | VcOutPort => 3,
+        Va1Req | Va1Grant | Sa1Req | Sa1Grant => cfg.vcs_per_port,
+        Va2Req | Va2Grant | Sa2Req | Sa2Grant | XbarCol | XbarGrantIn => Direction::COUNT as u8,
+        Va2OutVc | VcOutVc => cfg.vc_bits(),
+        VcEvRcDone | VcEvVaDone | VcEvSaWon | BufWrite | BufRead | BufEmpty | BufFull => 1,
+        VcStateCode | BufHeadKind => 2,
+    }
+}
+
+/// True when `sig` is a vector indexed by *input port* (so its live bits
+/// depend on the router's position and exclude the module's own port —
+/// there is no u-turn wire in the canonical router).
+fn port_indexed(sig: SignalKind) -> bool {
+    use SignalKind::*;
+    matches!(
+        sig,
+        Va2Req | Va2Grant | Sa2Req | Sa2Grant | XbarCol | XbarGrantIn
+    )
+}
+
+/// The physically existing bit positions of `sig` for the module instance
+/// at `(router, module_port)`.
+pub fn live_bits(cfg: &NocConfig, router: NodeId, module_port: u8, sig: SignalKind) -> Vec<u8> {
+    if port_indexed(sig) {
+        Direction::ALL
+            .iter()
+            .filter(|d| {
+                d.index() as u8 != module_port && cfg.mesh.port_live(router, **d)
+            })
+            .map(|d| d.index() as u8)
+            .collect()
+    } else {
+        (0..signal_width(cfg, sig)).collect()
+    }
+}
+
+/// Enumerates every injectable site of one router.
+pub fn enumerate_router_sites(cfg: &NocConfig, router: NodeId) -> Vec<SiteRef> {
+    let mut sites = Vec::new();
+    for sig in SignalKind::ALL {
+        let module = sig.module();
+        for dir in Direction::ALL {
+            if !cfg.mesh.port_live(router, dir) {
+                continue;
+            }
+            let port = dir.index() as u8;
+            let vcs: &[u8] = if module.per_vc() {
+                // One instance per (port, vc).
+                &VC_INDICES[..cfg.vcs_per_port as usize]
+            } else {
+                &VC_INDICES[..1]
+            };
+            for &vc in vcs {
+                for bit in live_bits(cfg, router, port, sig) {
+                    sites.push(SiteRef {
+                        router: router.0,
+                        port,
+                        vc,
+                        signal: sig,
+                        bit,
+                    });
+                }
+            }
+        }
+    }
+    sites
+}
+
+const VC_INDICES: [u8; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+
+/// Enumerates every injectable site of the whole mesh — the full campaign
+/// universe (the paper's "11,808 possible fault locations in an 8×8 mesh";
+/// our module decomposition is finer-grained, see EXPERIMENTS.md).
+pub fn enumerate_all_sites(cfg: &NocConfig) -> Vec<SiteRef> {
+    cfg.mesh
+        .nodes()
+        .flat_map(|n| enumerate_router_sites(cfg, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::geometry::Coord;
+    use noc_types::site::ModuleClass;
+    use std::collections::HashSet;
+
+    #[test]
+    fn widths_are_config_sensitive() {
+        let cfg = NocConfig::paper_baseline();
+        assert_eq!(signal_width(&cfg, SignalKind::RcDestX), 3);
+        assert_eq!(signal_width(&cfg, SignalKind::Va1Req), 4);
+        assert_eq!(signal_width(&cfg, SignalKind::Va2OutVc), 2);
+        let mut cfg8 = cfg.clone();
+        cfg8.vcs_per_port = 8;
+        assert_eq!(signal_width(&cfg8, SignalKind::Sa1Grant), 8);
+        assert_eq!(signal_width(&cfg8, SignalKind::VcOutVc), 3);
+    }
+
+    #[test]
+    fn port_indexed_bits_exclude_self_and_dead() {
+        let cfg = NocConfig::paper_baseline();
+        // Interior router: all 5 ports live; Va2 at East excludes East.
+        let interior = cfg.mesh.node(Coord::new(3, 3));
+        let bits = live_bits(&cfg, interior, Direction::East.index() as u8, SignalKind::Va2Req);
+        assert_eq!(bits, vec![0, 2, 3, 4]);
+        // SW corner: North, East, Local live.
+        let corner = cfg.mesh.node(Coord::new(0, 0));
+        let bits = live_bits(&cfg, corner, Direction::North.index() as u8, SignalKind::Sa2Grant);
+        assert_eq!(bits, vec![1, 4]);
+    }
+
+    #[test]
+    fn enumeration_is_unique_and_ordered_by_router() {
+        let cfg = NocConfig::small_test();
+        let sites = enumerate_all_sites(&cfg);
+        let set: HashSet<_> = sites.iter().collect();
+        assert_eq!(set.len(), sites.len(), "sites must be unique");
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn corner_routers_have_fewer_sites() {
+        let cfg = NocConfig::paper_baseline();
+        let corner = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(0, 0))).len();
+        let edge = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(3, 0))).len();
+        let interior = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(3, 3))).len();
+        assert!(corner < edge && edge < interior, "{corner} {edge} {interior}");
+    }
+
+    #[test]
+    fn mesh_total_counts_sum_per_router() {
+        let cfg = NocConfig::small_test();
+        let total = enumerate_all_sites(&cfg).len();
+        let sum: usize = cfg
+            .mesh
+            .nodes()
+            .map(|n| enumerate_router_sites(&cfg, n).len())
+            .sum();
+        assert_eq!(total, sum);
+    }
+
+    #[test]
+    fn sites_respect_module_addressing() {
+        let cfg = NocConfig::paper_baseline();
+        for s in enumerate_router_sites(&cfg, NodeId(0)) {
+            let m = s.signal.module();
+            if m.per_vc() {
+                assert!(s.vc < cfg.vcs_per_port);
+            } else {
+                assert_eq!(s.vc, 0);
+            }
+            assert!(s.port < 5);
+            assert!(
+                s.bit < signal_width(&cfg, s.signal),
+                "bit {} out of width for {:?}",
+                s.bit,
+                s.signal
+            );
+            let _ = ModuleClass::ALL; // module classes all reachable
+        }
+    }
+}

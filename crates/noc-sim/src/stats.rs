@@ -1,0 +1,177 @@
+//! Network-performance instrumentation: an observer that builds latency
+//! histograms and per-node throughput accounting.
+//!
+//! The fault campaign does not need this — it reasons about correctness,
+//! not performance — but a NoC substrate is only credible if it exhibits
+//! the classic load/latency behaviour, and the performance examples and
+//! ablation benches measure exactly that through [`StatsCollector`].
+
+use crate::network::Observer;
+use noc_types::record::EjectEvent;
+use noc_types::{Cycle, Flit};
+use serde::{Deserialize, Serialize};
+
+/// Latency histogram with power-of-two-ish buckets plus exact percentile
+/// support over a bounded reservoir.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyStats {
+    /// Record one latency sample.
+    pub fn record(&mut self, lat: u64) {
+        // Bounded reservoir: plenty for percentile estimates, O(1) memory.
+        if self.samples.len() < 1 << 20 {
+            self.samples.push(lat);
+        }
+        self.sum += lat;
+        self.max = self.max.max(lat);
+    }
+
+    /// Number of samples recorded (capped count).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (0–100) of the recorded samples.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+/// Observer accumulating network-performance statistics.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCollector {
+    /// Flit latency (generation → ejection), all flits.
+    pub flit_latency: LatencyStats,
+    /// Packet latency (generation → tail ejection).
+    pub packet_latency: LatencyStats,
+    /// Flits ejected per node.
+    pub per_node_ejected: Vec<u64>,
+    /// Total flits injected.
+    pub injected: u64,
+    /// Total flits ejected.
+    pub ejected: u64,
+    first_cycle: Option<Cycle>,
+    last_cycle: Cycle,
+}
+
+impl StatsCollector {
+    /// A fresh collector.
+    pub fn new() -> StatsCollector {
+        StatsCollector::default()
+    }
+
+    /// Accepted throughput in flits/cycle over the observed window.
+    pub fn throughput(&self) -> f64 {
+        match self.first_cycle {
+            Some(f) if self.last_cycle > f => {
+                self.ejected as f64 / (self.last_cycle - f) as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl Observer for StatsCollector {
+    fn on_inject(&mut self, cycle: Cycle, _flit: &Flit) {
+        self.first_cycle.get_or_insert(cycle);
+        self.last_cycle = self.last_cycle.max(cycle);
+        self.injected += 1;
+    }
+
+    fn on_eject(&mut self, ev: &EjectEvent) {
+        self.first_cycle.get_or_insert(ev.cycle);
+        self.last_cycle = self.last_cycle.max(ev.cycle);
+        self.ejected += 1;
+        let node = ev.node.index();
+        if self.per_node_ejected.len() <= node {
+            self.per_node_ejected.resize(node + 1, 0);
+        }
+        self.per_node_ejected[node] += 1;
+        let lat = ev.cycle.saturating_sub(ev.flit.injected_at);
+        self.flit_latency.record(lat);
+        if ev.flit.is_tail() {
+            self.packet_latency.record(lat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use noc_types::NocConfig;
+
+    #[test]
+    fn percentiles_and_mean() {
+        let mut l = LatencyStats::default();
+        for i in 1..=100 {
+            l.record(i);
+        }
+        assert_eq!(l.len(), 100);
+        assert!((l.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(l.percentile(0.0), 1);
+        assert_eq!(l.percentile(50.0), 51);
+        assert_eq!(l.percentile(100.0), 100);
+        assert_eq!(l.max(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let l = LatencyStats::default();
+        assert!(l.is_empty());
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.percentile(99.0), 0);
+        let s = StatsCollector::new();
+        assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn collector_tracks_a_real_run() {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.08;
+        let mut net = Network::new(cfg);
+        let mut stats = StatsCollector::new();
+        for _ in 0..4_000 {
+            net.step_observed(&mut stats);
+        }
+        assert!(stats.injected > 0);
+        assert!(stats.ejected > 0);
+        assert!(stats.flit_latency.mean() > 5.0);
+        assert!(stats.packet_latency.mean() >= stats.flit_latency.percentile(0.0) as f64);
+        assert!(stats.throughput() > 0.0);
+        // Tail percentiles dominate the median under congestion-free load.
+        assert!(stats.flit_latency.percentile(99.0) >= stats.flit_latency.percentile(50.0));
+        // Every node of the 4×4 mesh received something at this load.
+        assert!(stats.per_node_ejected.iter().filter(|&&n| n > 0).count() >= 12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic traffic patterns (Section 5.1: "synthetic traffic patterns …
+//! suffice to accurately capture the salient characteristics").
+//!
+//! Destination selection is a pure function of `(pattern, mesh, source,
+//! rng)`; because every node draws from its own deterministic RNG stream
+//! every cycle regardless of network state, the *generated packet stream*
+//! of a faulty run is bit-identical to its golden reference — only delivery
+//! timing may differ.
+
+use noc_types::config::TrafficPattern;
+use noc_types::geometry::{Coord, Mesh, NodeId};
+use rand::Rng;
+
+/// Picks the destination for a new packet from `src`, or `None` when the
+/// pattern gives this source no partner (e.g. the transpose diagonal).
+pub fn pick_destination<R: Rng>(
+    pattern: TrafficPattern,
+    mesh: Mesh,
+    src: NodeId,
+    hotspot_fraction: f64,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let c = mesh.coord(src);
+    let (w, h) = (mesh.width(), mesh.height());
+    let dest = match pattern {
+        TrafficPattern::UniformRandom => {
+            let mut d = src;
+            // Mesh has ≥1 node; with 1 node there is no partner.
+            if mesh.len() == 1 {
+                return None;
+            }
+            while d == src {
+                d = NodeId(rng.gen_range(0..mesh.len() as u16));
+            }
+            d
+        }
+        TrafficPattern::Transpose => {
+            let t = Coord::new(c.y.min(w - 1), c.x.min(h - 1));
+            mesh.node(t)
+        }
+        TrafficPattern::BitComplement => mesh.node(Coord::new(w - 1 - c.x, h - 1 - c.y)),
+        TrafficPattern::Tornado => mesh.node(Coord::new((c.x + w / 2) % w, c.y)),
+        TrafficPattern::Hotspot => {
+            let hotspot = mesh.node(Coord::new(w / 2, h / 2));
+            if rng.gen::<f64>() < hotspot_fraction && hotspot != src {
+                hotspot
+            } else {
+                let mut d = src;
+                if mesh.len() == 1 {
+                    return None;
+                }
+                while d == src {
+                    d = NodeId(rng.gen_range(0..mesh.len() as u16));
+                }
+                d
+            }
+        }
+        TrafficPattern::Neighbor => mesh.node(Coord::new((c.x + 1) % w, c.y)),
+    };
+    (dest != src).then_some(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = rng();
+        for n in mesh.nodes() {
+            for _ in 0..20 {
+                let d =
+                    pick_destination(TrafficPattern::UniformRandom, mesh, n, 0.0, &mut r).unwrap();
+                assert_ne!(d, n);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = rng();
+        let src = mesh.node(Coord::new(1, 3));
+        let d = pick_destination(TrafficPattern::Transpose, mesh, src, 0.0, &mut r).unwrap();
+        assert_eq!(mesh.coord(d), Coord::new(3, 1));
+        // Diagonal nodes have no partner.
+        let diag = mesh.node(Coord::new(2, 2));
+        assert_eq!(
+            pick_destination(TrafficPattern::Transpose, mesh, diag, 0.0, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_complement_mirrors() {
+        let mesh = Mesh::new(8, 8);
+        let mut r = rng();
+        let src = mesh.node(Coord::new(0, 0));
+        let d = pick_destination(TrafficPattern::BitComplement, mesh, src, 0.0, &mut r).unwrap();
+        assert_eq!(mesh.coord(d), Coord::new(7, 7));
+    }
+
+    #[test]
+    fn tornado_shifts_half_width() {
+        let mesh = Mesh::new(8, 8);
+        let mut r = rng();
+        let src = mesh.node(Coord::new(2, 5));
+        let d = pick_destination(TrafficPattern::Tornado, mesh, src, 0.0, &mut r).unwrap();
+        assert_eq!(mesh.coord(d), Coord::new(6, 5));
+    }
+
+    #[test]
+    fn neighbor_wraps_east() {
+        let mesh = Mesh::new(4, 4);
+        let mut r = rng();
+        let src = mesh.node(Coord::new(3, 1));
+        let d = pick_destination(TrafficPattern::Neighbor, mesh, src, 0.0, &mut r).unwrap();
+        assert_eq!(mesh.coord(d), Coord::new(0, 1));
+    }
+
+    #[test]
+    fn hotspot_targets_center_often() {
+        let mesh = Mesh::new(8, 8);
+        let mut r = rng();
+        let src = mesh.node(Coord::new(0, 0));
+        let hotspot = mesh.node(Coord::new(4, 4));
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if pick_destination(TrafficPattern::Hotspot, mesh, src, 0.5, &mut r) == Some(hotspot) {
+                hits += 1;
+            }
+        }
+        // ~50% + uniform residue; loose bound.
+        assert!(hits > 350, "hotspot hits {hits}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh::new(8, 8);
+        let src = NodeId(5);
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(
+                pick_destination(TrafficPattern::UniformRandom, mesh, src, 0.0, &mut a),
+                pick_destination(TrafficPattern::UniformRandom, mesh, src, 0.0, &mut b)
+            );
+        }
+    }
+}

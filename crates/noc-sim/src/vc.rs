@@ -1,0 +1,217 @@
+//! Per-VC pipeline state and per-output-port allocation bookkeeping.
+//!
+//! Each input VC owns a status table (Figure 2(b) of the paper): a 2-bit
+//! pipeline state plus the latched RC result (output port) and VA result
+//! (downstream VC). The state is stored **as raw bits** and every use goes
+//! through the fault plane, so a flipped state register misbehaves in every
+//! stage that reads it — the consistency checks of invariance 17 exist
+//! precisely because of this failure mode.
+
+use crate::buffer::VcBuffer;
+use serde::{Deserialize, Serialize};
+
+/// Raw state encodings of the 2-bit VC pipeline state register.
+pub mod state {
+    /// VC is free: no packet owns it.
+    pub const IDLE: u64 = 0;
+    /// A header is buffered and awaits Routing Computation.
+    pub const ROUTING: u64 = 1;
+    /// RC done ("VA done = 0" in Figure 2(b)); awaiting VC allocation.
+    pub const VA_PENDING: u64 = 2;
+    /// VA done; flits contend for the switch.
+    pub const ACTIVE: u64 = 3;
+}
+
+/// One virtual channel of an input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualChannel {
+    /// The flit FIFO.
+    pub buffer: VcBuffer,
+    /// Raw 2-bit pipeline state (see [`state`]).
+    pub state: u64,
+    /// Raw 3-bit latched RC output direction.
+    pub out_port: u64,
+    /// Raw latched downstream VC index.
+    pub out_vc: u64,
+    /// Flits of the current packet that have arrived (for invariance 28).
+    pub arrived: u16,
+    /// Whether the previously written flit was a tail (for invariance 27);
+    /// starts `true` so the first flit into a fresh VC must be a header.
+    pub prev_written_was_tail: bool,
+}
+
+impl VirtualChannel {
+    /// A fresh, idle VC with a buffer of `depth` slots.
+    pub fn new(depth: u8) -> VirtualChannel {
+        VirtualChannel {
+            buffer: VcBuffer::new(depth),
+            state: state::IDLE,
+            out_port: 0,
+            out_vc: 0,
+            arrived: 0,
+            prev_written_was_tail: true,
+        }
+    }
+
+    /// Resets the table after the current packet's tail has left.
+    ///
+    /// Write-side bookkeeping (`arrived`, `prev_written_was_tail`) is *not*
+    /// touched: with non-atomic buffers the next packet may already be
+    /// arriving while this one drains.
+    pub fn release(&mut self) {
+        self.state = state::IDLE;
+        self.out_port = 0;
+        self.out_vc = 0;
+    }
+}
+
+/// Downstream bookkeeping of one output port: which downstream VCs are
+/// allocatable and how many buffer slots (credits) each has left.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputPort {
+    /// False for off-mesh (edge/corner) ports: no neighbour exists.
+    pub live: bool,
+    /// Per downstream VC: free for a new wormhole?
+    pub free: Vec<bool>,
+    /// Per downstream VC: remaining credits.
+    pub credits: Vec<u8>,
+    /// Per downstream VC: the local input `(port, vc)` currently holding
+    /// the allocation (diagnostics; not a wire).
+    pub owner: Vec<Option<(u8, u8)>>,
+}
+
+impl OutputPort {
+    /// A live/dead output port toward a neighbour with `vcs` VCs of
+    /// `depth`-flit buffers.
+    pub fn new(live: bool, vcs: u8, depth: u8) -> OutputPort {
+        OutputPort {
+            live,
+            free: vec![live; vcs as usize],
+            credits: vec![if live { depth } else { 0 }; vcs as usize],
+            owner: vec![None; vcs as usize],
+        }
+    }
+
+    /// Bitmask over downstream VCs that are free (allocatable).
+    pub fn free_mask(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f)
+            .fold(0u64, |m, (i, _)| m | 1 << i)
+    }
+
+    /// Lowest free VC within `[lo, hi)` (a message-class partition).
+    pub fn lowest_free_in(&self, lo: u8, hi: u8) -> Option<u8> {
+        (lo..hi.min(self.free.len() as u8)).find(|&v| self.free[v as usize])
+    }
+
+    /// Marks `vc` allocated to `owner`. Out-of-range indices (which only a
+    /// fault can produce) are ignored — the demux simply selects nothing.
+    pub fn allocate(&mut self, vc: u64, owner: (u8, u8)) {
+        if let Some(slot) = self.free.get_mut(vc as usize) {
+            *slot = false;
+            self.owner[vc as usize] = Some(owner);
+        }
+    }
+
+    /// Releases `vc` for a new wormhole.
+    pub fn release(&mut self, vc: u64) {
+        if let Some(slot) = self.free.get_mut(vc as usize) {
+            *slot = true;
+            self.owner[vc as usize] = None;
+        }
+    }
+
+    /// Consumes one credit of `vc` (saturating: a faulty double-send cannot
+    /// underflow the counter).
+    pub fn consume_credit(&mut self, vc: u64) {
+        if let Some(c) = self.credits.get_mut(vc as usize) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Returns one credit of `vc`, capped at the buffer depth.
+    pub fn return_credit(&mut self, vc: u64, depth: u8) {
+        if let Some(c) = self.credits.get_mut(vc as usize) {
+            *c = (*c + 1).min(depth);
+        }
+    }
+
+    /// Whether `vc` has at least one credit. Out-of-range → `false`.
+    pub fn has_credit(&self, vc: u64) -> bool {
+        self.credits.get(vc as usize).is_some_and(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vc_is_idle_and_expects_header() {
+        let vc = VirtualChannel::new(5);
+        assert_eq!(vc.state, state::IDLE);
+        assert!(vc.prev_written_was_tail);
+        assert!(vc.buffer.is_empty());
+    }
+
+    #[test]
+    fn release_resets_table() {
+        let mut vc = VirtualChannel::new(5);
+        vc.state = state::ACTIVE;
+        vc.out_port = 3;
+        vc.out_vc = 2;
+        vc.arrived = 5;
+        vc.release();
+        assert_eq!(vc.state, state::IDLE);
+        assert_eq!(vc.out_port, 0);
+        assert_eq!(vc.arrived, 5, "write-side counter untouched by release");
+    }
+
+    #[test]
+    fn output_port_alloc_release_cycle() {
+        let mut op = OutputPort::new(true, 4, 5);
+        assert_eq!(op.free_mask(), 0b1111);
+        assert_eq!(op.lowest_free_in(2, 4), Some(2));
+        op.allocate(2, (1, 0));
+        assert_eq!(op.free_mask(), 0b1011);
+        assert_eq!(op.lowest_free_in(2, 4), Some(3));
+        assert_eq!(op.owner[2], Some((1, 0)));
+        op.release(2);
+        assert_eq!(op.free_mask(), 0b1111);
+        assert_eq!(op.owner[2], None);
+    }
+
+    #[test]
+    fn out_of_range_allocation_is_ignored() {
+        let mut op = OutputPort::new(true, 4, 5);
+        op.allocate(9, (0, 0));
+        assert_eq!(op.free_mask(), 0b1111);
+        op.release(9);
+        op.consume_credit(9);
+        assert!(!op.has_credit(9));
+    }
+
+    #[test]
+    fn credits_saturate_both_ways() {
+        let mut op = OutputPort::new(true, 2, 3);
+        assert!(op.has_credit(0));
+        for _ in 0..5 {
+            op.consume_credit(0);
+        }
+        assert!(!op.has_credit(0));
+        for _ in 0..10 {
+            op.return_credit(0, 3);
+        }
+        assert_eq!(op.credits[0], 3);
+    }
+
+    #[test]
+    fn dead_port_has_nothing() {
+        let op = OutputPort::new(false, 4, 5);
+        assert_eq!(op.free_mask(), 0);
+        assert!(!op.has_credit(0));
+        assert_eq!(op.lowest_free_in(0, 4), None);
+    }
+}

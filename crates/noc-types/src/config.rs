@@ -1,0 +1,317 @@
+//! Network and router configuration — the knobs of Section 3.1 / 5.1.
+//!
+//! The paper's baseline: 8×8 mesh, five-stage pipelined routers
+//! (RC → VA → SA → XBAR → LT), four 5-flit-deep VCs per input port,
+//! 128-bit links, atomic VC buffers, wormhole switching, credit-based flow
+//! control and deterministic XY routing. [`NocConfig::paper_baseline`]
+//! returns exactly that; everything is adjustable for the Section 4.4
+//! micro-architecture variations (non-atomic buffers, different VC counts,
+//! adaptive routing).
+
+use crate::geometry::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// Which routing algorithm routers run in their RC units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RoutingAlgorithm {
+    /// Deterministic dimension-order routing: X first, then Y. The paper's
+    /// evaluation default. Forbids Y→X turns (invariance 1).
+    #[default]
+    XY,
+    /// West-first partially-adaptive turn-model routing: all westward hops
+    /// are taken first; afterwards any productive non-west direction may be
+    /// chosen (we pick deterministically by congestion-free priority, but
+    /// the *legal set* is larger, which relaxes invariances 1/3 exactly as
+    /// Section 4.4 discusses).
+    WestFirst,
+}
+
+/// Atomic vs. non-atomic VC buffers (Section 3.1 / 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BufferPolicy {
+    /// A VC buffer may hold flits of a single packet at a time; a header may
+    /// only be written into a *free* VC. Enables invariance 26, disables 27.
+    #[default]
+    Atomic,
+    /// Flits of several packets may queue back-to-back (without mixing);
+    /// a tail flit must be followed by a header. Enables invariance 27,
+    /// disables 26.
+    NonAtomic,
+}
+
+/// Synthetic traffic patterns for the workload generator.
+///
+/// The paper's campaign uses uniform random; the rest are the standard
+/// synthetic suite used to stress different spatial distributions and are
+/// exercised by examples, tests and the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TrafficPattern {
+    /// Each packet picks a destination uniformly at random (≠ source).
+    #[default]
+    UniformRandom,
+    /// `(x, y) → (y, x)`.
+    Transpose,
+    /// `(x, y) → (W-1-x, H-1-y)`.
+    BitComplement,
+    /// `(x, y) → ((x + W/2) mod W, y)`.
+    Tornado,
+    /// A fraction of packets target a fixed hotspot node; the rest are
+    /// uniform random.
+    Hotspot,
+    /// Each node sends to its East neighbour (wrapping), a near-neighbour
+    /// pattern with minimal contention.
+    Neighbor,
+}
+
+/// Full configuration of a simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh topology.
+    pub mesh: Mesh,
+    /// Virtual channels per input port (paper sweeps 2–8; baseline 4).
+    pub vcs_per_port: u8,
+    /// Buffer depth per VC, in flits (baseline 5).
+    pub buffer_depth: u8,
+    /// Link width in bits (baseline 128) — only the hardware model cares.
+    pub link_width_bits: u16,
+    /// Number of protocol message classes; VCs are partitioned evenly among
+    /// classes. Must divide `vcs_per_port`.
+    pub message_classes: u8,
+    /// Flits per packet, per message class (index = class). All packets of a
+    /// class have the same length — the premise of invariance 28.
+    pub packet_lengths: Vec<u16>,
+    /// Atomic or non-atomic VC buffers.
+    pub buffer_policy: BufferPolicy,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Speculative pipeline (Section 4.4): VA and SA execute in parallel —
+    /// a VC may bid for the switch while its VC allocation is still
+    /// pending; the traversal is squashed if allocation fails. Invariance
+    /// 17 is relaxed accordingly ("SA success before VA is done" becomes
+    /// legal).
+    pub speculative: bool,
+    /// Traffic pattern.
+    pub traffic: TrafficPattern,
+    /// Offered load in flits/node/cycle (converted internally to a packet
+    /// injection probability).
+    pub injection_rate: f64,
+    /// Fraction of hotspot traffic when `traffic == Hotspot`.
+    pub hotspot_fraction: f64,
+    /// Flits the ejection NIC can sink per cycle (baseline 1).
+    pub ejection_rate: u8,
+    /// Master RNG seed; every stochastic choice derives from it, so two runs
+    /// with equal configs produce identical traffic.
+    pub seed: u64,
+}
+
+impl NocConfig {
+    /// The paper's evaluation baseline (Section 5.1): 8×8 mesh, 4 VCs,
+    /// 5-flit buffers, 128-bit links, atomic buffers, XY routing, uniform
+    /// random traffic.
+    pub fn paper_baseline() -> NocConfig {
+        NocConfig {
+            mesh: Mesh::new(8, 8),
+            vcs_per_port: 4,
+            buffer_depth: 5,
+            link_width_bits: 128,
+            message_classes: 2,
+            packet_lengths: vec![5, 5],
+            buffer_policy: BufferPolicy::Atomic,
+            routing: RoutingAlgorithm::XY,
+            speculative: false,
+            traffic: TrafficPattern::UniformRandom,
+            injection_rate: 0.1,
+            hotspot_fraction: 0.2,
+            ejection_rate: 1,
+            seed: 0x0C0A_11E7,
+        }
+    }
+
+    /// A small 4×4 configuration for fast tests.
+    pub fn small_test() -> NocConfig {
+        NocConfig {
+            mesh: Mesh::new(4, 4),
+            ..NocConfig::paper_baseline()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field when a knob is
+    /// out of range or fields disagree (e.g. `message_classes` does not
+    /// divide `vcs_per_port`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.vcs_per_port == 0 || self.vcs_per_port > 16 {
+            return Err(ConfigError::new("vcs_per_port must be in 1..=16"));
+        }
+        if self.buffer_depth == 0 {
+            return Err(ConfigError::new("buffer_depth must be non-zero"));
+        }
+        if self.message_classes == 0 || !self.vcs_per_port.is_multiple_of(self.message_classes) {
+            return Err(ConfigError::new(
+                "message_classes must be non-zero and divide vcs_per_port",
+            ));
+        }
+        if self.packet_lengths.len() != self.message_classes as usize {
+            return Err(ConfigError::new(
+                "packet_lengths must have one entry per message class",
+            ));
+        }
+        if self.packet_lengths.contains(&0) {
+            return Err(ConfigError::new("packet lengths must be non-zero"));
+        }
+        if !(0.0..=1.0).contains(&self.injection_rate) {
+            return Err(ConfigError::new("injection_rate must be within [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.hotspot_fraction) {
+            return Err(ConfigError::new("hotspot_fraction must be within [0, 1]"));
+        }
+        if self.ejection_rate == 0 {
+            return Err(ConfigError::new("ejection_rate must be non-zero"));
+        }
+        Ok(())
+    }
+
+    /// VCs per message class (`vcs_per_port / message_classes`).
+    #[inline]
+    pub fn vcs_per_class(&self) -> u8 {
+        self.vcs_per_port / self.message_classes
+    }
+
+    /// The message class a VC index belongs to.
+    ///
+    /// VCs are partitioned contiguously: with 4 VCs and 2 classes, VCs 0–1
+    /// serve class 0 and VCs 2–3 serve class 1. Out-of-range `vc` values
+    /// (which a fault can fabricate) are clamped into the last class.
+    #[inline]
+    pub fn class_of_vc(&self, vc: u8) -> u8 {
+        (vc / self.vcs_per_class()).min(self.message_classes - 1)
+    }
+
+    /// The VC index range `[lo, hi)` serving a message class.
+    #[inline]
+    pub fn vc_range_of_class(&self, class: u8) -> (u8, u8) {
+        let per = self.vcs_per_class();
+        (class * per, (class + 1) * per)
+    }
+
+    /// Packet length for a class; out-of-range classes clamp to class 0
+    /// (a faulty class field must still map to *some* expected length).
+    #[inline]
+    pub fn packet_len(&self, class: u8) -> u16 {
+        self.packet_lengths
+            .get(class as usize)
+            .copied()
+            .unwrap_or(self.packet_lengths[0])
+    }
+
+    /// Bits needed to address a VC (`ceil(log2(vcs_per_port))`, min 1).
+    #[inline]
+    pub fn vc_bits(&self) -> u8 {
+        let mut bits = 1;
+        while (1u16 << bits) < self.vcs_per_port as u16 {
+            bits += 1;
+        }
+        bits
+    }
+
+    /// Bits needed for one mesh coordinate (`ceil(log2(max(w,h)))`, min 1).
+    #[inline]
+    pub fn coord_bits(&self) -> u8 {
+        let m = self.mesh.width().max(self.mesh.height());
+        let mut bits = 1;
+        while (1u16 << bits) < m as u16 {
+            bits += 1;
+        }
+        bits
+    }
+}
+
+/// Error returned by [`NocConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    fn new(message: &'static str) -> ConfigError {
+        ConfigError { message }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid NoC configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid_and_matches_paper() {
+        let c = NocConfig::paper_baseline();
+        c.validate().unwrap();
+        assert_eq!(c.mesh.len(), 64);
+        assert_eq!(c.vcs_per_port, 4);
+        assert_eq!(c.buffer_depth, 5);
+        assert_eq!(c.link_width_bits, 128);
+        assert_eq!(c.routing, RoutingAlgorithm::XY);
+        assert_eq!(c.buffer_policy, BufferPolicy::Atomic);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let mut c = NocConfig::paper_baseline();
+        c.vcs_per_port = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = NocConfig::paper_baseline();
+        c.message_classes = 3; // does not divide 4
+        assert!(c.validate().is_err());
+
+        let mut c = NocConfig::paper_baseline();
+        c.packet_lengths = vec![5]; // one entry, two classes
+        assert!(c.validate().is_err());
+
+        let mut c = NocConfig::paper_baseline();
+        c.injection_rate = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = NocConfig::paper_baseline();
+        c.buffer_depth = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn vc_class_partition() {
+        let c = NocConfig::paper_baseline();
+        assert_eq!(c.vcs_per_class(), 2);
+        assert_eq!(c.class_of_vc(0), 0);
+        assert_eq!(c.class_of_vc(1), 0);
+        assert_eq!(c.class_of_vc(2), 1);
+        assert_eq!(c.class_of_vc(3), 1);
+        // Fault-fabricated out-of-range VC clamps.
+        assert_eq!(c.class_of_vc(250), 1);
+        assert_eq!(c.vc_range_of_class(0), (0, 2));
+        assert_eq!(c.vc_range_of_class(1), (2, 4));
+    }
+
+    #[test]
+    fn bit_widths() {
+        let c = NocConfig::paper_baseline();
+        assert_eq!(c.vc_bits(), 2);
+        assert_eq!(c.coord_bits(), 3);
+
+        let mut c2 = c.clone();
+        c2.vcs_per_port = 8;
+        c2.message_classes = 2;
+        c2.packet_lengths = vec![5, 5];
+        assert_eq!(c2.vc_bits(), 3);
+    }
+}

@@ -1,0 +1,250 @@
+//! Flits and packets — the units of flow control and routing.
+//!
+//! Per Section 3.1 of the paper, the network is wormhole-switched: a packet
+//! is a worm of flits led by a **header** flit (the only flit that carries
+//! routing information and goes through the RC and VA pipeline stages) and
+//! closed by a **tail** flit. The paper's network-correctness rules are
+//! stated *at the flit level* (Section 4.1), so flits carry enough identity
+//! (`packet`, `seq`, a globally unique `uid`) for the golden-reference
+//! oracle to detect drops, duplicates, misdeliveries, reorderings and
+//! packet mixing.
+
+use crate::geometry::NodeId;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique packet identifier (unique per simulation run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Position of a flit within its packet's worm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// First flit: carries destination, triggers RC and VA.
+    Head,
+    /// Middle flit: follows the wormhole set up by the header.
+    Body,
+    /// Last flit: tears the wormhole down.
+    Tail,
+    /// Single-flit packet: header and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for `Head` and `HeadTail`.
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for `Tail` and `HeadTail`.
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+
+    /// 2-bit wire encoding (observed by buffer-state checkers).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        match self {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        }
+    }
+}
+
+/// How a flit came to exist.
+///
+/// The paper observes (Section 4.1) that a faulty read of an "empty" buffer
+/// slot forwards stale garbage — *"a new flit may be generated"*. We track
+/// provenance so the golden-reference oracle can charge such flits to the
+/// **no-new-flit-generation** correctness rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlitOrigin {
+    /// Injected by a network interface as part of normal traffic.
+    Injected,
+    /// Fabricated by reading a buffer slot that should have been empty —
+    /// physically this re-transmits whatever stale bits the slot held.
+    StaleReplay,
+}
+
+/// The unit of flow control.
+///
+/// Fields model the flit's *control overhead* (the payload itself is assumed
+/// protected by error-detecting codes, per Section 3.3 of the paper, and is
+/// represented only by identity). `corrupted` marks datapath collisions
+/// (e.g. a non-one-hot crossbar column ORing two flits together) that the
+/// oracle counts as data corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flit {
+    /// Globally unique flit identity (never reused within a run).
+    pub uid: u64,
+    /// Owning packet.
+    pub packet: PacketId,
+    /// 0-based position within the packet.
+    pub seq: u16,
+    /// Head/Body/Tail/HeadTail.
+    pub kind: FlitKind,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node (valid on every flit for oracle purposes; hardware
+    /// would only carry it in the header).
+    pub dest: NodeId,
+    /// Protocol-level message class (selects the VC partition).
+    pub class: u8,
+    /// Cycle at which the packet was handed to the source NI.
+    pub injected_at: Cycle,
+    /// Provenance: injected traffic or fault-fabricated stale replay.
+    pub origin: FlitOrigin,
+    /// Set when the flit's contents were damaged by a datapath collision.
+    pub corrupted: bool,
+}
+
+impl Flit {
+    /// True for `Head` and `HeadTail` flits.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.kind.is_head()
+    }
+
+    /// True for `Tail` and `HeadTail` flits.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.kind.is_tail()
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]{:?} {}->{}",
+            self.packet, self.seq, self.kind, self.src, self.dest
+        )
+    }
+}
+
+/// Builds the flits of one packet.
+///
+/// `len == 1` produces a single `HeadTail` flit; longer packets produce
+/// `Head`, `Body…`, `Tail`. Flit uids are `first_uid..first_uid + len`.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use noc_types::flit::{make_packet, FlitKind, PacketId};
+/// use noc_types::geometry::NodeId;
+///
+/// let flits = make_packet(PacketId(7), 100, NodeId(0), NodeId(5), 0, 3, 42);
+/// assert_eq!(flits.len(), 3);
+/// assert_eq!(flits[0].kind, FlitKind::Head);
+/// assert_eq!(flits[1].kind, FlitKind::Body);
+/// assert_eq!(flits[2].kind, FlitKind::Tail);
+/// ```
+pub fn make_packet(
+    packet: PacketId,
+    first_uid: u64,
+    src: NodeId,
+    dest: NodeId,
+    class: u8,
+    len: u16,
+    injected_at: Cycle,
+) -> Vec<Flit> {
+    assert!(len > 0, "packet length must be at least one flit");
+    (0..len)
+        .map(|seq| Flit {
+            uid: first_uid + seq as u64,
+            packet,
+            seq,
+            kind: if len == 1 {
+                FlitKind::HeadTail
+            } else if seq == 0 {
+                FlitKind::Head
+            } else if seq == len - 1 {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            },
+            src,
+            dest,
+            class,
+            injected_at,
+            origin: FlitOrigin::Injected,
+            corrupted: false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(FlitKind::Head.is_head() && !FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail() && !FlitKind::Tail.is_head());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn kind_bits_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in [
+            FlitKind::Head,
+            FlitKind::Body,
+            FlitKind::Tail,
+            FlitKind::HeadTail,
+        ] {
+            assert!(seen.insert(k.bits()));
+            assert!(k.bits() < 4);
+        }
+    }
+
+    #[test]
+    fn make_packet_structure() {
+        let flits = make_packet(PacketId(1), 10, NodeId(0), NodeId(3), 1, 5, 0);
+        assert_eq!(flits.len(), 5);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[4].kind, FlitKind::Tail);
+        for (i, f) in flits.iter().enumerate() {
+            assert_eq!(f.seq as usize, i);
+            assert_eq!(f.uid, 10 + i as u64);
+            assert_eq!(f.class, 1);
+            assert_eq!(f.origin, FlitOrigin::Injected);
+            assert!(!f.corrupted);
+            if 0 < i && i < 4 {
+                assert_eq!(f.kind, FlitKind::Body);
+            }
+        }
+    }
+
+    #[test]
+    fn make_packet_single_flit() {
+        let flits = make_packet(PacketId(2), 0, NodeId(1), NodeId(2), 0, 1, 9);
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].is_head() && flits[0].is_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn make_packet_zero_len_panics() {
+        make_packet(PacketId(0), 0, NodeId(0), NodeId(0), 0, 0, 0);
+    }
+}

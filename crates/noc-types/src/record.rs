@@ -1,0 +1,325 @@
+//! Per-cycle observation records — the wires the checkers watch.
+//!
+//! The NoCAlert checkers are combinational circuits hanging off existing
+//! wires (Section 4.2). In this reproduction, the simulator materializes
+//! those wires once per router per cycle as a [`CycleRecord`]; the checkers
+//! (crate `nocalert`) and the ForEVeR Allocation Comparator (crate
+//! `nocalert-forever`) read the record and never touch simulator internals.
+//!
+//! **All values in a record are post-fault**: when the fault plane flips a
+//! bit at a module boundary, both the downstream router logic *and* the
+//! record see the flipped value — exactly like hardware checkers soldered
+//! to the same wire.
+//!
+//! Records reuse their `Vec` allocations across cycles ([`CycleRecord::reset`]).
+
+use crate::flit::Flit;
+use crate::geometry::NodeId;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// One Routing-Computation execution (at most one per input port per cycle
+/// under correct operation — invariance 31 checks exactly that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RcEvent {
+    /// Input port whose RC unit fired.
+    pub port: u8,
+    /// VC whose header was routed.
+    pub vc: u8,
+    /// Destination X wire as seen by the RC unit (post-fault).
+    pub dest_x: u64,
+    /// Destination Y wire as seen by the RC unit (post-fault).
+    pub dest_y: u64,
+    /// Head-valid wire: the flit at the buffer head claims to be a header.
+    pub head_valid: bool,
+    /// The VC buffer was empty when RC completed (illegal: invariance 21).
+    pub buf_empty: bool,
+    /// Raw 3-bit output-direction wire (post-fault; may encode 5–7).
+    pub out_dir: u64,
+}
+
+/// One local (intra-port) arbitration: VA1 or SA1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalArbEvent {
+    /// Input port owning the arbiter.
+    pub port: u8,
+    /// Request vector over the port's VCs (bit v = VC v requests).
+    pub req: u64,
+    /// Grant vector (one-hot or zero under correct operation).
+    pub grant: u64,
+    /// For SA1: bit v set iff VC v holds a credit for its output VC
+    /// (invariance 7 cross-checks grants against this). For VA1 this mirrors
+    /// `req`.
+    pub credit_ok: u64,
+}
+
+/// One global VC-allocation arbitration (VA2) at an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Va2Event {
+    /// Output port owning the arbiter.
+    pub out_port: u8,
+    /// Request vector over input ports.
+    pub req: u64,
+    /// Grant vector over input ports.
+    pub grant: u64,
+    /// Downstream VC index assigned to the winner (raw wire, post-fault).
+    pub out_vc: u64,
+    /// Free/allocatable mask over this output port's downstream VCs at
+    /// decision time (bit v = VC v was free).
+    pub free_mask: u64,
+    /// The winning input VC `(port, vc)` as resolved by the router,
+    /// `None` when the grant vector selected no live requester.
+    pub winner: Option<(u8, u8)>,
+    /// The RC-computed output port stored in the winner's VC state
+    /// (for invariance 10: VA must agree with RC).
+    pub winner_rc_port: Option<u64>,
+    /// Message class of the winner's packet (for class-range checking of
+    /// the assigned VC, part of invariance 19).
+    pub winner_class: Option<u8>,
+    /// Whether the winner had made a VA1-stage request this cycle
+    /// (invariance 12).
+    pub winner_won_va1: bool,
+}
+
+/// One global switch arbitration (SA2) at an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sa2Event {
+    /// Output port owning the arbiter.
+    pub out_port: u8,
+    /// Request vector over input ports (SA1 winners targeting this port).
+    pub req: u64,
+    /// Grant vector over input ports.
+    pub grant: u64,
+    /// The winning `(input port, vc)` as resolved by the router.
+    pub winner: Option<(u8, u8)>,
+    /// Output port stored in the winner's VC state (invariance 11: the SA
+    /// result must agree with RC).
+    pub winner_rc_port: Option<u64>,
+    /// Whether the winner had won its SA1 stage this cycle (invariance 13).
+    pub winner_won_sa1: bool,
+    /// Whether the winner held a credit for its output VC (invariance 7).
+    pub winner_credit_ok: bool,
+}
+
+/// Crossbar traversal summary for one router cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct XbarEvent {
+    /// Connection matrix: bit `o * 8 + p` set = input row `p` drives output
+    /// column `o` (post-fault; may be non-one-hot in rows or columns).
+    pub matrix: u64,
+    /// Bit p set = input row p presented a flit this cycle.
+    pub in_valid: u64,
+    /// Bit o set = output column o emitted a flit this cycle.
+    pub out_valid: u64,
+    /// Number of flits entering the crossbar.
+    pub in_count: u8,
+    /// Number of flits leaving the crossbar.
+    pub out_count: u8,
+}
+
+impl XbarEvent {
+    /// Row vector (over outputs) for input `p`.
+    #[inline]
+    pub fn row(&self, p: u8, ports: u8) -> u64 {
+        let mut v = 0;
+        for o in 0..ports {
+            if self.matrix >> (o * 8 + p) & 1 == 1 {
+                v |= 1 << o;
+            }
+        }
+        v
+    }
+
+    /// Column vector (over inputs) for output `o`.
+    #[inline]
+    pub fn col(&self, o: u8) -> u64 {
+        (self.matrix >> (o * 8)) & 0xff
+    }
+}
+
+/// Snapshot of one VC's state table after this cycle's events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcEvent {
+    /// Input port.
+    pub port: u8,
+    /// VC index.
+    pub vc: u8,
+    /// Raw 2-bit pipeline state code *before* this cycle's transitions
+    /// (0 = Idle, 1 = Routing, 2 = VaPending, 3 = Active; post-fault).
+    pub state_before: u64,
+    /// Raw state code after this cycle (post-fault).
+    pub state_after: u64,
+    /// "RC completed" event wire this cycle.
+    pub ev_rc_done: bool,
+    /// "VA completed" event wire this cycle.
+    pub ev_va_done: bool,
+    /// "Won SA" event wire this cycle.
+    pub ev_sa_won: bool,
+    /// Head-of-buffer flit kind bits (2; post-fault) — only meaningful when
+    /// the buffer is non-empty.
+    pub head_kind: u64,
+    /// Buffer-empty flag (post-fault).
+    pub empty: bool,
+    /// Stored output-port register wire (3 bits, post-fault) — meaningful
+    /// once RC has completed (state ≥ VaPending). Continuously monitored by
+    /// invariance 2.
+    pub out_port: u64,
+    /// Stored output-VC register wire (post-fault) — meaningful once VA has
+    /// completed (state == Active). Continuously monitored by invariance 19.
+    pub out_vc: u64,
+}
+
+/// One buffer write (flit arriving from the upstream link / local NI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteEvent {
+    /// Input port written.
+    pub port: u8,
+    /// VC written (raw downstream-VC field of the incoming flit).
+    pub vc: u8,
+    /// Kind bits of the written flit.
+    pub kind: u64,
+    /// The flit claims to be a header.
+    pub is_head: bool,
+    /// The flit claims to be a tail.
+    pub is_tail: bool,
+    /// The VC was free (Idle, no owner packet) before the write.
+    pub vc_was_free: bool,
+    /// The buffer was already full before the write (invariance 25).
+    pub buf_was_full: bool,
+    /// The previously *written* flit in this VC was a tail (drives
+    /// invariance 27 in non-atomic mode).
+    pub prev_written_was_tail: bool,
+    /// Flits of the current packet that have arrived in this VC including
+    /// this one.
+    pub arrived_count: u16,
+    /// Expected packet length for the flit's message class (invariance 28).
+    pub expected_len: u16,
+}
+
+/// One buffer read (flit leaving toward the crossbar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadEvent {
+    /// Input port read.
+    pub port: u8,
+    /// VC read.
+    pub vc: u8,
+    /// The buffer was empty — the read replayed stale garbage
+    /// (invariance 24).
+    pub was_empty: bool,
+}
+
+/// One flit ejected into a destination network interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EjectEvent {
+    /// Node whose NI received the flit.
+    pub node: NodeId,
+    /// Ejection cycle.
+    pub cycle: Cycle,
+    /// The flit as delivered.
+    pub flit: Flit,
+}
+
+/// Everything one router's control logic did in one cycle.
+///
+/// Produced by the simulator, consumed by checker implementations via the
+/// `Observer` trait in `noc-sim`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Router (node) index this record describes.
+    pub router: u16,
+    /// RC executions.
+    pub rc: Vec<RcEvent>,
+    /// VA1 local arbitrations (only ports with requests or grants).
+    pub va1: Vec<LocalArbEvent>,
+    /// SA1 local arbitrations.
+    pub sa1: Vec<LocalArbEvent>,
+    /// VA2 global arbitrations.
+    pub va2: Vec<Va2Event>,
+    /// SA2 global arbitrations.
+    pub sa2: Vec<Sa2Event>,
+    /// Crossbar traversal summary.
+    pub xbar: XbarEvent,
+    /// VC state snapshots (only VCs that saw an event or are non-idle).
+    pub vc: Vec<VcEvent>,
+    /// Buffer writes.
+    pub writes: Vec<WriteEvent>,
+    /// Buffer reads.
+    pub reads: Vec<ReadEvent>,
+}
+
+impl CycleRecord {
+    /// Clears all event lists, retaining capacity, and re-targets the
+    /// record at `router`.
+    pub fn reset(&mut self, router: u16) {
+        self.router = router;
+        self.rc.clear();
+        self.va1.clear();
+        self.sa1.clear();
+        self.va2.clear();
+        self.sa2.clear();
+        self.vc.clear();
+        self.writes.clear();
+        self.reads.clear();
+        self.xbar = XbarEvent::default();
+    }
+
+    /// True when nothing at all happened in the router this cycle.
+    pub fn is_quiet(&self) -> bool {
+        self.rc.is_empty()
+            && self.va1.is_empty()
+            && self.sa1.is_empty()
+            && self.va2.is_empty()
+            && self.sa2.is_empty()
+            && self.vc.is_empty()
+            && self.writes.is_empty()
+            && self.reads.is_empty()
+            && self.xbar.in_valid == 0
+            && self.xbar.out_valid == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)]
+    fn xbar_row_col_extraction() {
+        let mut x = XbarEvent::default();
+        // input 2 drives outputs 0 and 3; input 1 drives output 0 too.
+        x.matrix |= 1 << (0 * 8 + 2);
+        x.matrix |= 1 << (3 * 8 + 2);
+        x.matrix |= 1 << (0 * 8 + 1);
+        assert_eq!(x.col(0), 0b110);
+        assert_eq!(x.col(3), 0b100);
+        assert_eq!(x.col(1), 0);
+        assert_eq!(x.row(2, 5), 0b01001);
+        assert_eq!(x.row(1, 5), 0b00001);
+        assert_eq!(x.row(0, 5), 0);
+    }
+
+    #[test]
+    fn record_reset_retains_capacity_and_clears() {
+        let mut r = CycleRecord::default();
+        r.rc.push(RcEvent {
+            port: 0,
+            vc: 0,
+            dest_x: 1,
+            dest_y: 2,
+            head_valid: true,
+            buf_empty: false,
+            out_dir: 1,
+        });
+        r.reads.push(ReadEvent {
+            port: 1,
+            vc: 2,
+            was_empty: false,
+        });
+        assert!(!r.is_quiet());
+        let cap = r.rc.capacity();
+        r.reset(42);
+        assert!(r.is_quiet());
+        assert_eq!(r.router, 42);
+        assert!(r.rc.capacity() >= cap);
+    }
+}

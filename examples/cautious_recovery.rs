@@ -1,0 +1,84 @@
+//! Observation 2 — the "NoCAlert Cautious" recovery policy.
+//!
+//! Invariances 1 (illegal turn) and 3 (non-minimal route) are *low risk*:
+//! when one of them fires alone, the packet was merely misdirected to a
+//! still-legal direction and almost always arrives anyway. A recovery
+//! controller driven by raw assertions would roll back immediately; the
+//! cautious controller defers until a normal-risk checker corroborates.
+//!
+//! This example injects two faults and shows how the two policies react:
+//!
+//! 1. an RC destination-wire flip (misdirection — benign, lone inv 1/3),
+//! 2. a crossbar column-control flip (packet mixing — malicious).
+//!
+//! Run with: `cargo run --release --example cautious_recovery`
+
+use nocalert_repro::prelude::*;
+use noc_types::site::SignalKind;
+
+fn scenario(name: &str, site: SiteRef, cfg: &NocConfig) {
+    println!("\n--- scenario: {name} ({site}) ---");
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(cfg);
+    net.run(3_000);
+    let t0 = net.cycle();
+    net.arm_fault(site, FaultKind::Transient, t0);
+    for _ in 0..6_000 {
+        net.step_observed(&mut bank);
+    }
+    if net.fault_hits() == 0 {
+        println!("fault hit no live wire this time");
+        return;
+    }
+    let checkers: Vec<String> = bank
+        .asserted_set()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    println!("asserted checkers: {}", checkers.join(", "));
+    match bank.first_detection() {
+        Some(c) => println!("raw policy:      trigger recovery at cycle {c} (+{})", c - t0),
+        None => println!("raw policy:      no trigger"),
+    }
+    match bank.first_detection_cautious() {
+        Some(c) => println!("cautious policy: trigger recovery at cycle {c} (+{})", c - t0),
+        None => println!("cautious policy: deferred — low-risk assertions only, packet likely delivered anyway"),
+    }
+}
+
+fn main() {
+    let mut cfg = NocConfig::paper_baseline();
+    cfg.injection_rate = 0.12;
+    println!("== Observation 2: risk-aware recovery triggering ==");
+
+    // Misdirection: flip a destination-X wire at a busy central router.
+    scenario(
+        "RC misdirection (low risk)",
+        SiteRef {
+            router: 27,
+            port: 4,
+            vc: 0,
+            signal: SignalKind::RcDestX,
+            bit: 0,
+        },
+        &cfg,
+    );
+
+    // Mixing: flip a crossbar column-control bit — flits collide.
+    scenario(
+        "crossbar column corruption (normal risk)",
+        SiteRef {
+            router: 27,
+            port: 1,
+            vc: 0,
+            signal: SignalKind::XbarCol,
+            bit: 3,
+        },
+        &cfg,
+    );
+
+    println!(
+        "\nFigure-6 effect: deferring lone inv-1/inv-3 assertions lowers the false-positive\n\
+         rate (paper: 30.62% -> 22.01% at cycle 0) at zero cost in false negatives."
+    );
+}

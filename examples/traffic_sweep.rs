@@ -1,0 +1,55 @@
+//! Network-performance sanity sweep: mean flit latency vs. offered load
+//! for the synthetic traffic patterns — the classic NoC load/latency curve
+//! that shows the substrate behaves like a real wormhole network
+//! (flat latency at low load, congestion knee near saturation).
+//!
+//! Run with: `cargo run --release --example traffic_sweep -- [mesh_k]`
+
+use nocalert_repro::prelude::*;
+
+fn measure(cfg: &NocConfig, warm: u64, window: u64) -> (f64, f64) {
+    let mut net = Network::new(cfg.clone());
+    net.run(warm);
+    let s0 = net.stats();
+    net.run(window);
+    let s1 = net.stats();
+    let flits = (s1.ejected_flits - s0.ejected_flits) as f64;
+    let lat = (s1.latency_sum - s0.latency_sum) as f64 / flits.max(1.0);
+    let thr = flits / window as f64 / cfg.mesh.len() as f64;
+    (lat, thr)
+}
+
+fn main() {
+    let k: u8 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let patterns = [
+        TrafficPattern::UniformRandom,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitComplement,
+        TrafficPattern::Tornado,
+        TrafficPattern::Neighbor,
+    ];
+    println!("== load/latency curves, {k}x{k} mesh, 4 VCs, XY routing ==");
+    for pattern in patterns {
+        println!("\n{pattern:?}:");
+        println!(
+            "{:>8} {:>14} {:>20}",
+            "load", "mean latency", "accepted flits/node/cy"
+        );
+        for rate in [0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40] {
+            let mut cfg = NocConfig::paper_baseline();
+            cfg.mesh = Mesh::new(k, k);
+            cfg.traffic = pattern;
+            cfg.injection_rate = rate;
+            let (lat, thr) = measure(&cfg, 3_000, 5_000);
+            println!("{rate:>8.2} {lat:>14.1} {thr:>20.3}");
+        }
+    }
+    println!(
+        "\nExpected shape: near-constant latency at low load; latency blow-up and\n\
+         throughput saturation past the congestion knee (earlier for adversarial\n\
+         patterns like Transpose/Tornado than for Neighbor)."
+    );
+}

@@ -1,0 +1,49 @@
+//! Umbrella crate for the NoCAlert reproduction.
+//!
+//! Re-exports every sub-crate under one roof so examples, integration tests
+//! and downstream users can depend on a single package:
+//!
+//! * [`types`] — core vocabulary (flits, geometry, configs, fault sites).
+//! * [`sim`] — the cycle-accurate NoC simulator substrate.
+//! * [`alert`] — the NoCAlert invariance checkers (the paper's contribution).
+//! * [`fault`] — fault model, site enumeration and campaign driver.
+//! * [`forever`] — the ForEVeR (MICRO'11) baseline detector.
+//! * [`golden`] — golden-reference oracle and outcome classification.
+//! * [`hw`] — 65 nm gate-level area/power/timing cost model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nocalert_repro::prelude::*;
+//!
+//! let config = NocConfig::small_test();
+//! let mut net = Network::new(config.clone());
+//! let mut checkers = AlertBank::new(&config);
+//! for _ in 0..200 {
+//!     net.step_observed(&mut checkers);
+//! }
+//! // A fault-free network never trips an invariance checker.
+//! assert!(checkers.assertions().is_empty());
+//! ```
+
+pub use fault;
+pub use forever;
+pub use golden;
+pub use hw_model as hw;
+pub use noc_sim as sim;
+pub use noc_types as types;
+pub use nocalert as alert;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use fault::{enumerate_sites, rollout, FaultSpec};
+    pub use forever::Forever;
+    pub use golden::{
+        classify, Campaign, CampaignConfig, Detector, GoldenReference, Outcome, RunLog,
+    };
+    pub use noc_sim::{Network, Observer};
+    pub use noc_types::{
+        Coord, Direction, FaultKind, Flit, Mesh, NocConfig, NodeId, SiteRef, TrafficPattern,
+    };
+    pub use nocalert::{AlertBank, CheckerId};
+}

@@ -1,0 +1,134 @@
+//! Targeted fault→checker scenarios: for representative signal kinds,
+//! injecting a permanent fault must raise the Table-1 checkers that guard
+//! that module class. This pins the mapping between the fault model and
+//! the invariance catalogue end-to-end through the real simulator.
+
+use noc_types::site::SignalKind;
+use nocalert_repro::prelude::*;
+
+/// Runs a permanent fault at `site` on a busy 4×4 network and returns the
+/// asserted checker set (empty if the fault never hit a live wire).
+fn asserted(site: SiteRef) -> Vec<u8> {
+    let mut cfg = NocConfig::small_test();
+    cfg.injection_rate = 0.20;
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(&cfg);
+    for _ in 0..800 {
+        net.step_observed(&mut bank);
+    }
+    assert!(!bank.any_asserted(), "clean before injection");
+    net.arm_fault(site, FaultKind::Permanent, net.cycle());
+    for _ in 0..2_500 {
+        net.step_observed(&mut bank);
+    }
+    assert!(net.fault_hits() > 0, "fault at {site} never hit");
+    bank.asserted_set().iter().map(|c| c.0).collect()
+}
+
+fn site(router: u16, port: u8, vc: u8, signal: SignalKind, bit: u8) -> SiteRef {
+    SiteRef {
+        router,
+        port,
+        vc,
+        signal,
+        bit,
+    }
+}
+
+#[test]
+fn rc_output_faults_trip_routing_checkers() {
+    // Central router, local input port: every injected header misroutes.
+    let got = asserted(site(5, 4, 0, SignalKind::RcOutDir, 1));
+    assert!(
+        got.iter().any(|c| [1, 2, 3].contains(c)),
+        "routing checkers silent: {got:?}"
+    );
+}
+
+#[test]
+fn rc_dest_wire_faults_trip_minimal_route_checker() {
+    let got = asserted(site(5, 4, 0, SignalKind::RcDestX, 0));
+    // A corrupted destination makes the (correctly computed) route look
+    // non-minimal against the *true* header destination downstream, or
+    // produces a misroute caught later; the low-risk checkers own this.
+    assert!(
+        got.iter().any(|c| [1, 2, 3].contains(c)),
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn arbiter_grant_faults_trip_grant_checkers() {
+    let got = asserted(site(5, 0, 0, SignalKind::Sa1Grant, 1));
+    assert!(
+        got.iter().any(|c| [4, 5, 6].contains(c)),
+        "arbiter checkers silent: {got:?}"
+    );
+}
+
+#[test]
+fn sa2_grant_faults_trip_switch_checkers() {
+    let got = asserted(site(5, 1, 0, SignalKind::Sa2Grant, 0));
+    assert!(
+        got.iter().any(|c| [4, 5, 6, 9, 11, 13, 16].contains(c)),
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn xbar_column_faults_trip_crossbar_checkers() {
+    let got = asserted(site(5, 1, 0, SignalKind::XbarCol, 3));
+    assert!(
+        got.iter().any(|c| [14, 15, 16].contains(c)),
+        "crossbar checkers silent: {got:?}"
+    );
+}
+
+#[test]
+fn spurious_reads_trip_empty_buffer_checker() {
+    let got = asserted(site(5, 0, 1, SignalKind::BufRead, 0));
+    assert!(got.contains(&24) || got.contains(&29), "got {got:?}");
+}
+
+#[test]
+fn spurious_writes_trip_port_level_checkers() {
+    let got = asserted(site(5, 0, 1, SignalKind::BufWrite, 0));
+    assert!(
+        got.iter().any(|c| [18, 25, 26, 30].contains(c)),
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn state_event_wire_faults_trip_pipeline_order_checker() {
+    let got = asserted(site(5, 0, 0, SignalKind::VcEvSaWon, 0));
+    assert!(got.contains(&17), "got {got:?}");
+}
+
+#[test]
+fn stuck_state_register_trips_consistency_checkers() {
+    let got = asserted(site(5, 0, 0, SignalKind::VcStateCode, 1));
+    assert!(!got.is_empty(), "stuck state register escaped every checker");
+}
+
+#[test]
+fn va2_outvc_faults_trip_vc_value_checkers() {
+    let got = asserted(site(5, 1, 0, SignalKind::Va2OutVc, 1));
+    assert!(
+        got.iter().any(|c| [7, 18, 19, 26, 28].contains(c)),
+        "got {got:?}"
+    );
+}
+
+#[test]
+fn head_valid_wire_faults_trip_rc_stage_checker() {
+    let got = asserted(site(5, 4, 0, SignalKind::RcHeadValid, 0));
+    assert!(got.contains(&20), "got {got:?}");
+}
+
+#[test]
+fn empty_flag_faults_are_detected() {
+    // A stuck empty flag starves or corrupts SA qualification.
+    let got = asserted(site(5, 0, 0, SignalKind::BufEmpty, 0));
+    assert!(!got.is_empty(), "stuck-empty flag escaped every checker");
+}

@@ -1,0 +1,79 @@
+//! Cross-crate consistency: the fault-site catalogue matches the hooks the
+//! router actually evaluates.
+//!
+//! For every enumerated site of a small, fully exercised mesh, arming a
+//! *permanent* fault and running traffic must register at least one hit —
+//! i.e. the wire named by the catalogue exists and is consulted. A site
+//! that can never be hit would silently weaken every campaign result.
+
+use nocalert_repro::prelude::*;
+
+fn busy_cfg() -> NocConfig {
+    let mut cfg = NocConfig::paper_baseline();
+    cfg.mesh = Mesh::new(2, 2);
+    cfg.vcs_per_port = 2;
+    cfg.message_classes = 2;
+    cfg.packet_lengths = vec![3, 3];
+    cfg.injection_rate = 0.35;
+    cfg
+}
+
+#[test]
+fn every_enumerated_site_is_evaluated_by_the_router() {
+    let cfg = busy_cfg();
+    let sites = enumerate_sites(&cfg);
+    assert!(sites.len() > 300, "{} sites", sites.len());
+
+    // One warmed network reused (cloned) for every site.
+    let mut base = Network::new(cfg.clone());
+    base.run(400);
+
+    let mut unhit = Vec::new();
+    for &site in &sites {
+        let mut net = base.clone();
+        net.arm_fault(site, FaultKind::Permanent, net.cycle());
+        net.run(700);
+        if net.fault_hits() == 0 {
+            unhit.push(site);
+        }
+    }
+    assert!(
+        unhit.is_empty(),
+        "{} of {} sites never hit: {:?}…",
+        unhit.len(),
+        sites.len(),
+        &unhit[..unhit.len().min(10)]
+    );
+}
+
+#[test]
+fn site_universe_scales_with_router_degree() {
+    // The 8×8 universe: corners < edges < interior per-router counts, and
+    // the total matches the per-router sum (paper Section 5.2 geometry).
+    let cfg = NocConfig::paper_baseline();
+    let n_corner = noc_sim::enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(0, 0))).len();
+    let n_edge = noc_sim::enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(4, 0))).len();
+    let n_int = noc_sim::enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(4, 4))).len();
+    assert!(n_corner < n_edge && n_edge < n_int);
+    let total = enumerate_sites(&cfg).len();
+    assert_eq!(total, 4 * n_corner + 24 * n_edge + 36 * n_int);
+}
+
+#[test]
+fn transient_wire_faults_hit_at_most_bounded_times_per_cycle() {
+    // A transient is active for exactly one cycle; hot wires (arbiter
+    // requests) are evaluated once per cycle, so hits is small and bounded.
+    let cfg = busy_cfg();
+    let mut net = Network::new(cfg);
+    net.run(300);
+    let site = SiteRef {
+        router: 0,
+        port: 4,
+        vc: 0,
+        signal: noc_types::site::SignalKind::Va1Req,
+        bit: 0,
+    };
+    net.arm_fault(site, FaultKind::Transient, net.cycle());
+    net.run(50);
+    assert_eq!(net.fault_hits(), 1);
+}

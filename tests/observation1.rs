@@ -1,0 +1,102 @@
+//! Observation 1 at test scale: a sampled transient-fault campaign on a
+//! 4×4 mesh must show **zero false negatives** for NoCAlert, with
+//! near-instantaneous true-positive detection, and ForEVeR must agree on
+//! every malicious fault while being orders of magnitude slower.
+
+use golden::stats::{breakdown, cdf_at, latency_cdf};
+use nocalert_repro::prelude::*;
+
+fn campaign(warmup: u64) -> (Campaign, Vec<golden::RunResult>) {
+    let mut noc = NocConfig::small_test();
+    noc.injection_rate = 0.10;
+    let cc = CampaignConfig {
+        noc,
+        warmup,
+        active_window: 500,
+        drain_deadline: 8_000,
+        forever_epoch: 350,
+    };
+    let c = Campaign::new(cc);
+    let sites = fault::sample::stride(&enumerate_sites(&c.config().noc), 48);
+    let results = c.run_many(&sites, 4);
+    (c, results)
+}
+
+#[test]
+fn zero_false_negatives_for_both_detectors() {
+    for warmup in [0u64, 1_500] {
+        let (_c, results) = campaign(warmup);
+        for d in [Detector::NoCAlert, Detector::NoCAlertCautious, Detector::ForEVeR] {
+            let b = breakdown(&results, d);
+            assert_eq!(
+                b.fn_, 0.0,
+                "{d:?} has false negatives at warmup {warmup}"
+            );
+        }
+        // Some faults must actually be malicious for the test to bite.
+        assert!(
+            results.iter().any(|r| r.malicious()),
+            "no malicious faults sampled at warmup {warmup}"
+        );
+    }
+}
+
+#[test]
+fn detection_is_near_instantaneous_and_beats_forever() {
+    let (_c, results) = campaign(1_500);
+    let na = latency_cdf(&results, Detector::NoCAlert);
+    if !na.is_empty() {
+        assert!(
+            cdf_at(&na, 0) >= 60.0,
+            "only {:.0}% instantaneous",
+            cdf_at(&na, 0)
+        );
+        assert!(
+            na.last().unwrap().0 <= 100,
+            "worst-case NoCAlert latency {}",
+            na.last().unwrap().0
+        );
+    }
+    let fv = latency_cdf(&results, Detector::ForEVeR);
+    if let (Some(n), Some(f)) = (na.last(), fv.last()) {
+        assert!(
+            f.0 > n.0,
+            "ForEVeR ({}) should be slower than NoCAlert ({})",
+            f.0,
+            n.0
+        );
+    }
+}
+
+#[test]
+fn true_positive_sets_agree_between_detectors() {
+    // Paper: "the true positive percentages are identical for NoCAlert and
+    // ForEVeR, since both mechanisms detected all network correctness
+    // violations".
+    let (_c, results) = campaign(1_500);
+    for r in &results {
+        if r.malicious() {
+            assert!(r.nocalert.detected, "NoCAlert missed {}", r.site);
+            assert!(r.forever.detected, "ForEVeR missed {}", r.site);
+        }
+    }
+}
+
+#[test]
+fn campaign_results_are_reproducible() {
+    // Thread-count independence is covered in the golden crate; here only
+    // rebuild-identity on a trimmed-down campaign.
+    let mut noc = NocConfig::small_test();
+    noc.injection_rate = 0.10;
+    let cc = CampaignConfig {
+        noc,
+        warmup: 400,
+        active_window: 300,
+        drain_deadline: 6_000,
+        forever_epoch: 300,
+    };
+    let c1 = Campaign::new(cc.clone());
+    let c2 = Campaign::new(cc);
+    let sites = fault::sample::stride(&enumerate_sites(&c1.config().noc), 12);
+    assert_eq!(c1.run_many(&sites, 2), c2.run_many(&sites, 4));
+}

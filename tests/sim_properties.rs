@@ -1,0 +1,135 @@
+//! Property-based integration tests over the whole stack: across random
+//! configurations (mesh shape, VC count, buffer policy, routing algorithm,
+//! traffic pattern, load), a fault-free network conserves flits, delivers
+//! in order, drains, and never trips a NoCAlert checker or a ForEVeR
+//! alarm.
+
+use proptest::prelude::*;
+use nocalert_repro::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct Log {
+    injected: Vec<Flit>,
+    ejected: Vec<(NodeId, Flit)>,
+}
+
+impl Observer for Log {
+    fn on_inject(&mut self, _c: u64, f: &Flit) {
+        self.injected.push(*f);
+    }
+    fn on_eject(&mut self, ev: &noc_types::record::EjectEvent) {
+        self.ejected.push((ev.node, ev.flit));
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = NocConfig> {
+    (
+        2u8..=4,            // width
+        2u8..=4,            // height
+        prop_oneof![Just(2u8), Just(4u8)],
+        2u8..=5,            // depth
+        prop_oneof![Just(noc_types::BufferPolicy::Atomic), Just(noc_types::BufferPolicy::NonAtomic)],
+        prop_oneof![
+            Just(noc_types::RoutingAlgorithm::XY),
+            Just(noc_types::RoutingAlgorithm::WestFirst)
+        ],
+        prop_oneof![
+            Just(TrafficPattern::UniformRandom),
+            Just(TrafficPattern::Transpose),
+            Just(TrafficPattern::Tornado),
+            Just(TrafficPattern::Neighbor),
+        ],
+        0.02f64..0.25,
+        1u16..=6, // packet length
+        0u64..1_000_000, // seed
+    )
+        .prop_map(|(w, h, vcs, depth, policy, routing, traffic, rate, len, seed)| {
+            let mut cfg = NocConfig::paper_baseline();
+            cfg.mesh = Mesh::new(w, h);
+            cfg.vcs_per_port = vcs;
+            cfg.message_classes = 2;
+            cfg.packet_lengths = vec![len, len];
+            cfg.buffer_depth = depth;
+            cfg.buffer_policy = policy;
+            cfg.routing = routing;
+            cfg.traffic = traffic;
+            cfg.injection_rate = rate;
+            cfg.seed = seed;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fault_free_network_is_correct_and_silent(cfg in arb_config()) {
+        let mut net = Network::new(cfg.clone());
+        let mut bank = AlertBank::new(&cfg);
+        let mut fv = Forever::new(&cfg, 700);
+        let mut log = Log::default();
+        for _ in 0..1_200 {
+            net.step_observed(&mut (&mut bank, &mut fv, &mut log));
+        }
+        let drained = net.drain(&mut (&mut bank, &mut fv, &mut log), 15_000);
+        prop_assert!(drained, "fault-free network failed to drain");
+
+        // Conservation: every injected flit delivered exactly once at its
+        // destination, in intra-packet order, uncorrupted.
+        let mut delivered: HashMap<u64, u32> = HashMap::new();
+        let mut next_seq: HashMap<u64, u16> = HashMap::new();
+        for (node, f) in &log.ejected {
+            prop_assert_eq!(f.dest, *node);
+            prop_assert!(!f.corrupted);
+            *delivered.entry(f.uid).or_default() += 1;
+            let e = next_seq.entry(f.packet.0).or_default();
+            prop_assert_eq!(f.seq, *e);
+            *e += 1;
+        }
+        for f in &log.injected {
+            prop_assert_eq!(delivered.get(&f.uid).copied().unwrap_or(0), 1);
+        }
+        prop_assert_eq!(log.injected.len(), log.ejected.len());
+
+        // Silence: neither detector may raise anything without a fault.
+        prop_assert!(bank.assertions().is_empty(),
+            "NoCAlert spurious: {:?}", bank.assertions().first());
+        prop_assert!(fv.detections().is_empty(),
+            "ForEVeR spurious: {:?}", fv.detections().first());
+    }
+
+    #[test]
+    fn single_bit_faults_never_produce_undetected_violations(
+        cfg in arb_config(),
+        site_sel in 0usize..5_000,
+        warm in 200u64..900,
+    ) {
+        // The headline property (Observation 1), fuzzed across the whole
+        // configuration space rather than just the paper baseline.
+        let mut cfg = cfg;
+        cfg.injection_rate = cfg.injection_rate.max(0.05);
+        let cc = CampaignConfig {
+            noc: cfg.clone(),
+            warmup: warm,
+            active_window: 400,
+            drain_deadline: 8_000,
+            forever_epoch: 350,
+        };
+        let campaign = Campaign::new(cc);
+        let sites = enumerate_sites(&cfg);
+        let site = sites[site_sel % sites.len()];
+        let r = campaign.run_site(site);
+        if r.malicious() {
+            prop_assert!(r.nocalert.detected,
+                "false negative at {} (verdict {:?})", site, r.verdict.violations);
+        }
+        if !r.nocalert.detected {
+            prop_assert!(!r.malicious(), "Observation 5 violated at {}", site);
+        }
+    }
+}

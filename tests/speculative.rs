@@ -1,0 +1,125 @@
+//! Section 4.4: the speculative VA∥SA pipeline variant.
+//!
+//! Headers save a pipeline stage, the network still delivers everything
+//! exactly once in order, the checkers stay silent fault-free (with
+//! invariance 17 relaxed as the paper prescribes), and faults are still
+//! detected.
+
+use nocalert_repro::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct Log {
+    injected: u64,
+    ejected: Vec<(NodeId, Flit)>,
+}
+
+impl Observer for Log {
+    fn on_inject(&mut self, _c: u64, _f: &Flit) {
+        self.injected += 1;
+    }
+    fn on_eject(&mut self, ev: &noc_types::record::EjectEvent) {
+        self.ejected.push((ev.node, ev.flit));
+    }
+}
+
+fn run(speculative: bool) -> (f64, Log, AlertBank) {
+    let mut cfg = NocConfig::small_test();
+    cfg.speculative = speculative;
+    cfg.injection_rate = 0.08;
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(&cfg);
+    let mut log = Log::default();
+    for _ in 0..4_000 {
+        net.step_observed(&mut (&mut bank, &mut log));
+    }
+    let drained = net.drain(&mut (&mut bank, &mut log), 15_000);
+    assert!(drained);
+    (net.stats().mean_latency(), log, bank)
+}
+
+#[test]
+fn speculative_network_is_correct_and_silent() {
+    let (_lat, log, bank) = run(true);
+    assert!(
+        bank.assertions().is_empty(),
+        "speculative fault-free run asserted: {:?}",
+        bank.assertions().first()
+    );
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    for (node, f) in &log.ejected {
+        assert_eq!(f.dest, *node);
+        *seen.entry(f.uid).or_default() += 1;
+    }
+    assert!(seen.values().all(|&c| c == 1));
+    assert_eq!(log.injected as usize, log.ejected.len());
+}
+
+#[test]
+fn speculation_reduces_header_latency() {
+    let (lat_base, _l1, _b1) = run(false);
+    let (lat_spec, _l2, _b2) = run(true);
+    assert!(
+        lat_spec < lat_base,
+        "speculative {lat_spec:.2} >= baseline {lat_base:.2}"
+    );
+}
+
+#[test]
+fn faults_still_detected_in_speculative_mode() {
+    let mut cfg = NocConfig::small_test();
+    cfg.speculative = true;
+    cfg.injection_rate = 0.15;
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(&cfg);
+    net.run(800);
+    net.arm_fault(
+        SiteRef {
+            router: 5,
+            port: 0,
+            vc: 0,
+            signal: noc_types::site::SignalKind::Sa1Grant,
+            bit: 1,
+        },
+        FaultKind::Permanent,
+        net.cycle(),
+    );
+    for _ in 0..2_000 {
+        net.step_observed(&mut bank);
+    }
+    assert!(net.fault_hits() > 0);
+    assert!(bank.any_asserted());
+}
+
+#[test]
+fn nonspeculative_sa_before_va_still_fires_inv17() {
+    // The relaxation must be conditional: in the baseline design, an SA
+    // event on a VaPending VC is a violation (paper's Figure 2(b) example).
+    use noc_sim::Observer as _;
+    let cfg = NocConfig::small_test(); // speculative = false
+    let mut bank = AlertBank::new(&cfg);
+    let mut rec = noc_types::record::CycleRecord::default();
+    rec.reset(1);
+    rec.vc.push(noc_types::record::VcEvent {
+        port: 0,
+        vc: 0,
+        state_before: 2, // VaPending
+        state_after: 2,
+        ev_rc_done: false,
+        ev_va_done: false,
+        ev_sa_won: true,
+        head_kind: 0,
+        empty: false,
+        out_port: 1,
+        out_vc: 0,
+    });
+    bank.on_cycle_record(7, &rec);
+    assert!(bank.asserted_set().contains(&CheckerId(17)));
+
+    // Same record under the speculative configuration: legal.
+    let mut spec_cfg = NocConfig::small_test();
+    spec_cfg.speculative = true;
+    let mut bank2 = AlertBank::new(&spec_cfg);
+    bank2.on_cycle_record(7, &rec);
+    assert!(!bank2.asserted_set().contains(&CheckerId(17)));
+}
