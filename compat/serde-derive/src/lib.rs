@@ -1,0 +1,395 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! These parse the item's `TokenStream` by hand (no `syn`/`quote` — the
+//! build environment is offline) and emit `Serialize` / `Deserialize`
+//! impls that call into the runtime helpers in the `serde` shim crate.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//!
+//! * named-field structs → JSON objects;
+//! * tuple structs → JSON arrays (newtype structs → the inner value);
+//! * unit structs → `null`;
+//! * enums with unit variants (ignoring `= discriminant`) → strings;
+//! * enums with tuple / struct variants → externally tagged objects
+//!   `{"Variant": ...}`.
+//!
+//! Not supported (and not used anywhere in the workspace): generics,
+//! lifetimes on the item, and `#[serde(...)]` attributes. Outer
+//! attributes such as `#[derive(...)]`, `#[repr(u8)]` and doc comments
+//! are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the in-tree stand-in's trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => struct_ser(&item.name, fields),
+        Data::Enum(variants) => enum_ser(&item.name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{}\n}}\n}}",
+        item.name, body
+    );
+    out.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Derives `serde::Deserialize` (the in-tree stand-in's trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => struct_de(&item.name, fields),
+        Data::Enum(variants) => enum_de(&item.name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{}\n}}\n}}",
+        item.name, body
+    );
+    out.parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ---- code generation ----
+
+fn struct_ser(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "let _ = self; ::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut s = String::from("::serde::Value::Object(vec![\n");
+            for f in names {
+                s.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            s.push_str("])");
+            s
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![\n");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            s.push_str("])");
+            s
+        }
+        Fields::Unknown => panic!("derive(Serialize): unsupported fields on struct {name}"),
+    }
+}
+
+fn struct_de(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("let _ = v; Ok({name})"),
+        Fields::Named(names) => {
+            let mut s = format!("Ok({name} {{\n");
+            for f in names {
+                s.push_str(&format!(
+                    "{f}: ::serde::de_field(v, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(1) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(v).map_err(|e| \
+             ::serde::DeError::new(format!(\"{name}: {{e}}\")))?))"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!("Ok({name}(\n");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::tuple_elem(v, {i}, \"{name}\")?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Fields::Unknown => panic!("derive(Deserialize): unsupported fields on struct {name}"),
+    }
+}
+
+fn enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut s = String::from("match self {\n");
+    for var in variants {
+        let v = &var.name;
+        match &var.fields {
+            Fields::Unit => s.push_str(&format!(
+                "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+            )),
+            Fields::Tuple(1) => s.push_str(&format!(
+                "{name}::{v}(x0) => ::serde::variant_value(\"{v}\", ::serde::Serialize::to_value(x0)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                s.push_str(&format!(
+                    "{name}::{v}({}) => ::serde::variant_value(\"{v}\", ::serde::Value::Array(vec![{}])),\n",
+                    binds.join(", "),
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let mut obj = String::from("::serde::Value::Object(vec![");
+                for f in fields {
+                    obj.push_str(&format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                    ));
+                }
+                obj.push_str("])");
+                s.push_str(&format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::variant_value(\"{v}\", {obj}),\n"
+                ));
+            }
+            Fields::Unknown => panic!("derive(Serialize): unsupported variant {name}::{v}"),
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn enum_de(name: &str, variants: &[Variant]) -> String {
+    let all_unit = variants.iter().all(|v| matches!(v.fields, Fields::Unit));
+    let mut s = String::new();
+    // Unit variants may arrive as plain strings.
+    s.push_str("if let Some(tag) = v.as_str() {\nreturn match tag {\n");
+    for var in variants {
+        if matches!(var.fields, Fields::Unit) {
+            let v = &var.name;
+            s.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+        }
+    }
+    s.push_str(&format!(
+        "other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}};\n}}\n"
+    ));
+    if all_unit {
+        s.push_str(&format!(
+            "Err(::serde::DeError::expected(\"variant string\", \"{name}\"))"
+        ));
+        return s;
+    }
+    // Data-carrying variants arrive as {"Variant": inner}.
+    s.push_str(&format!(
+        "let (tag, inner) = ::serde::variant_parts(v, \"{name}\")?;\nmatch tag {{\n"
+    ));
+    for var in variants {
+        let v = &var.name;
+        let ctx = format!("{name}::{v}");
+        match &var.fields {
+            Fields::Unit => {
+                // Also tolerate the object form for unit variants.
+                s.push_str(&format!(
+                    "\"{v}\" => {{ let _ = inner; Ok({name}::{v}) }},\n"
+                ));
+            }
+            Fields::Tuple(1) => s.push_str(&format!(
+                "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner).map_err(|e| \
+                 ::serde::DeError::new(format!(\"{ctx}: {{e}}\")))?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::tuple_elem(inner, {i}, \"{ctx}\")?"))
+                    .collect();
+                s.push_str(&format!(
+                    "\"{v}\" => Ok({name}::{v}({})),\n",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::de_field(inner, \"{f}\", \"{ctx}\")?,"
+                    ));
+                }
+                s.push_str(&format!("\"{v}\" => Ok({name}::{v} {{ {inits} }}),\n"));
+            }
+            Fields::Unknown => panic!("derive(Deserialize): unsupported variant {ctx}"),
+        }
+    }
+    s.push_str(&format!(
+        "other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n"
+    ));
+    s
+}
+
+// ---- item parsing ----
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields — only the arity matters.
+    Tuple(usize),
+    Unknown,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes `#[...]` and visibility `pub` / `pub(...)`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic items are not supported by the offline serde shim ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                // `struct Name;`
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) => parse_fields(g.delimiter(), g.stream()),
+                other => panic!("derive: unexpected token after struct {name}: {other:?}"),
+            };
+            Item {
+                name,
+                data: Data::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive: expected enum body for {name}, got {other:?}"),
+            };
+            Item {
+                name,
+                data: Data::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Splits a field/variant list on top-level commas (angle-bracket aware,
+/// so commas inside `Option<(u8, u8)>` don't split).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        pieces.last_mut().expect("non-empty").push(t);
+    }
+    if pieces.last().map(Vec::is_empty).unwrap_or(false) {
+        pieces.pop(); // trailing comma
+    }
+    pieces
+}
+
+/// Strips leading attributes and visibility from one field/variant piece.
+fn strip_attrs_vis(piece: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match piece.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = piece.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &piece[i..],
+        }
+    }
+}
+
+fn parse_fields(delim: Delimiter, stream: TokenStream) -> Fields {
+    match delim {
+        Delimiter::Brace => {
+            let mut names = Vec::new();
+            for piece in split_top_level(stream) {
+                let piece = strip_attrs_vis(&piece);
+                match piece.first() {
+                    Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+                    None => continue,
+                    other => panic!("derive: expected field name, got {other:?}"),
+                }
+            }
+            Fields::Named(names)
+        }
+        Delimiter::Parenthesis => Fields::Tuple(split_top_level(stream).len()),
+        _ => Fields::Unknown,
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for piece in split_top_level(stream) {
+        let piece = strip_attrs_vis(&piece);
+        let mut it = piece.iter();
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => panic!("derive: expected variant name, got {other:?}"),
+        };
+        // After the name: nothing (unit), `= discr` (unit with
+        // discriminant), `(...)` (tuple) or `{...}` (struct).
+        let fields = match it.next() {
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => Fields::Unit,
+            Some(TokenTree::Group(g)) => parse_fields(g.delimiter(), g.stream()),
+            other => panic!("derive: unexpected token in variant {name}: {other:?}"),
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `serde_json`: the three entry points this
+//! workspace uses (`to_string`, `to_string_pretty`, `from_str`) plus
+//! `to_value`/`from_value`, all built on the `serde` shim's [`Value`]
+//! document tree. Checkpoint shards and result dumps are written and
+//! re-read exclusively through this module, so write/parse round-trip
+//! fidelity is covered by its tests and by the campaign resilience
+//! integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::Value;
+
+use std::fmt;
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// Always succeeds for this shim (the `Result` mirrors the upstream
+/// signature so call sites read identically).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write_json_pretty(&mut out);
+    Ok(out)
+}
+
+/// Parses a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let doc = Value::parse_json(s)?;
+    Ok(T::from_value(&doc)?)
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_value(v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: u32,
+        y: u32,
+        label: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(u32),
+        Rect { w: u32, h: u32 },
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let p = Point {
+            x: 3,
+            y: 4,
+            label: Some("origin-ish".into()),
+        };
+        let s = to_string(&p).unwrap();
+        assert_eq!(from_str::<Point>(&s).unwrap(), p);
+        // Option field tolerates omission.
+        let q: Point = from_str(r#"{"x":1,"y":2}"#).unwrap();
+        assert_eq!(q.label, None);
+    }
+
+    #[test]
+    fn derived_enum_roundtrip() {
+        for shape in [
+            Shape::Dot,
+            Shape::Circle(9),
+            Shape::Rect { w: 2, h: 5 },
+            Shape::Pair(1, 2),
+        ] {
+            let s = to_string(&shape).unwrap();
+            assert_eq!(from_str::<Shape>(&s).unwrap(), shape, "json: {s}");
+        }
+        assert_eq!(to_string(&Shape::Dot).unwrap(), "\"Dot\"");
+        assert_eq!(to_string(&Shape::Circle(9)).unwrap(), "{\"Circle\":9}");
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let p = Point {
+            x: 10,
+            y: 20,
+            label: None,
+        };
+        let s = to_string_pretty(&p).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str::<Point>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn unknown_variant_is_an_error() {
+        assert!(from_str::<Shape>("\"Pentagon\"").is_err());
+        assert!(from_str::<Shape>("{\"Pentagon\":1}").is_err());
+    }
+
+    #[test]
+    fn vec_of_structs_roundtrip() {
+        let v = vec![
+            Point {
+                x: 1,
+                y: 2,
+                label: None,
+            },
+            Point {
+                x: 3,
+                y: 4,
+                label: Some("b".into()),
+            },
+        ];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Point>>(&s).unwrap(), v);
+    }
+}

@@ -9,9 +9,10 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin ablate -- [--sites N] \
-//!     [--warm W] [--threads T]
+//!     [--warm W] [--threads T] [--checkpoint-dir D] [--resume]
 //! ```
 
+use fault::FaultSpec;
 use golden::stats::breakdown;
 use golden::{Campaign, CampaignConfig, Detector};
 use nocalert::{info, CheckerId};
@@ -27,7 +28,11 @@ fn main() {
     let cc = CampaignConfig::paper_defaults(exp.noc.clone(), warm);
     let baseline_campaign = Campaign::new(cc.clone());
     let sites = exp.site_list();
-    let baseline = baseline_campaign.run_many(&sites, exp.threads);
+    let specs: Vec<FaultSpec> = sites
+        .iter()
+        .map(|&s| FaultSpec::transient(s, baseline_campaign.injection_cycle()))
+        .collect();
+    let baseline = exp.run_resilient(&baseline_campaign, &specs, "baseline");
     let b0 = breakdown(&baseline, Detector::NoCAlert);
     println!(
         "full checker array: TP {:.2}%  FP {:.2}%  FN {:.2}%  over {} injections\n",
@@ -42,10 +47,7 @@ fn main() {
         }
     }
 
-    println!(
-        "{:<6} {:>8} {:>10}  name",
-        "inv", "FN%", "sole-det."
-    );
+    println!("{:<6} {:>8} {:>10}  name", "inv", "FN%", "sole-det.");
     let mut essential = 0;
     for id in CheckerId::all() {
         if !fired[id.index()] {
@@ -53,13 +55,10 @@ fn main() {
         }
         // Sole-detector count from the baseline results: runs where this
         // was the only asserted checker.
-        let sole = baseline
-            .iter()
-            .filter(|r| r.checkers == vec![id])
-            .count();
+        let sole = baseline.iter().filter(|r| r.checkers == vec![id]).count();
         let mut campaign = Campaign::new(cc.clone());
         campaign.disable_checker(id);
-        let results = campaign.run_many(&sites, exp.threads);
+        let results = exp.run_resilient(&campaign, &specs, &format!("ablate-{id}"));
         let b = breakdown(&results, Detector::NoCAlert);
         if b.fn_ > 0.0 {
             essential += 1;

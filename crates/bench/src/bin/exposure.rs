@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin exposure -- [--sites N] \
-//!     [--warm W] [--threads T]
+//!     [--warm W] [--threads T] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use golden::{Detector, Outcome};

@@ -28,17 +28,20 @@ fn main() {
             r.vcs, r.nocalert_area_pct, r.dmr_area_pct, r.nocalert_power_pct, r.critical_path_pct
         );
     }
-    let avg_area: f64 =
-        rows.iter().map(|r| r.nocalert_area_pct).sum::<f64>() / rows.len() as f64;
-    let avg_pow: f64 =
-        rows.iter().map(|r| r.nocalert_power_pct).sum::<f64>() / rows.len() as f64;
+    let avg_area: f64 = rows.iter().map(|r| r.nocalert_area_pct).sum::<f64>() / rows.len() as f64;
+    let avg_pow: f64 = rows.iter().map(|r| r.nocalert_power_pct).sum::<f64>() / rows.len() as f64;
     println!("\nSummary vs paper:");
-    row("NoCAlert area average (paper ~3%)", format!("{avg_area:.2}%"));
+    row(
+        "NoCAlert area average (paper ~3%)",
+        format!("{avg_area:.2}%"),
+    );
     row(
         "NoCAlert area range (paper 1.38-4.42%)",
         format!(
             "{:.2}-{:.2}%",
-            rows.iter().map(|r| r.nocalert_area_pct).fold(f64::MAX, f64::min),
+            rows.iter()
+                .map(|r| r.nocalert_area_pct)
+                .fold(f64::MAX, f64::min),
             rows.iter().map(|r| r.nocalert_area_pct).fold(0.0, f64::max)
         ),
     );
@@ -46,12 +49,17 @@ fn main() {
         "DMR-CL range (paper 5.41-31.32%)",
         format!("{:.2}-{:.2}%", rows[0].dmr_area_pct, rows[6].dmr_area_pct),
     );
-    row("power average (paper ~0.7%, <1.2%)", format!("{avg_pow:.2}%"));
+    row(
+        "power average (paper ~0.7%, <1.2%)",
+        format!("{avg_pow:.2}%"),
+    );
     row(
         "critical path (paper <=3%, ~1%)",
         format!(
             "{:.2}-{:.2}%",
-            rows.iter().map(|r| r.critical_path_pct).fold(f64::MAX, f64::min),
+            rows.iter()
+                .map(|r| r.critical_path_pct)
+                .fold(f64::MAX, f64::min),
             rows.iter().map(|r| r.critical_path_pct).fold(0.0, f64::max)
         ),
     );

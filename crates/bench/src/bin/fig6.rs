@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin fig6 -- [--sites N|--full] \
-//!     [--warm W] [--rate F] [--threads T] [--json out.json]
+//!     [--warm W] [--rate F] [--threads T] [--json out.json] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use golden::stats::{breakdown, Breakdown};
@@ -68,7 +69,11 @@ fn main() {
         .all(|(_, _, b)| b.fn_ == 0.0);
     println!(
         "  {} (paper: 0% false negatives)",
-        if all_zero { "0.00% — CONFIRMED" } else { "NON-ZERO — see rows above" }
+        if all_zero {
+            "0.00% — CONFIRMED"
+        } else {
+            "NON-ZERO — see rows above"
+        }
     );
     maybe_write_json(&args, &out);
 }

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin fig7 -- [--sites N|--full] \
-//!     [--warm W] [--threads T] [--json out.json]
+//!     [--warm W] [--threads T] [--json out.json] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use golden::stats::{cdf_at, latency_cdf};
@@ -45,25 +46,47 @@ fn main() {
     }
 
     println!("\nLandmarks (paper values in parentheses):");
-    row("NoCAlert instantaneous (97%)", format!("{:.1}%", cdf_at(&na, 0)));
-    row("NoCAlert within 9 cycles (99%)", format!("{:.1}%", cdf_at(&na, 9)));
+    row(
+        "NoCAlert instantaneous (97%)",
+        format!("{:.1}%", cdf_at(&na, 0)),
+    );
+    row(
+        "NoCAlert within 9 cycles (99%)",
+        format!("{:.1}%", cdf_at(&na, 9)),
+    );
     row(
         "NoCAlert worst case (28 cycles)",
         na.last().map(|(l, _)| *l).unwrap_or(0),
     );
     row(
         "ForEVeR 99% boundary (~3,000 cycles)",
-        fv.iter().find(|(_, p)| *p >= 99.0).map(|(l, _)| *l).unwrap_or(0),
+        fv.iter()
+            .find(|(_, p)| *p >= 99.0)
+            .map(|(l, _)| *l)
+            .unwrap_or(0),
     );
     row(
         "ForEVeR worst case (11,995 cycles)",
         fv.last().map(|(l, _)| *l).unwrap_or(0),
     );
-    let med_na = na.iter().find(|(_, p)| *p >= 50.0).map(|(l, _)| *l).unwrap_or(0);
-    let med_fv = fv.iter().find(|(_, p)| *p >= 50.0).map(|(l, _)| *l).unwrap_or(0);
+    let med_na = na
+        .iter()
+        .find(|(_, p)| *p >= 50.0)
+        .map(|(l, _)| *l)
+        .unwrap_or(0);
+    let med_fv = fv
+        .iter()
+        .find(|(_, p)| *p >= 50.0)
+        .map(|(l, _)| *l)
+        .unwrap_or(0);
     row(
         "median latency ratio ForEVeR/NoCAlert (>100x)",
-        (if med_na == 0 { format!("inf (0 vs {med_fv})") } else { format!("{:.0}x", med_fv as f64 / med_na as f64) }).to_string(),
+        (if med_na == 0 {
+            format!("inf (0 vs {med_fv})")
+        } else {
+            format!("{:.0}x", med_fv as f64 / med_na as f64)
+        })
+        .to_string(),
     );
 
     maybe_write_json(

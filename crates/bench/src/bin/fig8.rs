@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin fig8 -- [--sites N|--full] \
-//!     [--warm W] [--threads T] [--json out.json]
+//!     [--warm W] [--threads T] [--json out.json] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use golden::stats::checker_shares;
@@ -39,7 +40,13 @@ fn main() {
         for _ in 0..(s as usize) {
             bar.push('#');
         }
-        println!("{:<6} {:>8.2}  {:<44} {}", id.to_string(), s, info(id).name, bar);
+        println!(
+            "{:<6} {:>8.2}  {:<44} {}",
+            id.to_string(),
+            s,
+            info(id).name,
+            bar
+        );
     }
     let active = CheckerId::all().filter(|c| shares[c.index()] > 0.0).count();
     println!(

@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin fig9 -- [--sites N|--full] \
-//!     [--warm W] [--threads T] [--json out.json]
+//!     [--warm W] [--threads T] [--json out.json] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use golden::stats::simultaneity_cdf;
@@ -47,6 +48,9 @@ fn main() {
         }
         prev = *p;
     }
-    println!("most common count: {} checkers ({:.1}% of detections; paper: 2)", mode.0, mode.1);
+    println!(
+        "most common count: {} checkers ({:.1}% of detections; paper: 2)",
+        mode.0, mode.1
+    );
     maybe_write_json(&args, &Fig9Out { cdf });
 }

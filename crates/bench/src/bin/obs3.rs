@@ -6,7 +6,8 @@
 //! both temporal flavours and compares the ground-truth verdicts.
 //!
 //! ```text
-//! cargo run --release -p nocalert-bench --bin obs3 -- [--sites N] [--warm W]
+//! cargo run --release -p nocalert-bench --bin obs3 -- [--sites N] [--warm W] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use fault::FaultSpec;
@@ -32,15 +33,30 @@ fn main() {
         .filter(|s| matches!(s.signal, SignalKind::Sa1Grant | SignalKind::Sa2Grant))
         .collect();
     let sites = fault::sample::stride(&grant_sites, n);
-    println!("{} grant-wire sites sampled from {}", sites.len(), grant_sites.len());
+    println!(
+        "{} grant-wire sites sampled from {}",
+        sites.len(),
+        grant_sites.len()
+    );
 
     let mut stats = [[0u32; 3]; 2]; // [kind][hit-inv5 / malicious / benign]
-    for (k, mk) in [
-        (0usize, FaultSpec::transient as fn(_, _) -> FaultSpec),
-        (1usize, FaultSpec::permanent as fn(_, _) -> FaultSpec),
+    for (k, phase, mk) in [
+        (
+            0usize,
+            "transient",
+            FaultSpec::transient as fn(_, _) -> FaultSpec,
+        ),
+        (
+            1usize,
+            "permanent",
+            FaultSpec::permanent as fn(_, _) -> FaultSpec,
+        ),
     ] {
-        for &s in &sites {
-            let r = campaign.run_spec(mk(s, campaign.injection_cycle()));
+        let specs: Vec<FaultSpec> = sites
+            .iter()
+            .map(|&s| mk(s, campaign.injection_cycle()))
+            .collect();
+        for r in exp.run_resilient(&campaign, &specs, phase) {
             if r.fault_hits == 0 {
                 continue;
             }
@@ -56,7 +72,10 @@ fn main() {
     }
 
     for (k, name) in [(0, "transient"), (1, "permanent")] {
-        println!("\n{name} faults with invariance-5 assertions: {}", stats[k][0]);
+        println!(
+            "\n{name} faults with invariance-5 assertions: {}",
+            stats[k][0]
+        );
         row("  malicious (network correctness violated)", stats[k][1]);
         row("  benign (momentary bubble only)", stats[k][2]);
     }

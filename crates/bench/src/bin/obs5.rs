@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p nocalert-bench --bin obs5 -- [--sites N|--full] \
-//!     [--warm W] [--threads T]
+//!     [--warm W] [--threads T] \
+//!     [--checkpoint-dir D] [--resume]
 //! ```
 
 use nocalert_bench::{row, Args, Experiment};
@@ -30,15 +31,15 @@ fn main() {
         .iter()
         .filter(|r| !r.nocalert.detected)
         .collect();
-    let later: Vec<_> = not_instant
-        .iter()
-        .filter(|r| r.nocalert.detected)
-        .collect();
+    let later: Vec<_> = not_instant.iter().filter(|r| r.nocalert.detected).collect();
     let never_malicious = never.iter().filter(|r| r.malicious()).count();
     let later_malicious = later.iter().filter(|r| r.malicious()).count();
 
     row("faults that touched a live wire", hit.len());
-    row("…without an instant invariance violation", not_instant.len());
+    row(
+        "…without an instant invariance violation",
+        not_instant.len(),
+    );
     row(
         "   never violated any invariance (paper: 78%)",
         format!(

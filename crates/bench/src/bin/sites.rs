@@ -30,7 +30,10 @@ fn main() {
     ] {
         let n = enumerate_router_sites(cfg, node).len();
         if paper > 0 {
-            row(name, format!("{n} sites (paper {paper} at coarser granularity)"));
+            row(
+                name,
+                format!("{n} sites (paper {paper} at coarser granularity)"),
+            );
         } else {
             row(name, format!("{n} sites"));
         }
@@ -41,7 +44,11 @@ fn main() {
         .map(|n| enumerate_router_sites(cfg, n).len())
         .sum();
     row(
-        &format!("{}x{} mesh total (paper: 11,808)", mesh.width(), mesh.height()),
+        &format!(
+            "{}x{} mesh total (paper: 11,808)",
+            mesh.width(),
+            mesh.height()
+        ),
         total,
     );
 
@@ -52,8 +59,7 @@ fn main() {
         let inputs = sites
             .iter()
             .filter(|s| {
-                s.signal.module() == m
-                    && s.signal.dir() == noc_types::site::SignalDir::Input
+                s.signal.module() == m && s.signal.dir() == noc_types::site::SignalDir::Input
             })
             .count();
         row(

@@ -35,7 +35,11 @@ fn main() {
             e.id.0,
             e.name,
             cats.join(", "),
-            if e.risk == Risk::Low { "  (low-risk)" } else { "" },
+            if e.risk == Risk::Low {
+                "  (low-risk)"
+            } else {
+                ""
+            },
             match e.applicability {
                 nocalert::Applicability::Always => "",
                 nocalert::Applicability::AtomicOnly => "  (atomic buffers)",
@@ -44,5 +48,8 @@ fn main() {
         );
         println!("     {}", e.rule);
     }
-    println!("\n{} invariances; low-risk set = {{1, 3}} (Observation 2)", TABLE1.len());
+    println!(
+        "\n{} invariances; low-risk set = {{1, 3}} (Observation 2)",
+        TABLE1.len()
+    );
 }

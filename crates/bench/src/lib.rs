@@ -8,10 +8,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use golden::{Campaign, CampaignConfig, RunResult};
+use fault::FaultSpec;
+use golden::{Campaign, CampaignConfig, ResilienceOptions, RunResult};
 use noc_types::{Cycle, NocConfig};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Minimal `--key value` / `--flag` argument parser.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +52,11 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.map.get(key).map(|v| v == "true").unwrap_or(false)
     }
+
+    /// Raw string value, if given.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
 }
 
 /// The standard experiment setup shared by the campaign figures.
@@ -59,12 +68,17 @@ pub struct Experiment {
     pub sites: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Checkpoint root (`--checkpoint-dir`); campaigns shard results
+    /// under per-phase subdirectories of it.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Skip sites already completed in the checkpoint (`--resume`).
+    pub resume: bool,
 }
 
 impl Experiment {
     /// Builds the experiment from CLI args: `--sites N` (default 400,
     /// `--full` for the whole universe), `--rate F`, `--mesh K`,
-    /// `--threads N`, `--seed S`.
+    /// `--threads N`, `--seed S`, `--checkpoint-dir PATH`, `--resume`.
     pub fn from_args(args: &Args) -> Experiment {
         let mut noc = NocConfig::paper_baseline();
         let k: u8 = args.get("mesh", 8);
@@ -82,7 +96,13 @@ impl Experiment {
                 .map(|n| n.get())
                 .unwrap_or(4),
         );
-        Experiment { noc, sites, threads }
+        Experiment {
+            noc,
+            sites,
+            threads,
+            checkpoint_dir: args.str("checkpoint-dir").map(PathBuf::from),
+            resume: args.flag("resume"),
+        }
     }
 
     /// The site list this experiment sweeps.
@@ -95,7 +115,97 @@ impl Experiment {
         }
     }
 
-    /// Runs the transient-fault campaign at one injection instant.
+    /// Resilience options for one campaign phase: results shard under
+    /// `<checkpoint-dir>/<phase>` so binaries that run several campaigns
+    /// (fig6's two warm-ups, ablate's per-checker sweeps) keep them
+    /// separate. Creating `<checkpoint-dir>/STOP` requests a graceful
+    /// flush-and-exit (no OS signal handlers here: the workspace forbids
+    /// `unsafe`, so a polled file flag is the portable cancellation
+    /// channel; kill-safety for hard kills comes from the per-line shard
+    /// flushes instead).
+    pub fn resilience(&self, phase: &str) -> ResilienceOptions {
+        ResilienceOptions {
+            checkpoint_dir: self.checkpoint_dir.as_ref().map(|d| d.join(phase)),
+            resume: self.resume,
+            cancel: self.checkpoint_dir.as_ref().map(|d| {
+                let flag = Arc::new(AtomicBool::new(false));
+                let watcher = Arc::clone(&flag);
+                let stop = d.join("STOP");
+                std::thread::spawn(move || loop {
+                    if stop.exists() {
+                        watcher.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                });
+                flag
+            }),
+            ..ResilienceOptions::default()
+        }
+    }
+
+    /// Runs a batch of specs through the resilient driver under this
+    /// experiment's checkpoint/resume policy and summarizes the sweep's
+    /// health on stderr. Crashed runs are quarantined and excluded from
+    /// the returned (classified) results; a fatal harness error
+    /// (checkpoint I/O, config mismatch) exits with a diagnostic.
+    pub fn run_resilient(
+        &self,
+        campaign: &Campaign,
+        specs: &[FaultSpec],
+        phase: &str,
+    ) -> Vec<RunResult> {
+        let opts = self.resilience(phase);
+        let report = match campaign.run_many_resilient(specs, self.threads, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[campaign] fatal: {e}");
+                std::process::exit(2);
+            }
+        };
+        if report.resumed > 0 {
+            eprintln!("[campaign] resumed: {} sites already done", report.resumed);
+        }
+        if report.corrupt_lines > 0 {
+            eprintln!(
+                "[campaign] checkpoint: {} torn/corrupt lines skipped",
+                report.corrupt_lines
+            );
+        }
+        for r in &report.reports {
+            match &r.outcome {
+                golden::RunOutcome::Crashed { site, payload, .. } => {
+                    eprintln!("[campaign] CRASHED  {site:?}: {payload}")
+                }
+                golden::RunOutcome::Deadlock { hang, result } => eprintln!(
+                    "[campaign] DEADLOCK {:?}: {:?} at cycle {}",
+                    result.site, hang.kind, hang.at_cycle
+                ),
+                golden::RunOutcome::Completed(_) => {}
+            }
+            if r.determinism_violated() {
+                eprintln!(
+                    "[campaign] DETERMINISM VIOLATION at {:?} — retry diverged",
+                    r.outcome.site()
+                );
+            }
+        }
+        let (crashed, deadlocked) = (report.crashed(), report.deadlocked());
+        if crashed + deadlocked > 0 {
+            eprintln!(
+                "[campaign] quarantined {crashed} crashed / {deadlocked} deadlocked of {} runs",
+                report.reports.len()
+            );
+        }
+        if report.interrupted {
+            eprintln!("[campaign] interrupted by STOP flag — partial results checkpointed; rerun with --resume");
+        }
+        report.results()
+    }
+
+    /// Runs the transient-fault campaign at one injection instant through
+    /// the resilient driver (checkpointing under phase `w<warmup>` when
+    /// `--checkpoint-dir` is given).
     pub fn run_campaign(&self, warmup: Cycle) -> (Campaign, Vec<RunResult>) {
         let cc = CampaignConfig::paper_defaults(self.noc.clone(), warmup);
         let campaign = Campaign::new(cc);
@@ -106,7 +216,11 @@ impl Experiment {
             self.threads
         );
         let t0 = std::time::Instant::now();
-        let results = campaign.run_many(&sites, self.threads);
+        let specs: Vec<FaultSpec> = sites
+            .iter()
+            .map(|&s| FaultSpec::transient(s, campaign.injection_cycle()))
+            .collect();
+        let results = self.run_resilient(&campaign, &specs, &format!("w{warmup}"));
         eprintln!(
             "[campaign] {} injections in {:.1}s",
             results.len(),
@@ -151,9 +265,14 @@ mod tests {
             noc: NocConfig::small_test(),
             sites: 50,
             threads: 1,
+            checkpoint_dir: None,
+            resume: false,
         };
         assert_eq!(e.site_list().len(), 50);
-        let full = Experiment { sites: 0, ..e.clone() };
+        let full = Experiment {
+            sites: 0,
+            ..e.clone()
+        };
         assert!(full.site_list().len() > 1_000);
     }
 }

@@ -196,14 +196,7 @@ impl AlertBank {
         kind == 0 || kind == 3 // Head or HeadTail encodings
     }
 
-    fn check_arbiter(
-        &mut self,
-        cycle: Cycle,
-        router: u16,
-        port: u8,
-        req: u64,
-        grant: u64,
-    ) {
+    fn check_arbiter(&mut self, cycle: Cycle, router: u16, port: u8, req: u64, grant: u64) {
         if grant & !req != 0 {
             self.raise(CheckerId(4), cycle, router, port, 0);
         }
@@ -432,8 +425,7 @@ impl Observer for AlertBank {
                     self.raise(CheckerId(27), cycle, router, e.port, e.vc);
                 }
             }
-            if (e.is_tail && e.arrived_count != e.expected_len)
-                || e.arrived_count > e.expected_len
+            if (e.is_tail && e.arrived_count != e.expected_len) || e.arrived_count > e.expected_len
             {
                 self.raise(CheckerId(28), cycle, router, e.port, e.vc);
             }

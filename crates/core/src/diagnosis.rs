@@ -44,8 +44,7 @@ pub struct Diagnosis {
 pub fn localize(events: &[AssertionEvent], window: u64) -> Option<Diagnosis> {
     let first = events.first()?;
     let horizon = first.cycle + window;
-    let windowed: Vec<&AssertionEvent> =
-        events.iter().take_while(|e| e.cycle <= horizon).collect();
+    let windowed: Vec<&AssertionEvent> = events.iter().take_while(|e| e.cycle <= horizon).collect();
 
     // Vote: count per router; ties broken by earliest occurrence.
     let mut counts: Vec<(u16, usize, usize)> = Vec::new(); // (router, count, first_idx)

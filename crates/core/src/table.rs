@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one invariance checker, 1–32 as numbered in Table 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CheckerId(pub u8);
 
 impl CheckerId {
@@ -229,7 +227,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
     CheckerInfo {
         id: CheckerId(14),
         name: "1-hot XBAR column control vector",
-        rule: "At most one connection may be active per crossbar column per cycle (no flit mixing).",
+        rule:
+            "At most one connection may be active per crossbar column per cycle (no flit mixing).",
         module: Some(ModuleClass::XbarCtl),
         categories: &[NoMixing],
         risk: Risk::Normal,
@@ -447,7 +446,9 @@ mod tests {
         assert!(!info(CheckerId(27))
             .applicability
             .applies(BufferPolicy::Atomic));
-        assert!(info(CheckerId(1)).applicability.applies(BufferPolicy::Atomic));
+        assert!(info(CheckerId(1))
+            .applicability
+            .applies(BufferPolicy::Atomic));
     }
 
     #[test]

@@ -63,7 +63,10 @@ fn inv1_illegal_turn() {
 fn inv2_invalid_direction_and_dead_port() {
     let mut b = bank();
     let mut r = rec(27);
-    r.rc.push(RcEvent { out_dir: 6, ..legal_rc() });
+    r.rc.push(RcEvent {
+        out_dir: 6,
+        ..legal_rc()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&2));
 
@@ -100,21 +103,36 @@ fn inv4_5_6_arbiter_anomalies() {
     // Grant without request.
     let mut b = bank();
     let mut r = rec(1);
-    r.sa1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0010, credit_ok: 0b0001 });
+    r.sa1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0001,
+        grant: 0b0010,
+        credit_ok: 0b0001,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&4));
 
     // Requests but no grant.
     let mut b = bank();
     let mut r = rec(1);
-    r.va1.push(LocalArbEvent { port: 0, req: 0b0110, grant: 0, credit_ok: 0b0110 });
+    r.va1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0110,
+        grant: 0,
+        credit_ok: 0b0110,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&5));
 
     // Two grants at once.
     let mut b = bank();
     let mut r = rec(1);
-    r.sa1.push(LocalArbEvent { port: 0, req: 0b0111, grant: 0b0011, credit_ok: 0b0111 });
+    r.sa1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0111,
+        grant: 0b0011,
+        credit_ok: 0b0111,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&6));
 }
@@ -138,7 +156,10 @@ fn inv7_grant_to_occupied_or_full() {
     // VA2 hands out a VC that is not free.
     let mut b = bank();
     let mut r = rec(1);
-    r.va2.push(Va2Event { free_mask: 0b1110, ..legal_va2() });
+    r.va2.push(Va2Event {
+        free_mask: 0b1110,
+        ..legal_va2()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&7));
 
@@ -164,9 +185,17 @@ fn inv8_input_vc_double_allocation() {
     let mut r = rec(1);
     // Port 0's VA1 winner is VC 2; two different VA2 arbiters both grant
     // port 0 in the same cycle.
-    r.va1.push(LocalArbEvent { port: 0, req: 0b0100, grant: 0b0100, credit_ok: 0b0100 });
+    r.va1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0100,
+        grant: 0b0100,
+        credit_ok: 0b0100,
+    });
     r.va2.push(legal_va2());
-    r.va2.push(Va2Event { out_port: 2, ..legal_va2() });
+    r.va2.push(Va2Event {
+        out_port: 2,
+        ..legal_va2()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&8));
 }
@@ -194,7 +223,10 @@ fn inv9_input_port_double_switch_grant() {
 fn inv10_11_allocation_disagrees_with_rc() {
     let mut b = bank();
     let mut r = rec(1);
-    r.va2.push(Va2Event { winner_rc_port: Some(3), ..legal_va2() });
+    r.va2.push(Va2Event {
+        winner_rc_port: Some(3),
+        ..legal_va2()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&10));
 
@@ -217,7 +249,10 @@ fn inv10_11_allocation_disagrees_with_rc() {
 fn inv12_13_stage_order() {
     let mut b = bank();
     let mut r = rec(1);
-    r.va2.push(Va2Event { winner_won_va1: false, ..legal_va2() });
+    r.va2.push(Va2Event {
+        winner_won_va1: false,
+        ..legal_va2()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&12));
 
@@ -357,13 +392,19 @@ fn inv19_invalid_stored_out_vc() {
 fn inv20_21_rc_on_bad_input() {
     let mut b = bank();
     let mut r = rec(27);
-    r.rc.push(RcEvent { head_valid: false, ..legal_rc() });
+    r.rc.push(RcEvent {
+        head_valid: false,
+        ..legal_rc()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&20));
 
     let mut b = bank();
     let mut r = rec(27);
-    r.rc.push(RcEvent { buf_empty: true, ..legal_rc() });
+    r.rc.push(RcEvent {
+        buf_empty: true,
+        ..legal_rc()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&21));
 }
@@ -402,13 +443,20 @@ fn inv22_23_va_on_bad_input() {
 fn inv24_25_buffer_anomalies() {
     let mut b = bank();
     let mut r = rec(1);
-    r.reads.push(ReadEvent { port: 0, vc: 0, was_empty: true });
+    r.reads.push(ReadEvent {
+        port: 0,
+        vc: 0,
+        was_empty: true,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&24));
 
     let mut b = bank();
     let mut r = rec(1);
-    r.writes.push(WriteEvent { buf_was_full: true, ..legal_write() });
+    r.writes.push(WriteEvent {
+        buf_was_full: true,
+        ..legal_write()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&25));
 }
@@ -417,7 +465,10 @@ fn inv24_25_buffer_anomalies() {
 fn inv26_atomicity_violation() {
     let mut b = bank();
     let mut r = rec(1);
-    r.writes.push(WriteEvent { vc_was_free: false, ..legal_write() });
+    r.writes.push(WriteEvent {
+        vc_was_free: false,
+        ..legal_write()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&26));
 }
@@ -477,22 +528,36 @@ fn inv28_flit_count_violation() {
 fn inv29_30_31_port_level_concurrency() {
     let mut b = bank();
     let mut r = rec(1);
-    r.reads.push(ReadEvent { port: 0, vc: 0, was_empty: false });
-    r.reads.push(ReadEvent { port: 0, vc: 2, was_empty: false });
+    r.reads.push(ReadEvent {
+        port: 0,
+        vc: 0,
+        was_empty: false,
+    });
+    r.reads.push(ReadEvent {
+        port: 0,
+        vc: 2,
+        was_empty: false,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&29));
 
     let mut b = bank();
     let mut r = rec(1);
     r.writes.push(legal_write());
-    r.writes.push(WriteEvent { vc: 1, ..legal_write() });
+    r.writes.push(WriteEvent {
+        vc: 1,
+        ..legal_write()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&30));
 
     let mut b = bank();
     let mut r = rec(27);
     r.rc.push(legal_rc());
-    r.rc.push(RcEvent { vc: 1, ..legal_rc() });
+    r.rc.push(RcEvent {
+        vc: 1,
+        ..legal_rc()
+    });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&31));
 }
@@ -514,8 +579,18 @@ fn legal_records_fire_nothing() {
     let mut b = bank();
     let mut r = rec(27);
     r.rc.push(legal_rc());
-    r.va1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0001, credit_ok: 0b0001 });
-    r.sa1.push(LocalArbEvent { port: 0, req: 0b0001, grant: 0b0001, credit_ok: 0b0001 });
+    r.va1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0001,
+        grant: 0b0001,
+        credit_ok: 0b0001,
+    });
+    r.sa1.push(LocalArbEvent {
+        port: 0,
+        req: 0b0001,
+        grant: 0b0001,
+        credit_ok: 0b0001,
+    });
     r.va2.push(legal_va2());
     r.sa2.push(Sa2Event {
         out_port: 1,
@@ -540,7 +615,11 @@ fn legal_records_fire_nothing() {
         ..idle_vc_event()
     });
     r.writes.push(legal_write());
-    r.reads.push(ReadEvent { port: 1, vc: 0, was_empty: false });
+    r.reads.push(ReadEvent {
+        port: 1,
+        vc: 0,
+        was_empty: false,
+    });
     feed(&mut b, &r);
     assert!(fired(&b).is_empty(), "spurious: {:?}", fired(&b));
 }

@@ -44,7 +44,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// One fault injection: where, how, and when.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// The wire bit to corrupt.
     pub site: SiteRef,
@@ -55,6 +55,24 @@ pub struct FaultSpec {
 }
 
 impl FaultSpec {
+    /// Checks the spec for temporal malformations a campaign should
+    /// reject up front rather than crash on mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`noc_types::SimError::FaultSpecInvalid`] for an
+    /// intermittent fault with a zero period (its activity pattern is
+    /// undefined — evaluating it divides by zero).
+    pub fn validate(&self) -> Result<(), noc_types::SimError> {
+        if let FaultKind::Intermittent { period: 0, .. } = self.kind {
+            return Err(noc_types::SimError::FaultSpecInvalid {
+                site: self.site,
+                reason: "intermittent fault period must be non-zero",
+            });
+        }
+        Ok(())
+    }
+
     /// A single-event transient at `site`, active during `start` only —
     /// the paper's campaign fault.
     pub fn transient(site: SiteRef, start: Cycle) -> FaultSpec {
@@ -155,6 +173,153 @@ pub fn rollout<O: Observer>(
     }
 }
 
+/// Hang-detection policy for [`rollout_watched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Watchdog {
+    /// Hard ceiling on total cycles the rollout may consume (active window
+    /// plus drain), regardless of progress. `u64::MAX` disables it.
+    pub cycle_budget: Cycle,
+    /// During the drain phase, declare a hang once the network's progress
+    /// signature (injected/forwarded/ejected counters) has been unchanged
+    /// for this many consecutive cycles. Catches true deadlocks long
+    /// before the drain deadline; a livelock keeps the counters moving
+    /// and falls through to the drain deadline instead.
+    pub stall_window: Cycle,
+}
+
+impl Watchdog {
+    /// A generous default: stall detection after 2,000 idle cycles, no
+    /// practical cycle ceiling.
+    pub fn default_policy() -> Watchdog {
+        Watchdog {
+            cycle_budget: u64::MAX,
+            stall_window: 2_000,
+        }
+    }
+}
+
+/// Why the watchdog terminated a rollout early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HangKind {
+    /// The total cycle budget was exhausted.
+    CycleBudget,
+    /// No flit moved anywhere for the watchdog's stall window during
+    /// drain — a wedged network (deadlock or total loss of liveness).
+    NoProgress,
+}
+
+/// A watchdog trip: what fired and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hang {
+    /// Which criterion fired.
+    pub kind: HangKind,
+    /// Cycle at which the rollout was terminated.
+    pub at_cycle: Cycle,
+    /// Consecutive progress-free cycles observed at termination (only
+    /// meaningful for [`HangKind::NoProgress`]).
+    pub stalled_for: Cycle,
+}
+
+/// Result of one [`rollout_watched`]: the ordinary outcome plus an
+/// optional watchdog trip. When `hang` is `Some`, `outcome.drained` is
+/// `false` and the observer saw every cycle up to the termination point,
+/// so oracle comparison still works on the truncated log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchedOutcome {
+    /// Drain status, fault hits and end cycle, as from [`rollout`].
+    pub outcome: RolloutOutcome,
+    /// The watchdog trip, if one terminated the rollout early.
+    pub hang: Option<Hang>,
+}
+
+/// [`rollout`] under a [`Watchdog`]: identical semantics on healthy runs
+/// (bit-identical outcome and observer stream), deterministic early
+/// termination on hung ones.
+///
+/// The active window always runs to completion (traffic is still being
+/// generated, so "no progress" is not meaningful there beyond the cycle
+/// budget); stall detection applies to the drain phase, where a healthy
+/// network must keep moving flits until empty.
+pub fn rollout_watched<O: Observer>(
+    net: &mut Network,
+    spec: Option<&FaultSpec>,
+    active_window: Cycle,
+    drain_deadline: Cycle,
+    dog: Watchdog,
+    obs: &mut O,
+) -> WatchedOutcome {
+    if let Some(s) = spec {
+        net.arm_fault(s.site, s.kind, s.start);
+    } else {
+        net.disarm_fault();
+    }
+    let start = net.cycle();
+    let budget_end = start.saturating_add(dog.cycle_budget);
+    let mut hang = None;
+
+    for _ in 0..active_window {
+        if net.cycle() >= budget_end {
+            hang = Some(Hang {
+                kind: HangKind::CycleBudget,
+                at_cycle: net.cycle(),
+                stalled_for: 0,
+            });
+            break;
+        }
+        net.step_observed(obs);
+    }
+
+    let mut drained = false;
+    if hang.is_none() {
+        net.set_injection_enabled(false);
+        let drain_end = net.cycle() + drain_deadline;
+        let mut sig = net.progress_signature();
+        let mut stalled: Cycle = 0;
+        loop {
+            if net.is_drained() {
+                drained = true;
+                break;
+            }
+            if net.cycle() >= drain_end {
+                break; // classic drain-deadline expiry, not a watchdog trip
+            }
+            if net.cycle() >= budget_end {
+                hang = Some(Hang {
+                    kind: HangKind::CycleBudget,
+                    at_cycle: net.cycle(),
+                    stalled_for: stalled,
+                });
+                break;
+            }
+            if stalled >= dog.stall_window {
+                hang = Some(Hang {
+                    kind: HangKind::NoProgress,
+                    at_cycle: net.cycle(),
+                    stalled_for: stalled,
+                });
+                break;
+            }
+            net.step_observed(obs);
+            let now = net.progress_signature();
+            if now == sig {
+                stalled += 1;
+            } else {
+                sig = now;
+                stalled = 0;
+            }
+        }
+    }
+
+    WatchedOutcome {
+        outcome: RolloutOutcome {
+            drained,
+            fault_hits: net.fault_hits(),
+            end_cycle: net.cycle(),
+        },
+        hang,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +404,91 @@ mod tests {
         let spec = FaultSpec::transient(site, net.cycle());
         let out = rollout(&mut net, Some(&spec), 50, 20_000, &mut NullObserver);
         assert_eq!(out.fault_hits, 1, "Sa1Req evaluated once per cycle");
+    }
+
+    #[test]
+    fn validate_rejects_zero_period_intermittent() {
+        let site = SiteRef {
+            router: 0,
+            port: 0,
+            vc: 0,
+            signal: noc_types::site::SignalKind::Sa1Req,
+            bit: 0,
+        };
+        let good = FaultSpec {
+            site,
+            kind: noc_types::site::FaultKind::Intermittent {
+                period: 10,
+                duty: 3,
+            },
+            start: 0,
+        };
+        assert!(good.validate().is_ok());
+        let bad = FaultSpec {
+            kind: noc_types::site::FaultKind::Intermittent { period: 0, duty: 1 },
+            ..good
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(noc_types::SimError::FaultSpecInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn watched_healthy_run_matches_plain_rollout() {
+        let cfg = NocConfig::small_test();
+        let mut net = Network::new(cfg);
+        net.run(500);
+        let mut plain_net = net.clone();
+        let plain = rollout(&mut plain_net, None, 200, 10_000, &mut NullObserver);
+        let watched = rollout_watched(
+            &mut net,
+            None,
+            200,
+            10_000,
+            Watchdog::default_policy(),
+            &mut NullObserver,
+        );
+        assert!(watched.hang.is_none());
+        assert_eq!(watched.outcome, plain);
+        assert_eq!(net.cycle(), plain_net.cycle());
+    }
+
+    #[test]
+    fn cycle_budget_trips_during_active_window() {
+        let mut net = Network::new(NocConfig::small_test());
+        net.run(100);
+        let start = net.cycle();
+        let dog = Watchdog {
+            cycle_budget: 10,
+            stall_window: u64::MAX,
+        };
+        let watched = rollout_watched(&mut net, None, 200, 10_000, dog, &mut NullObserver);
+        let hang = watched.hang.expect("budget below active window must trip");
+        assert_eq!(hang.kind, HangKind::CycleBudget);
+        assert_eq!(hang.at_cycle, start + 10);
+        assert!(!watched.outcome.drained);
+    }
+
+    #[test]
+    fn zero_stall_window_trips_no_progress_at_drain_start() {
+        // A zero stall window trips on the first drain-phase check while
+        // flits are still in flight — deterministic coverage of the
+        // NoProgress path without needing a genuinely wedged network.
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.20;
+        let mut net = Network::new(cfg);
+        net.run(300);
+        let dog = Watchdog {
+            cycle_budget: u64::MAX,
+            stall_window: 0,
+        };
+        let watched = rollout_watched(&mut net, None, 200, 10_000, dog, &mut NullObserver);
+        let hang = watched
+            .hang
+            .expect("in-flight traffic plus zero window must trip");
+        assert_eq!(hang.kind, HangKind::NoProgress);
+        assert_eq!(hang.stalled_for, 0);
+        assert!(!watched.outcome.drained);
     }
 }

@@ -241,7 +241,9 @@ impl Observer for Forever {
         self.notifications.push(Notification {
             arrival: cycle + hops + 2,
             dest: flit.dest,
-            flits: self.cfg.packet_len(flit.class.min(self.cfg.message_classes - 1)),
+            flits: self
+                .cfg
+                .packet_len(flit.class.min(self.cfg.message_classes - 1)),
         });
     }
 

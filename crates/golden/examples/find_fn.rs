@@ -1,8 +1,8 @@
 //! Diagnostic: hunt for false negatives (violations NoCAlert missed) in a
 //! sampled campaign and print full details of each.
 
-use nocalert_golden::{Campaign, CampaignConfig, Detector, Outcome};
 use noc_types::NocConfig;
+use nocalert_golden::{Campaign, CampaignConfig, Detector, Outcome};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

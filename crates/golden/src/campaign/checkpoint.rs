@@ -1,0 +1,268 @@
+//! Campaign checkpointing: incremental JSONL shards + resume.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! * `meta.json` — `{ "version": 1, "config": <CampaignConfig> }`,
+//!   written once at creation. Resume refuses a directory whose config
+//!   differs from the running campaign's (mixing would corrupt
+//!   aggregates).
+//! * `shard-w<worker>.jsonl` — one line per completed fault site, each a
+//!   serialized [`SiteReport`], appended and flushed as soon as the site
+//!   finishes. Workers write disjoint files, so no locking is needed.
+//!
+//! Kill-safety: because every line is appended and flushed individually,
+//! a `kill -9` loses at most the in-flight site. A torn final line is
+//! detected on resume (no trailing newline), terminated so subsequent
+//! appends start clean, and skipped by the parser; the site simply
+//! re-runs. Which shard a report lands in depends on worker count, but
+//! aggregation reassembles reports in input-site order, so shard layout
+//! never affects results.
+
+use super::error::CampaignError;
+use super::outcome::SiteReport;
+use super::CampaignConfig;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const META_NAME: &str = "meta.json";
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Meta {
+    version: u32,
+    config: CampaignConfig,
+}
+
+/// An open checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+fn ck_err(path: &Path, detail: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Checkpoint {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    }
+}
+
+impl Checkpoint {
+    /// Opens (creating if needed) a checkpoint directory for a campaign.
+    ///
+    /// A fresh directory gets a `meta.json` recording `cc`. An existing
+    /// one must carry a matching config.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on I/O or parse failures,
+    /// [`CampaignError::CheckpointMismatch`] when the directory belongs
+    /// to a different campaign configuration.
+    pub fn open(dir: impl Into<PathBuf>, cc: &CampaignConfig) -> Result<Checkpoint, CampaignError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| ck_err(&dir, e))?;
+        let meta_path = dir.join(META_NAME);
+        if meta_path.exists() {
+            let text = fs::read_to_string(&meta_path).map_err(|e| ck_err(&meta_path, e))?;
+            let meta: Meta = serde_json::from_str(&text).map_err(|e| ck_err(&meta_path, e))?;
+            if meta.config != *cc {
+                return Err(CampaignError::CheckpointMismatch { path: dir });
+            }
+        } else {
+            let meta = Meta {
+                version: 1,
+                config: cc.clone(),
+            };
+            let text = serde_json::to_string_pretty(&meta).map_err(|e| ck_err(&meta_path, e))?;
+            fs::write(&meta_path, text).map_err(|e| ck_err(&meta_path, e))?;
+        }
+        Ok(Checkpoint { dir })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads every complete, parseable report from every shard, in shard
+    /// name + line order. Torn or corrupt lines are skipped (the second
+    /// element counts them); duplicate specs are the caller's concern
+    /// (keep the last).
+    pub fn load_reports(&self) -> Result<(Vec<SiteReport>, usize), CampaignError> {
+        let mut shards: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .map_err(|e| ck_err(&self.dir, e))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        shards.sort();
+        let mut reports = Vec::new();
+        let mut corrupt = 0usize;
+        for shard in shards {
+            let mut text = String::new();
+            File::open(&shard)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| ck_err(&shard, e))?;
+            let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            if complete_len < text.len() {
+                corrupt += 1; // torn trailing line (killed mid-write)
+            }
+            for line in text[..complete_len].lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<SiteReport>(line) {
+                    Ok(r) => reports.push(r),
+                    Err(_) => corrupt += 1,
+                }
+            }
+        }
+        Ok((reports, corrupt))
+    }
+
+    /// Opens this worker's shard for appending. A torn trailing line
+    /// from a previous killed run is newline-terminated first so the
+    /// next append starts on a clean line.
+    pub fn shard_writer(&self, worker: usize) -> Result<ShardWriter, CampaignError> {
+        let path = self.dir.join(format!("shard-w{worker}.jsonl"));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| ck_err(&path, e))?;
+        let len = file.seek(SeekFrom::End(0)).map_err(|e| ck_err(&path, e))?;
+        if len > 0 {
+            let mut tail = [0u8; 1];
+            let mut check = File::open(&path).map_err(|e| ck_err(&path, e))?;
+            check
+                .seek(SeekFrom::End(-1))
+                .and_then(|_| check.read_exact(&mut tail))
+                .map_err(|e| ck_err(&path, e))?;
+            if tail[0] != b'\n' {
+                file.write_all(b"\n").map_err(|e| ck_err(&path, e))?;
+            }
+        }
+        Ok(ShardWriter { path, file })
+    }
+}
+
+/// Append handle for one worker's shard.
+#[derive(Debug)]
+pub struct ShardWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl ShardWriter {
+    /// Appends one report as a single JSONL line and flushes it to the OS
+    /// immediately — the checkpoint's kill-safety granularity.
+    pub fn append(&mut self, report: &SiteReport) -> Result<(), CampaignError> {
+        let mut line = serde_json::to_string(report).map_err(|e| ck_err(&self.path, e))?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.flush())
+            .map_err(|e| ck_err(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::outcome::{Determinism, RunOutcome};
+    use super::*;
+    use fault::FaultSpec;
+    use noc_types::site::{SignalKind, SiteRef};
+    use noc_types::NocConfig;
+
+    fn cc() -> CampaignConfig {
+        CampaignConfig {
+            noc: NocConfig::small_test(),
+            warmup: 10,
+            active_window: 20,
+            drain_deadline: 100,
+            forever_epoch: 50,
+        }
+    }
+
+    fn report(router: u16) -> SiteReport {
+        let site = SiteRef {
+            router,
+            port: 0,
+            vc: 0,
+            signal: SignalKind::Sa1Req,
+            bit: 0,
+        };
+        SiteReport {
+            spec: FaultSpec::transient(site, 10),
+            outcome: RunOutcome::Crashed {
+                site,
+                kind: noc_types::FaultKind::Transient,
+                injected_at: 10,
+                payload: "x".into(),
+            },
+            determinism: Some(Determinism::Confirmed),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("nocalert-ck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_shard_ordering_independence() {
+        let dir = tmpdir("rt");
+        let ck = Checkpoint::open(&dir, &cc()).unwrap();
+        let mut w0 = ck.shard_writer(0).unwrap();
+        let mut w1 = ck.shard_writer(1).unwrap();
+        w1.append(&report(3)).unwrap();
+        w0.append(&report(1)).unwrap();
+        w0.append(&report(2)).unwrap();
+        let (reports, corrupt) = ck.load_reports().unwrap();
+        assert_eq!(corrupt, 0);
+        let mut routers: Vec<u16> = reports.iter().map(|r| r.spec.site.router).collect();
+        routers.sort_unstable();
+        assert_eq!(routers, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let dir = tmpdir("mismatch");
+        Checkpoint::open(&dir, &cc()).unwrap();
+        let mut other = cc();
+        other.warmup = 999;
+        let err = Checkpoint::open(&dir, &other).unwrap_err();
+        assert!(matches!(err, CampaignError::CheckpointMismatch { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_and_repaired() {
+        let dir = tmpdir("torn");
+        let ck = Checkpoint::open(&dir, &cc()).unwrap();
+        let mut w = ck.shard_writer(0).unwrap();
+        w.append(&report(1)).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: a truncated JSON fragment, no newline.
+        let shard = dir.join("shard-w0.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"{\"spec\":{\"si").unwrap();
+        drop(f);
+        let (reports, corrupt) = ck.load_reports().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(corrupt, 1);
+        // Re-opening the shard writer repairs the torn tail; the next
+        // append must parse cleanly.
+        let mut w = ck.shard_writer(0).unwrap();
+        w.append(&report(2)).unwrap();
+        let (reports, corrupt) = ck.load_reports().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(corrupt, 1, "the torn fragment is still counted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

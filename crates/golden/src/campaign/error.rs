@@ -1,0 +1,143 @@
+//! The campaign-side error taxonomy.
+//!
+//! [`CampaignError`] is the structured alternative to the asserts that
+//! used to guard campaign construction and execution. Simulator-level
+//! failures ([`noc_types::SimError`]) are wrapped, campaign-specific
+//! failures (warm-up violations, golden-run deadlock, checkpoint I/O,
+//! worker loss) get their own variants — each carrying enough context to
+//! report the failure without a backtrace.
+
+use noc_types::{Cycle, SimError};
+use std::fmt;
+use std::path::PathBuf;
+
+/// A structured campaign failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The simulator substrate rejected the configuration or a spec.
+    Substrate(SimError),
+    /// A detector raised an alarm during the fault-free warm-up — the
+    /// campaign premise (checkers are silent without faults) is broken.
+    WarmupViolation {
+        /// Which detector fired (`"NoCAlert"` / `"ForEVeR"`).
+        detector: &'static str,
+        /// Warm-up length that was being run.
+        cycle: Cycle,
+        /// Debug rendering of the first spurious assertion.
+        detail: String,
+    },
+    /// The fault-free golden rollout failed to drain: the substrate
+    /// itself deadlocks under this configuration and no classification
+    /// against it would be meaningful.
+    GoldenNotDrained {
+        /// Flits the golden run injected.
+        injected: usize,
+        /// Flits the golden run managed to eject.
+        ejected: usize,
+    },
+    /// A checkpoint directory could not be created, read, or written.
+    Checkpoint {
+        /// The path involved.
+        path: PathBuf,
+        /// Underlying I/O or parse detail.
+        detail: String,
+    },
+    /// `--resume` pointed at a checkpoint written under a different
+    /// campaign configuration; mixing the two would corrupt aggregates.
+    CheckpointMismatch {
+        /// The checkpoint directory.
+        path: PathBuf,
+    },
+    /// A campaign worker thread died outside the per-run panic isolation
+    /// boundary (a harness bug, not an experiment outcome).
+    WorkerLost {
+        /// Panic payload or join-error description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Substrate(e) => write!(f, "{e}"),
+            CampaignError::WarmupViolation {
+                detector,
+                cycle,
+                detail,
+            } => write!(
+                f,
+                "{detector} raised during the fault-free {cycle}-cycle warm-up: {detail}"
+            ),
+            CampaignError::GoldenNotDrained { injected, ejected } => write!(
+                f,
+                "golden (fault-free) run failed to drain: {ejected}/{injected} flits delivered"
+            ),
+            CampaignError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint failure at {}: {detail}", path.display())
+            }
+            CampaignError::CheckpointMismatch { path } => write!(
+                f,
+                "checkpoint at {} was written under a different campaign configuration",
+                path.display()
+            ),
+            CampaignError::WorkerLost { detail } => {
+                write!(f, "campaign worker thread lost: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CampaignError {
+    fn from(e: SimError) -> CampaignError {
+        CampaignError::Substrate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_carry_context() {
+        let e = CampaignError::GoldenNotDrained {
+            injected: 100,
+            ejected: 97,
+        };
+        assert!(e.to_string().contains("97/100"));
+
+        let e = CampaignError::WarmupViolation {
+            detector: "NoCAlert",
+            cycle: 300,
+            detail: "checker 5".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("NoCAlert") && s.contains("300") && s.contains("checker 5"));
+
+        let e = CampaignError::CheckpointMismatch {
+            path: PathBuf::from("/tmp/ck"),
+        };
+        assert!(e.to_string().contains("/tmp/ck"));
+    }
+
+    #[test]
+    fn sim_error_wraps() {
+        let cfg_err = noc_types::NocConfig {
+            vcs_per_port: 0,
+            ..noc_types::NocConfig::small_test()
+        }
+        .validate()
+        .unwrap_err();
+        let e: CampaignError = SimError::from(cfg_err).into();
+        assert!(matches!(e, CampaignError::Substrate(_)));
+        assert!(e.to_string().contains("vcs_per_port"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-run outcome types: the detector views, the confusion matrix, the
+//! full [`RunResult`] record, and the resilient-runtime wrapper
+//! [`RunOutcome`] that classifies runs the harness had to terminate
+//! (crashes, hangs) instead of silently dropping them.
+
+use crate::oracle::Verdict;
+use fault::{FaultSpec, Hang};
+use noc_types::site::{FaultKind, SiteRef};
+use noc_types::Cycle;
+use nocalert::CheckerId;
+use serde::{Deserialize, Serialize};
+
+/// What one detector concluded about one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorOutcome {
+    /// Did the detector raise anything at all?
+    pub detected: bool,
+    /// Cycles from the injection instant to the first alarm.
+    pub latency: Option<u64>,
+}
+
+/// The three detector views compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Detector {
+    /// Plain NoCAlert: every assertion triggers.
+    NoCAlert,
+    /// NoCAlert with low-risk invariances (1/3) deferred when alone
+    /// (Observation 2, "NoCAlert Cautious").
+    NoCAlertCautious,
+    /// The ForEVeR baseline.
+    ForEVeR,
+}
+
+/// Confusion-matrix cell for one (run, detector) pair, following the
+/// paper's definitions: *positive* means the detector raised an alarm,
+/// *true* means the verdict agrees with the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Alarm raised, fault was malicious.
+    TruePositive,
+    /// Alarm raised, fault was benign.
+    FalsePositive,
+    /// Silent, fault was benign.
+    TrueNegative,
+    /// Silent, fault was malicious — the failure mode NoCAlert claims to
+    /// eliminate (Observation 1: 0% false negatives).
+    FalseNegative,
+}
+
+/// Combines a detector flag with the ground truth.
+pub fn outcome(detected: bool, malicious: bool) -> Outcome {
+    match (detected, malicious) {
+        (true, true) => Outcome::TruePositive,
+        (true, false) => Outcome::FalsePositive,
+        (false, false) => Outcome::TrueNegative,
+        (false, true) => Outcome::FalseNegative,
+    }
+}
+
+/// Everything measured for one fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Injected site.
+    pub site: SiteRef,
+    /// Temporal fault kind.
+    pub kind: FaultKind,
+    /// Injection cycle.
+    pub injected_at: Cycle,
+    /// Times the armed bit flipped a live wire (0 ⇒ vacuous injection).
+    pub fault_hits: u64,
+    /// Ground-truth verdict from the golden-reference comparison.
+    pub verdict: Verdict,
+    /// Plain NoCAlert.
+    pub nocalert: DetectorOutcome,
+    /// Cautious NoCAlert (Observation 2).
+    pub cautious: DetectorOutcome,
+    /// ForEVeR baseline.
+    pub forever: DetectorOutcome,
+    /// Distinct NoCAlert checkers that asserted at least once.
+    pub checkers: Vec<CheckerId>,
+    /// Distinct checkers asserted within the first detection cycle
+    /// (Figure 9's "simultaneously asserted checkers").
+    pub simultaneous: u8,
+}
+
+impl RunResult {
+    /// Ground truth: did the fault cause a network-correctness violation?
+    pub fn malicious(&self) -> bool {
+        self.verdict.malicious()
+    }
+
+    /// Confusion-matrix cell for one detector view.
+    pub fn outcome(&self, d: Detector) -> Outcome {
+        let detected = match d {
+            Detector::NoCAlert => self.nocalert.detected,
+            Detector::NoCAlertCautious => self.cautious.detected,
+            Detector::ForEVeR => self.forever.detected,
+        };
+        outcome(detected, self.malicious())
+    }
+
+    /// Detection latency for one detector view.
+    pub fn latency(&self, d: Detector) -> Option<u64> {
+        match d {
+            Detector::NoCAlert => self.nocalert.latency,
+            Detector::NoCAlertCautious => self.cautious.latency,
+            Detector::ForEVeR => self.forever.latency,
+        }
+    }
+}
+
+/// How one run under the resilient runtime concluded.
+///
+/// The ordinary campaign API returns bare [`RunResult`]s and propagates
+/// crashes; the resilient runtime instead quarantines every run behind a
+/// panic boundary and a watchdog and records *how* it ended, so a single
+/// poisoned fault site cannot take down a multi-hour sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The rollout ran to its normal conclusion.
+    Completed(RunResult),
+    /// The watchdog terminated the rollout (cycle budget or progress
+    /// stall). The oracle comparison still ran on the truncated log, so a
+    /// full [`RunResult`] is available — its verdict necessarily includes
+    /// `NotDrained`.
+    Deadlock {
+        /// Classification of the truncated run.
+        result: RunResult,
+        /// What tripped and when.
+        hang: Hang,
+    },
+    /// The rollout panicked; the panic was caught at the isolation
+    /// boundary and the run quarantined.
+    Crashed {
+        /// Injected site.
+        site: SiteRef,
+        /// Temporal fault kind.
+        kind: FaultKind,
+        /// Injection cycle.
+        injected_at: Cycle,
+        /// The panic payload (stringified).
+        payload: String,
+    },
+}
+
+impl RunOutcome {
+    /// The injected site, however the run ended.
+    pub fn site(&self) -> SiteRef {
+        match self {
+            RunOutcome::Completed(r) | RunOutcome::Deadlock { result: r, .. } => r.site,
+            RunOutcome::Crashed { site, .. } => *site,
+        }
+    }
+
+    /// The classified result, when the oracle comparison completed
+    /// (normal and watchdog-terminated runs; not crashes).
+    pub fn run_result(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Completed(r) | RunOutcome::Deadlock { result: r, .. } => Some(r),
+            RunOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Did the run crash?
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, RunOutcome::Crashed { .. })
+    }
+
+    /// Did the watchdog terminate the run?
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunOutcome::Deadlock { .. })
+    }
+
+    /// One-line summary, used in determinism-violation reports.
+    pub fn summary(&self) -> String {
+        match self {
+            RunOutcome::Completed(r) => {
+                format!(
+                    "completed (malicious={}, hits={})",
+                    r.malicious(),
+                    r.fault_hits
+                )
+            }
+            RunOutcome::Deadlock { hang, .. } => {
+                format!("deadlock ({:?} at cycle {})", hang.kind, hang.at_cycle)
+            }
+            RunOutcome::Crashed { payload, .. } => format!("crashed ({payload})"),
+        }
+    }
+}
+
+/// Whether the deterministic re-execution of a crashed/hung run agreed
+/// with the first attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Determinism {
+    /// The retry reproduced the first outcome exactly.
+    Confirmed,
+    /// The retry diverged — the harness (or the platform) is
+    /// non-deterministic, which invalidates seed-based reproduction.
+    Violated {
+        /// Summary of the divergent second outcome.
+        second: String,
+    },
+}
+
+/// One fault site's complete record under the resilient runtime: the
+/// spec, how the run ended, and (for crashed/hung runs) whether the
+/// deterministic retry confirmed the outcome. This is the checkpoint
+/// shard line format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// The injection this record is for.
+    pub spec: FaultSpec,
+    /// How the (first) run concluded.
+    pub outcome: RunOutcome,
+    /// `Some` iff the run crashed or hung and was re-executed once.
+    pub determinism: Option<Determinism>,
+}
+
+impl SiteReport {
+    /// True when the retry diverged from the first attempt.
+    pub fn determinism_violated(&self) -> bool {
+        matches!(self.determinism, Some(Determinism::Violated { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_matrix() {
+        assert_eq!(outcome(true, true), Outcome::TruePositive);
+        assert_eq!(outcome(true, false), Outcome::FalsePositive);
+        assert_eq!(outcome(false, false), Outcome::TrueNegative);
+        assert_eq!(outcome(false, true), Outcome::FalseNegative);
+    }
+
+    #[test]
+    fn crashed_outcome_roundtrips_through_json() {
+        let site = SiteRef {
+            router: 3,
+            port: 1,
+            vc: 0,
+            signal: noc_types::site::SignalKind::RcOutDir,
+            bit: 0,
+        };
+        let report = SiteReport {
+            spec: FaultSpec::transient(site, 500),
+            outcome: RunOutcome::Crashed {
+                site,
+                kind: FaultKind::Transient,
+                injected_at: 500,
+                payload: "attempt to divide by zero".into(),
+            },
+            determinism: Some(Determinism::Confirmed),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SiteReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.outcome.is_crashed());
+        assert_eq!(back.outcome.site(), site);
+        assert!(!back.determinism_violated());
+    }
+}

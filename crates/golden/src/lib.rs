@@ -39,6 +39,7 @@ pub mod oracle;
 pub mod stats;
 
 pub use campaign::{
-    outcome, Campaign, CampaignConfig, Detector, DetectorOutcome, Outcome, RunResult,
+    outcome, Campaign, CampaignConfig, CampaignError, CampaignReport, Checkpoint, Detector,
+    DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult, SiteReport,
 };
 pub use oracle::{classify, GoldenReference, RunLog, Verdict, ViolationKind};

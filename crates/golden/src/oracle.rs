@@ -70,12 +70,36 @@ impl GoldenReference {
     /// the simulator substrate itself is broken, and no classification
     /// made against it would be meaningful.
     pub fn from_log(log: &RunLog, drained: bool) -> GoldenReference {
-        assert!(drained, "golden (fault-free) run must drain");
-        GoldenReference {
+        match GoldenReference::try_from_log(log, drained) {
+            Ok(gr) => gr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the reference from a fault-free run's log, returning a
+    /// structured error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::campaign::CampaignError::GoldenNotDrained`] when
+    /// `drained` is false — a fault-free run that deadlocks means the
+    /// simulator substrate itself is broken, and no classification made
+    /// against it would be meaningful.
+    pub fn try_from_log(
+        log: &RunLog,
+        drained: bool,
+    ) -> Result<GoldenReference, crate::campaign::CampaignError> {
+        if !drained {
+            return Err(crate::campaign::CampaignError::GoldenNotDrained {
+                injected: log.injected.len(),
+                ejected: log.ejected.len(),
+            });
+        }
+        Ok(GoldenReference {
             delivered: log.ejected.iter().map(|e| (e.flit.uid, e.node)).collect(),
             injected: log.injected.iter().map(|(_, f)| f.uid).collect(),
             drained,
-        }
+        })
     }
 
     /// Number of flits the reference delivered.
@@ -321,7 +345,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "golden (fault-free) run must drain")]
+    #[should_panic(expected = "golden (fault-free) run failed to drain")]
     fn undrained_golden_panics() {
         let log = RunLog::new();
         GoldenReference::from_log(&log, false);

@@ -193,7 +193,10 @@ mod tests {
 
     #[test]
     fn checker_shares_normalize() {
-        let rs = vec![result(true, Some(0), true, 2), result(true, Some(1), true, 1)];
+        let rs = vec![
+            result(true, Some(0), true, 2),
+            result(true, Some(1), true, 1),
+        ];
         let shares = checker_shares(&rs);
         assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-9);
         assert_eq!(shares[CheckerId(16).index()], 50.0);

@@ -153,8 +153,7 @@ pub fn area(p: &HwParams) -> AreaReport {
     let pv = p.ports * p.vcs;
 
     // --- Datapath ---
-    let buffers_ge =
-        ports * v * p.depth as f64 * p.width as f64 * tech::REG_GE_PER_BIT;
+    let buffers_ge = ports * v * p.depth as f64 * p.width as f64 * tech::REG_GE_PER_BIT;
     // Per output: a (P-1):1 mux per bit, built from mux2s.
     let xbar_ge = p.width as f64 * ports * (ports - 2.0).max(1.0) * tech::MUX2_GE;
 
@@ -172,20 +171,15 @@ pub fn area(p: &HwParams) -> AreaReport {
     // VC state tables: state (2) + out_port (3) + out_vc bits + next-state
     // logic, per (port, vc). Status tables synthesize to compact
     // latch-based register files — roughly half the flip-flop cost.
-    let vc_state = ports
-        * v
-        * ((2.0 + 3.0 + p.vc_bits() as f64) * tech::REG_GE_PER_BIT * 0.5 + 9.0);
+    let vc_state =
+        ports * v * ((2.0 + 3.0 + p.vc_bits() as f64) * tech::REG_GE_PER_BIT * 0.5 + 9.0);
     // Buffer pointers/flags per (port, vc).
-    let buf_state = ports
-        * v
-        * (2.0 * p.depth_bits() as f64 * tech::REG_GE_PER_BIT * 0.5 + 8.0);
+    let buf_state = ports * v * (2.0 * p.depth_bits() as f64 * tech::REG_GE_PER_BIT * 0.5 + 8.0);
     // Credit counters per (output port, vc).
-    let credits =
-        ports * v * ((p.depth_bits() + 1) as f64 * tech::REG_GE_PER_BIT * 0.5 + 6.0);
+    let credits = ports * v * ((p.depth_bits() + 1) as f64 * tech::REG_GE_PER_BIT * 0.5 + 6.0);
     // Crossbar control (column registers).
     let xbar_ctl = ports * ports * tech::REG_GE_PER_BIT;
-    let control_ge =
-        rc + va1 + sa1 + va2 + sa2 + vc_state + buf_state + credits + xbar_ctl;
+    let control_ge = rc + va1 + sa1 + va2 + sa2 + vc_state + buf_state + credits + xbar_ctl;
 
     let checkers_ge = checkers_area(p);
 
@@ -238,7 +232,8 @@ pub fn checker_costs(p: &HwParams) -> [f64; 32] {
         /* 4 grant w/o request  */ n_small * arb(v) + n_sa2 * arb(ports) + n_va2 * arb(pv),
         /* 5 grant to nobody    */
         n_small * nobody(v) + n_sa2 * nobody(ports) + n_va2 * nobody(pv),
-        /* 6 one-hot grant      */ n_small * onehot(v) + n_sa2 * onehot(ports) + n_va2 * onehot(pv),
+        /* 6 one-hot grant      */
+        n_small * onehot(v) + n_sa2 * onehot(ports) + n_va2 * onehot(pv),
         /* 7 occupied/full VC   */ ports * (2.0 * v + 4.0) + ports * 2.0 * v,
         /* 8 1:1 VC assignment  */ 3.0 * ports * ports,
         /* 9 1:1 port assignment*/ 3.0 * ports * ports,
@@ -301,11 +296,9 @@ pub fn power(p: &HwParams) -> PowerReport {
     // control partially.
     let reg_ge = a.buffers_ge + 0.45 * a.control_ge + 0.1 * a.xbar_ge;
     let comb_ge = a.router_ge() - reg_ge;
-    let router_uw =
-        (reg_ge * tech::REG_POWER_WEIGHT + comb_ge) * tech::GE_DYN_UW;
+    let router_uw = (reg_ge * tech::REG_POWER_WEIGHT + comb_ge) * tech::GE_DYN_UW;
     // Invariance 28's small counters are the only clocked checker bits.
-    let checker_reg =
-        5.0 * p.vcs as f64 * 3.0 * tech::REG_GE_PER_BIT * CHECKER_SYNTHESIS_FACTOR;
+    let checker_reg = 5.0 * p.vcs as f64 * 3.0 * tech::REG_GE_PER_BIT * CHECKER_SYNTHESIS_FACTOR;
     let checker_comb = a.checkers_ge - checker_reg;
     // Checker inputs toggle only when the watched module is active; model
     // a reduced effective activity.
@@ -340,12 +333,12 @@ impl TimingReport {
 pub fn timing(p: &HwParams) -> TimingReport {
     let log2 = |n: u32| (32 - (n.max(2) - 1).leading_zeros()) as f64;
     let stages_fo4 = [
-        8.0 + p.coord_bits as f64,              // RC
-        5.0 + 2.0 * log2(p.vcs),                // VA1
-        5.0 + 2.0 * log2(p.ports * p.vcs),      // VA2 (usually critical)
-        5.0 + 2.0 * log2(p.vcs),                // SA1
-        5.0 + 2.0 * log2(p.ports),              // SA2
-        4.0 + log2(p.ports),                    // XBAR
+        8.0 + p.coord_bits as f64,         // RC
+        5.0 + 2.0 * log2(p.vcs),           // VA1
+        5.0 + 2.0 * log2(p.ports * p.vcs), // VA2 (usually critical)
+        5.0 + 2.0 * log2(p.vcs),           // SA1
+        5.0 + 2.0 * log2(p.ports),         // SA2
+        4.0 + log2(p.ports),               // XBAR
     ];
     let crit = stages_fo4.iter().cloned().fold(0.0, f64::max);
     TimingReport {
@@ -429,8 +422,7 @@ mod tests {
         assert!((4.0..8.0).contains(&d2), "DMR@2 = {d2}%");
         assert!((24.0..36.0).contains(&d8), "DMR@8 = {d8}%");
         // Average NoCAlert area ≈ 3%.
-        let avg: f64 =
-            rows.iter().map(|r| r.nocalert_area_pct).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(|r| r.nocalert_area_pct).sum::<f64>() / rows.len() as f64;
         assert!((1.5..4.5).contains(&avg), "avg NoCAlert area {avg}%");
     }
 
@@ -472,7 +464,10 @@ mod tests {
             HwParams { vcs: 8, ..base },
             HwParams { depth: 8, ..base },
             HwParams { width: 256, ..base },
-            HwParams { coord_bits: 5, ..base },
+            HwParams {
+                coord_bits: 5,
+                ..base
+            },
         ] {
             assert!(area(&delta).router_ge() > a0, "{delta:?}");
         }

@@ -98,7 +98,6 @@ pub fn one_hot_index(v: u64) -> Option<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn grants_are_one_hot_subset_of_requests() {
@@ -156,38 +155,44 @@ mod tests {
         RoundRobin::new(0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_grant_always_one_hot_subset(width in 1u8..=16, reqs in proptest::collection::vec(0u64..u64::MAX, 1..50)) {
+    // Property-style sweeps over seeded random inputs (the environment is
+    // offline, so these use the in-tree deterministic RNG instead of
+    // proptest's strategy machinery).
+
+    #[test]
+    fn prop_grant_always_one_hot_subset() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xA2B1);
+        for width in 1u8..=16 {
             let mut arb = RoundRobin::new(width);
             let mask = (1u64 << width) - 1;
-            for r in reqs {
+            for _ in 0..200 {
+                let r: u64 = rng.gen();
                 let g = arb.arbitrate(r);
                 let r = r & mask;
                 if r == 0 {
-                    prop_assert_eq!(g, 0);
+                    assert_eq!(g, 0, "width {width}");
                 } else {
-                    prop_assert_eq!(g & r, g);
-                    prop_assert_eq!(g.count_ones(), 1);
+                    assert_eq!(g & r, g, "grant outside requests, width {width}");
+                    assert_eq!(g.count_ones(), 1, "grant not one-hot, width {width}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_starvation_freedom(width in 2u8..=8, offset in 0u8..8) {
-            // A persistent requester wins within `width` arbitrations even
-            // with all other requesters contending.
-            let mut arb = RoundRobin::new(width);
-            let bit = offset % width;
-            let all = (1u64 << width) - 1;
-            let mut won = false;
-            for _ in 0..width {
-                if arb.arbitrate(all) == 1 << bit {
-                    won = true;
-                    break;
-                }
+    #[test]
+    fn prop_starvation_freedom() {
+        // A persistent requester wins within `width` arbitrations even
+        // with all other requesters contending. Exhaustive over the widths
+        // and requester positions the routers use.
+        for width in 2u8..=8 {
+            for bit in 0..width {
+                let mut arb = RoundRobin::new(width);
+                let all = (1u64 << width) - 1;
+                let won = (0..width).any(|_| arb.arbitrate(all) == 1 << bit);
+                assert!(won, "requester {bit} starved at width {width}");
             }
-            prop_assert!(won);
         }
     }
 }

@@ -104,6 +104,11 @@ pub struct NetStats {
     pub injected_flits: u64,
     /// Flits delivered to NIs.
     pub ejected_flits: u64,
+    /// Flits moved across a link or into an ejection buffer — unlike
+    /// `in_flight`, this counter changes on every hop, so it distinguishes
+    /// a genuinely wedged network from one whose population is merely
+    /// constant (the watchdog's progress signal).
+    pub forwarded_flits: u64,
     /// Sum of per-flit latencies (eject cycle − inject-generation cycle).
     pub latency_sum: u64,
 }
@@ -143,9 +148,22 @@ impl Network {
     /// Panics if `cfg.validate()` fails — constructing a simulator from an
     /// inconsistent configuration is a programming error.
     pub fn new(cfg: NocConfig) -> Network {
-        cfg.validate().expect("invalid NocConfig");
+        match Network::try_new(cfg) {
+            Ok(net) => net,
+            Err(e) => panic!("invalid NocConfig: {e}"),
+        }
+    }
+
+    /// Builds a network, returning a structured [`SimError`] instead of
+    /// panicking when the configuration is inconsistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when `cfg.validate()` fails.
+    pub fn try_new(cfg: NocConfig) -> Result<Network, noc_types::SimError> {
+        cfg.validate()?;
         let n = cfg.mesh.len() as u16;
-        Network {
+        Ok(Network {
             routers: (0..n).map(|i| Router::new(&cfg, i)).collect(),
             nics: (0..n).map(|i| Nic::new(&cfg, NodeId(i))).collect(),
             plane: FaultPlane::new(),
@@ -158,7 +176,7 @@ impl Network {
             injection_enabled: true,
             stats: NetStats::default(),
             cfg,
-        }
+        })
     }
 
     /// The configuration.
@@ -174,6 +192,19 @@ impl Network {
     /// Aggregate statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// A signature that changes whenever any flit moves anywhere —
+    /// injection, a link hop, or an ejection. Two equal signatures some
+    /// cycles apart mean the network made no forward progress in between
+    /// (the deadlock watchdog's criterion); note a livelocked network
+    /// keeps forwarding and therefore keeps changing its signature.
+    pub fn progress_signature(&self) -> (u64, u64, u64) {
+        (
+            self.stats.injected_flits,
+            self.stats.forwarded_flits,
+            self.stats.ejected_flits,
+        )
     }
 
     /// Enables/disables *generation* of new packets. Packets already queued
@@ -259,7 +290,13 @@ impl Network {
         // ---- Phase 1: routers ----
         for r in &mut self.routers {
             self.record.reset(r.id());
-            r.step(cfg, cy, &mut self.plane, &mut self.scratch, &mut self.record);
+            r.step(
+                cfg,
+                cy,
+                &mut self.plane,
+                &mut self.scratch,
+                &mut self.record,
+            );
             obs.on_cycle_record(cy, &self.record);
         }
 
@@ -284,9 +321,11 @@ impl Network {
                 };
                 if d == Direction::Local {
                     self.nics[i].eject_push(lf.vc, lf.flit);
+                    self.stats.forwarded_flits += 1;
                 } else if let Some(nb) = cfg.mesh.neighbor(NodeId(i as u16), d) {
                     let in_port = d.opposite().index();
                     self.routers[nb.index()].incoming[in_port] = Some(lf);
+                    self.stats.forwarded_flits += 1;
                 }
                 // A dead output port with a staged flit (fault-induced)
                 // drops it on the floor: there is no wire.
@@ -405,7 +444,11 @@ mod tests {
         let mut next_seq: HashMap<u64, u16> = HashMap::new();
         for ev in &log.ejected {
             let expect = next_seq.entry(ev.flit.packet.0).or_insert(0);
-            assert_eq!(ev.flit.seq, *expect, "packet {} out of order", ev.flit.packet);
+            assert_eq!(
+                ev.flit.seq, *expect,
+                "packet {} out of order",
+                ev.flit.packet
+            );
             *expect += 1;
         }
     }
@@ -441,8 +484,16 @@ mod tests {
             a.step_observed(&mut log_a);
             b.step_observed(&mut log_b);
         }
-        let ea: Vec<_> = log_a.ejected.iter().map(|e| (e.cycle, e.flit.uid)).collect();
-        let eb: Vec<_> = log_b.ejected.iter().map(|e| (e.cycle, e.flit.uid)).collect();
+        let ea: Vec<_> = log_a
+            .ejected
+            .iter()
+            .map(|e| (e.cycle, e.flit.uid))
+            .collect();
+        let eb: Vec<_> = log_b
+            .ejected
+            .iter()
+            .map(|e| (e.cycle, e.flit.uid))
+            .collect();
         assert_eq!(ea, eb);
         assert_eq!(net.cycle(), 800);
         let _ = net;

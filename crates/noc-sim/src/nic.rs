@@ -122,16 +122,19 @@ impl Nic {
 
     /// Tries to hand one flit to the router's local input port this cycle.
     pub fn inject(&mut self, cfg: &NocConfig) -> Option<LinkFlit> {
-        if self.alloc.is_none() {
-            let head = self.source.front()?;
-            // Under correct operation the queue front between worms is a
-            // header; pick the lowest free VC of its class.
-            let (lo, hi) = cfg.vc_range_of_class(head.class.min(cfg.message_classes - 1));
-            let vc = (lo..hi).find(|&v| self.ni_free[v as usize])?;
-            self.ni_free[vc as usize] = false;
-            self.alloc = Some(vc);
-        }
-        let vc = self.alloc.unwrap();
+        let vc = match self.alloc {
+            Some(vc) => vc,
+            None => {
+                let head = self.source.front()?;
+                // Under correct operation the queue front between worms is a
+                // header; pick the lowest free VC of its class.
+                let (lo, hi) = cfg.vc_range_of_class(head.class.min(cfg.message_classes - 1));
+                let vc = (lo..hi).find(|&v| self.ni_free[v as usize])?;
+                self.ni_free[vc as usize] = false;
+                self.alloc = Some(vc);
+                vc
+            }
+        };
         if self.ni_credits[vc as usize] == 0 {
             return None;
         }
@@ -171,7 +174,11 @@ impl Nic {
     /// Drains up to `ejection_rate` flits round-robin across the ejection
     /// VCs; returns the ejected flits plus the credits to hand back to the
     /// router's local *output* port.
-    pub fn eject_step(&mut self, cfg: &NocConfig, cycle: Cycle) -> (Vec<EjectEvent>, Vec<CreditMsg>) {
+    pub fn eject_step(
+        &mut self,
+        cfg: &NocConfig,
+        cycle: Cycle,
+    ) -> (Vec<EjectEvent>, Vec<CreditMsg>) {
         let mut events = Vec::new();
         let mut credits = Vec::new();
         let v = cfg.vcs_per_port;
@@ -187,7 +194,9 @@ impl Nic {
             }
             let Some(idx) = found else { break };
             self.eject_next = (idx + 1) % v;
-            let flit = self.eject[idx as usize].pop_front().expect("non-empty");
+            let flit = self.eject[idx as usize]
+                .pop_front()
+                .expect("round-robin scan selected a non-empty eject VC");
             self.ejected += 1;
             credits.push(CreditMsg {
                 port: noc_types::geometry::Direction::Local.index() as u8,

@@ -139,7 +139,11 @@ impl Router {
             coord,
             live,
             inputs: (0..P)
-                .map(|_| (0..v).map(|_| VirtualChannel::new(cfg.buffer_depth)).collect())
+                .map(|_| {
+                    (0..v)
+                        .map(|_| VirtualChannel::new(cfg.buffer_depth))
+                        .collect()
+                })
                 .collect(),
             outputs: (0..P)
                 .map(|p| OutputPort::new(live[p], v, cfg.buffer_depth))
@@ -418,7 +422,8 @@ impl Router {
                 }
             }
             let Some(src_p) = first else { continue };
-            let (mut flit, src_v) = scratch.row_flit[src_p as usize].unwrap();
+            let (mut flit, src_v) = scratch.row_flit[src_p as usize]
+                .expect("src_p was selected only among rows holding a flit");
             if extra {
                 // Two drivers on one column: the payloads collide. EDC on
                 // the datapath would flag the damage, but the control-level
@@ -615,8 +620,8 @@ impl Router {
                         // credit gate moves to switch traversal, so the
                         // wire checkers treat it as satisfied (the paper's
                         // Section-4.4 invariance adaptation).
-                        let speculating = cfg.speculative
-                            && self.state_wire(pl, cy, p, v) == state::VA_PENDING;
+                        let speculating =
+                            cfg.speculative && self.state_wire(pl, cy, p, v) == state::VA_PENDING;
                         winner_credit_ok = speculating
                             || ((op as usize) < P
                                 && self.live[op as usize]
@@ -726,9 +731,7 @@ impl Router {
                 .map(|v| {
                     let class = cfg.class_of_vc(v);
                     let (lo, hi) = cfg.vc_range_of_class(class);
-                    self.outputs[o as usize]
-                        .lowest_free_in(lo, hi)
-                        .unwrap_or(0) as u64
+                    self.outputs[o as usize].lowest_free_in(lo, hi).unwrap_or(0) as u64
                 })
                 .unwrap_or(self.va2_bus[o as usize]);
             self.va2_bus[o as usize] = chosen;
@@ -870,7 +873,9 @@ impl Router {
                     continue;
                 }
                 let flit = if addressed {
-                    arrival.unwrap().flit
+                    arrival
+                        .expect("addressed implies a link arrival this cycle")
+                        .flit
                 } else {
                     // Spurious write-enable: the buffer captures whatever
                     // the link data register holds — a stale replay.
@@ -881,8 +886,7 @@ impl Router {
                             f
                         }
                         None => {
-                            let mut f =
-                                crate::buffer::VcBuffer::new(cfg.buffer_depth).read_stale();
+                            let mut f = crate::buffer::VcBuffer::new(cfg.buffer_depth).read_stale();
                             f.origin = FlitOrigin::StaleReplay;
                             f
                         }
@@ -942,12 +946,30 @@ impl Router {
             for v in 0..vcs {
                 let pi = p as usize;
                 let vi = v as usize;
-                let ev_rc =
-                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvRcDone, scratch.ev_rc[pi][vi]);
-                let ev_va =
-                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvVaDone, scratch.ev_va[pi][vi]);
-                let ev_sa =
-                    pl.xf_bool(cy, self.id, p, v, SignalKind::VcEvSaWon, scratch.ev_sa[pi][vi]);
+                let ev_rc = pl.xf_bool(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::VcEvRcDone,
+                    scratch.ev_rc[pi][vi],
+                );
+                let ev_va = pl.xf_bool(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::VcEvVaDone,
+                    scratch.ev_va[pi][vi],
+                );
+                let ev_sa = pl.xf_bool(
+                    cy,
+                    self.id,
+                    p,
+                    v,
+                    SignalKind::VcEvSaWon,
+                    scratch.ev_sa[pi][vi],
+                );
                 let before = scratch.state_snap[pi][vi];
                 {
                     let vcref = &mut self.inputs[pi][vi];

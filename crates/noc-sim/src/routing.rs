@@ -100,7 +100,6 @@ pub fn productive(mesh: Mesh, cur: Coord, dest: Coord, out: Direction) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const MESH: fn() -> Mesh = || Mesh::new(8, 8);
 
@@ -189,34 +188,45 @@ mod tests {
         assert!(productive(mesh, dest, dest, Direction::Local));
     }
 
-    proptest! {
-        #[test]
-        fn prop_routes_are_minimal_and_legal(
-            alg_xy in proptest::bool::ANY,
-            sx in 0u8..8, sy in 0u8..8, dx in 0u8..8, dy in 0u8..8,
-        ) {
-            let alg = if alg_xy { RoutingAlgorithm::XY } else { RoutingAlgorithm::WestFirst };
-            let mesh = MESH();
-            let mut cur = Coord::new(sx, sy);
-            let dest = Coord::new(dx, dy);
-            let mut in_port = Direction::Local;
-            let mut hops = 0;
-            loop {
-                let out = route(alg, cur, dest);
-                prop_assert!(productive(mesh, cur, dest, out),
-                    "unproductive hop {out} at {cur} toward {dest}");
-                prop_assert!(turn_legal(alg, in_port, out),
-                    "illegal turn {in_port}->{out} at {cur}");
-                if out == Direction::Local {
-                    break;
+    // Exhaustive over every (algorithm, source, destination) pair on the
+    // 8x8 mesh — strictly stronger than the sampled property test this
+    // replaces (the environment is offline, so no proptest).
+    #[test]
+    fn prop_routes_are_minimal_and_legal() {
+        for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::WestFirst] {
+            for sx in 0u8..8 {
+                for sy in 0u8..8 {
+                    for dx in 0u8..8 {
+                        for dy in 0u8..8 {
+                            let mesh = MESH();
+                            let mut cur = Coord::new(sx, sy);
+                            let dest = Coord::new(dx, dy);
+                            let mut in_port = Direction::Local;
+                            let mut hops = 0;
+                            loop {
+                                let out = route(alg, cur, dest);
+                                assert!(
+                                    productive(mesh, cur, dest, out),
+                                    "unproductive hop {out} at {cur} toward {dest}"
+                                );
+                                assert!(
+                                    turn_legal(alg, in_port, out),
+                                    "illegal turn {in_port}->{out} at {cur}"
+                                );
+                                if out == Direction::Local {
+                                    break;
+                                }
+                                cur = cur.step(out, 8, 8).unwrap();
+                                in_port = out.opposite();
+                                hops += 1;
+                                assert!(hops <= 14, "route did not converge");
+                            }
+                            assert_eq!(cur, dest);
+                            assert_eq!(hops, Coord::new(sx, sy).manhattan(dest));
+                        }
+                    }
                 }
-                cur = cur.step(out, 8, 8).unwrap();
-                in_port = out.opposite();
-                hops += 1;
-                prop_assert!(hops <= 14, "route did not converge");
             }
-            prop_assert_eq!(cur, dest);
-            prop_assert_eq!(hops, Coord::new(sx, sy).manhattan(dest));
         }
     }
 }

@@ -44,9 +44,7 @@ pub fn live_bits(cfg: &NocConfig, router: NodeId, module_port: u8, sig: SignalKi
     if port_indexed(sig) {
         Direction::ALL
             .iter()
-            .filter(|d| {
-                d.index() as u8 != module_port && cfg.mesh.port_live(router, **d)
-            })
+            .filter(|d| d.index() as u8 != module_port && cfg.mesh.port_live(router, **d))
             .map(|d| d.index() as u8)
             .collect()
     } else {
@@ -122,11 +120,21 @@ mod tests {
         let cfg = NocConfig::paper_baseline();
         // Interior router: all 5 ports live; Va2 at East excludes East.
         let interior = cfg.mesh.node(Coord::new(3, 3));
-        let bits = live_bits(&cfg, interior, Direction::East.index() as u8, SignalKind::Va2Req);
+        let bits = live_bits(
+            &cfg,
+            interior,
+            Direction::East.index() as u8,
+            SignalKind::Va2Req,
+        );
         assert_eq!(bits, vec![0, 2, 3, 4]);
         // SW corner: North, East, Local live.
         let corner = cfg.mesh.node(Coord::new(0, 0));
-        let bits = live_bits(&cfg, corner, Direction::North.index() as u8, SignalKind::Sa2Grant);
+        let bits = live_bits(
+            &cfg,
+            corner,
+            Direction::North.index() as u8,
+            SignalKind::Sa2Grant,
+        );
         assert_eq!(bits, vec![1, 4]);
     }
 
@@ -145,7 +153,10 @@ mod tests {
         let corner = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(0, 0))).len();
         let edge = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(3, 0))).len();
         let interior = enumerate_router_sites(&cfg, cfg.mesh.node(Coord::new(3, 3))).len();
-        assert!(corner < edge && edge < interior, "{corner} {edge} {interior}");
+        assert!(
+            corner < edge && edge < interior,
+            "{corner} {edge} {interior}"
+        );
     }
 
     #[test]

@@ -93,9 +93,7 @@ impl StatsCollector {
     /// Accepted throughput in flits/cycle over the observed window.
     pub fn throughput(&self) -> f64 {
         match self.first_cycle {
-            Some(f) if self.last_cycle > f => {
-                self.ejected as f64 / (self.last_cycle - f) as f64
-            }
+            Some(f) if self.last_cycle > f => self.ejected as f64 / (self.last_cycle - f) as f64,
             _ => 0.0,
         }
     }

@@ -105,7 +105,11 @@ impl Observer for TraceObserver {
 
     fn on_eject(&mut self, ev: &EjectEvent) {
         if self.window.contains(&ev.cycle) && self.buffer.len() < self.max_len {
-            let _ = writeln!(self.buffer, "c{} EJECT  {} at {}", ev.cycle, ev.flit, ev.node);
+            let _ = writeln!(
+                self.buffer,
+                "c{} EJECT  {} at {}",
+                ev.cycle, ev.flit, ev.node
+            );
         }
     }
 }

@@ -86,12 +86,7 @@ fn per_hop_header_increment_is_five_cycles() {
             .iter()
             .filter(|(_, f)| f.is_head() && f.src.0 == 0)
             .map(|(c, f)| {
-                let inj = t
-                    .injected
-                    .iter()
-                    .find(|(_, g)| g.uid == f.uid)
-                    .unwrap()
-                    .0;
+                let inj = t.injected.iter().find(|(_, g)| g.uid == f.uid).unwrap().0;
                 c - inj
             })
             .min()
@@ -150,12 +145,7 @@ fn speculative_mode_saves_exactly_one_cycle_per_hop_for_headers() {
             .iter()
             .filter(|(_, f)| f.is_head())
             .map(|(c, f)| {
-                let inj = t
-                    .injected
-                    .iter()
-                    .find(|(_, g)| g.uid == f.uid)
-                    .unwrap()
-                    .0;
+                let inj = t.injected.iter().find(|(_, g)| g.uid == f.uid).unwrap().0;
                 c - inj
             })
             .min()

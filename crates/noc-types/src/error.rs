@@ -1,0 +1,119 @@
+//! The simulator-side error taxonomy.
+//!
+//! [`SimError`] is the structured alternative to the `unwrap()`/`panic!`
+//! calls that used to guard the simulator's entry points: every variant
+//! carries the site/cycle/router context a campaign needs to report a
+//! failed run without groveling through a panic payload. Campaign-level
+//! failures (warm-up violations, checkpoint I/O, determinism violations)
+//! have their own taxonomy, `CampaignError`, in the `nocalert-golden`
+//! crate, which wraps this one.
+
+use crate::config::ConfigError;
+use crate::site::SiteRef;
+use crate::Cycle;
+use std::fmt;
+
+/// A structured simulator failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration failed [`crate::NocConfig::validate`].
+    Config(ConfigError),
+    /// A fault site references a router outside the mesh.
+    SiteOutOfMesh {
+        /// The offending site.
+        site: SiteRef,
+        /// Number of routers in the configured mesh.
+        routers: u16,
+    },
+    /// A fault spec is temporally malformed (e.g. an intermittent fault
+    /// with a zero period, which has no defined activity pattern).
+    FaultSpecInvalid {
+        /// The offending site.
+        site: SiteRef,
+        /// What is wrong with the spec.
+        reason: &'static str,
+    },
+    /// The simulator reached an internally inconsistent state — the
+    /// replacement for a bare panic deep in a router model, annotated
+    /// with where and when.
+    Internal {
+        /// Router index the inconsistency was observed at (if known).
+        router: Option<u16>,
+        /// Simulation cycle.
+        cycle: Cycle,
+        /// Description of the invariant that broke.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::SiteOutOfMesh { site, routers } => {
+                write!(
+                    f,
+                    "fault site {site} targets router {} but the mesh has {routers} routers",
+                    site.router
+                )
+            }
+            SimError::FaultSpecInvalid { site, reason } => {
+                write!(f, "invalid fault spec at {site}: {reason}")
+            }
+            SimError::Internal {
+                router,
+                cycle,
+                detail,
+            } => match router {
+                Some(r) => write!(
+                    f,
+                    "simulator invariant broken at router {r}, cycle {cycle}: {detail}"
+                ),
+                None => write!(f, "simulator invariant broken at cycle {cycle}: {detail}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SignalKind;
+
+    #[test]
+    fn display_carries_context() {
+        let site = SiteRef {
+            router: 99,
+            port: 1,
+            vc: 0,
+            signal: SignalKind::RcOutDir,
+            bit: 2,
+        };
+        let e = SimError::SiteOutOfMesh { site, routers: 16 };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains("16"), "{s}");
+
+        let e = SimError::Internal {
+            router: Some(7),
+            cycle: 1234,
+            detail: "credit underflow".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("router 7") && s.contains("1234") && s.contains("credit underflow"));
+    }
+}

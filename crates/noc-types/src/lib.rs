@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod flit;
 pub mod geometry;
 pub mod record;
 pub mod site;
 
 pub use config::{BufferPolicy, NocConfig, RoutingAlgorithm, TrafficPattern};
+pub use error::SimError;
 pub use flit::{Flit, FlitKind, FlitOrigin, PacketId};
 pub use geometry::{Coord, Direction, Mesh, NodeId};
 pub use record::{CycleRecord, EjectEvent};

@@ -373,7 +373,10 @@ mod tests {
         assert!(!FaultKind::Transient.active_at(1));
         assert!(FaultKind::Permanent.active_at(0));
         assert!(FaultKind::Permanent.active_at(10_000));
-        let inter = FaultKind::Intermittent { period: 10, duty: 3 };
+        let inter = FaultKind::Intermittent {
+            period: 10,
+            duty: 3,
+        };
         assert!(inter.active_at(0));
         assert!(inter.active_at(2));
         assert!(!inter.active_at(3));

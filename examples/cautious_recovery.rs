@@ -13,8 +13,8 @@
 //!
 //! Run with: `cargo run --release --example cautious_recovery`
 
-use nocalert_repro::prelude::*;
 use noc_types::site::SignalKind;
+use nocalert_repro::prelude::*;
 
 fn scenario(name: &str, site: SiteRef, cfg: &NocConfig) {
     println!("\n--- scenario: {name} ({site}) ---");
@@ -30,19 +30,23 @@ fn scenario(name: &str, site: SiteRef, cfg: &NocConfig) {
         println!("fault hit no live wire this time");
         return;
     }
-    let checkers: Vec<String> = bank
-        .asserted_set()
-        .iter()
-        .map(|c| c.to_string())
-        .collect();
+    let checkers: Vec<String> = bank.asserted_set().iter().map(|c| c.to_string()).collect();
     println!("asserted checkers: {}", checkers.join(", "));
     match bank.first_detection() {
-        Some(c) => println!("raw policy:      trigger recovery at cycle {c} (+{})", c - t0),
+        Some(c) => println!(
+            "raw policy:      trigger recovery at cycle {c} (+{})",
+            c - t0
+        ),
         None => println!("raw policy:      no trigger"),
     }
     match bank.first_detection_cautious() {
-        Some(c) => println!("cautious policy: trigger recovery at cycle {c} (+{})", c - t0),
-        None => println!("cautious policy: deferred — low-risk assertions only, packet likely delivered anyway"),
+        Some(c) => println!(
+            "cautious policy: trigger recovery at cycle {c} (+{})",
+            c - t0
+        ),
+        None => println!(
+            "cautious policy: deferred — low-risk assertions only, packet likely delivered anyway"
+        ),
     }
 }
 

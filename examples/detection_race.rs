@@ -11,8 +11,8 @@
 //!
 //! Run with: `cargo run --release --example detection_race`
 
-use nocalert_repro::prelude::*;
 use noc_types::site::SignalKind;
+use nocalert_repro::prelude::*;
 
 fn main() {
     let mut cfg = NocConfig::paper_baseline();

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example fault_campaign -- [n_sites] [warmup]`
 //! (defaults: 200 sites, warm-up 0 — the paper's "cycle 0" instant).
 
-use nocalert_repro::prelude::*;
 use golden::stats;
+use nocalert_repro::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -65,7 +65,10 @@ fn main() {
         println!(
             "ForEVeR  TP latency: {:.1}% instantaneous, median ~{} cycles, max {} cycles",
             stats::cdf_at(&fcdf, 0),
-            fcdf.iter().find(|(_, p)| *p >= 50.0).map(|(l, _)| *l).unwrap_or(0),
+            fcdf.iter()
+                .find(|(_, p)| *p >= 50.0)
+                .map(|(l, _)| *l)
+                .unwrap_or(0),
             fcdf.last().unwrap().0
         );
     }

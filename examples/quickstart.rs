@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use nocalert_repro::prelude::*;
 use noc_types::site::SignalKind;
+use nocalert_repro::prelude::*;
 
 fn main() {
     let mut cfg = NocConfig::paper_baseline();

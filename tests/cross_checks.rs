@@ -91,7 +91,10 @@ fn section_4_4_west_first_relaxes_turn_set_but_still_detects() {
     for _ in 0..3_000 {
         net.step_observed(&mut bank);
     }
-    assert!(bank.assertions().is_empty(), "west-first fault-free silence");
+    assert!(
+        bank.assertions().is_empty(),
+        "west-first fault-free silence"
+    );
     net.arm_fault(
         SiteRef {
             router: 5,
@@ -107,7 +110,10 @@ fn section_4_4_west_first_relaxes_turn_set_but_still_detects() {
         net.step_observed(&mut bank);
     }
     assert!(net.fault_hits() > 0);
-    assert!(bank.any_asserted(), "RC faults detected under west-first too");
+    assert!(
+        bank.any_asserted(),
+        "RC faults detected under west-first too"
+    );
 }
 
 #[test]
@@ -185,7 +191,10 @@ fn intermittent_faults_sit_between_transient_and_permanent() {
     let mut hits = Vec::new();
     for kind in [
         FaultKind::Transient,
-        FaultKind::Intermittent { period: 10, duty: 3 },
+        FaultKind::Intermittent {
+            period: 10,
+            duty: 3,
+        },
         FaultKind::Permanent,
     ] {
         let mut net = Network::new(cfg.clone());

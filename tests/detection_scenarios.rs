@@ -51,10 +51,7 @@ fn rc_dest_wire_faults_trip_minimal_route_checker() {
     // A corrupted destination makes the (correctly computed) route look
     // non-minimal against the *true* header destination downstream, or
     // produces a misroute caught later; the low-risk checkers own this.
-    assert!(
-        got.iter().any(|c| [1, 2, 3].contains(c)),
-        "got {got:?}"
-    );
+    assert!(got.iter().any(|c| [1, 2, 3].contains(c)), "got {got:?}");
 }
 
 #[test]
@@ -108,7 +105,10 @@ fn state_event_wire_faults_trip_pipeline_order_checker() {
 #[test]
 fn stuck_state_register_trips_consistency_checkers() {
     let got = asserted(site(5, 0, 0, SignalKind::VcStateCode, 1));
-    assert!(!got.is_empty(), "stuck state register escaped every checker");
+    assert!(
+        !got.is_empty(),
+        "stuck state register escaped every checker"
+    );
 }
 
 #[test]

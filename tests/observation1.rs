@@ -26,12 +26,13 @@ fn campaign(warmup: u64) -> (Campaign, Vec<golden::RunResult>) {
 fn zero_false_negatives_for_both_detectors() {
     for warmup in [0u64, 1_500] {
         let (_c, results) = campaign(warmup);
-        for d in [Detector::NoCAlert, Detector::NoCAlertCautious, Detector::ForEVeR] {
+        for d in [
+            Detector::NoCAlert,
+            Detector::NoCAlertCautious,
+            Detector::ForEVeR,
+        ] {
             let b = breakdown(&results, d);
-            assert_eq!(
-                b.fn_, 0.0,
-                "{d:?} has false negatives at warmup {warmup}"
-            );
+            assert_eq!(b.fn_, 0.0, "{d:?} has false negatives at warmup {warmup}");
         }
         // Some faults must actually be malicious for the test to bite.
         assert!(
