@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== noc-lint (static verification) =="
+cargo run -q --release -p nocalert-analysis --bin noc-lint
+
 echo "== cargo test =="
 cargo test -q --workspace
 

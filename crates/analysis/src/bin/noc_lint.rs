@@ -1,0 +1,176 @@
+//! `noc-lint` — the static-verification driver.
+//!
+//! ```text
+//! noc-lint [--json] [--mesh WxH] [--vcs N] [--nonatomic] [--speculative]
+//!          [--pass coverage|prove|lint[,...]] [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Runs the three static passes (checker-coverage, exhaustive proving,
+//! source lints) on the canonical configuration (8×8 mesh, 2 VCs) or the
+//! one described by the flags, and prints a human report or a stable JSON
+//! document. Exits 1 if any error-level diagnostic was produced, 2 on
+//! usage errors.
+
+use noc_types::config::{BufferPolicy, NocConfig};
+use nocalert_analysis::{canonical_config, find_repo_root, run, PassSelection};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    cfg: NocConfig,
+    passes: PassSelection,
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("noc-lint: {err}");
+    eprintln!(
+        "usage: noc-lint [--json] [--mesh WxH] [--vcs N] [--nonatomic] [--speculative]\n\
+         \x20               [--pass coverage|prove|lint[,...]] [--root DIR] [--allowlist FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        cfg: canonical_config(),
+        passes: PassSelection::default(),
+        root: None,
+        allowlist: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--nonatomic" => opts.cfg.buffer_policy = BufferPolicy::NonAtomic,
+            "--speculative" => opts.cfg.speculative = true,
+            "--mesh" => {
+                let v = value("--mesh")?;
+                let (w, h) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--mesh wants WxH, got `{v}`"))?;
+                let (w, h) = (
+                    w.parse::<u8>().map_err(|e| format!("--mesh width: {e}"))?,
+                    h.parse::<u8>().map_err(|e| format!("--mesh height: {e}"))?,
+                );
+                if w == 0 || h == 0 {
+                    return Err("--mesh dimensions must be non-zero".into());
+                }
+                opts.cfg.mesh = noc_types::geometry::Mesh::new(w, h);
+            }
+            "--vcs" => {
+                let v = value("--vcs")?;
+                opts.cfg.vcs_per_port = v.parse().map_err(|e| format!("--vcs: {e}"))?;
+            }
+            "--pass" => {
+                let v = value("--pass")?;
+                let mut sel = PassSelection {
+                    coverage: false,
+                    prove: false,
+                    lint: false,
+                };
+                for p in v.split(',') {
+                    match p {
+                        "coverage" => sel.coverage = true,
+                        "prove" => sel.prove = true,
+                        "lint" => sel.lint = true,
+                        other => return Err(format!("unknown pass `{other}`")),
+                    }
+                }
+                opts.passes = sel;
+            }
+            "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
+            "--allowlist" => opts.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    opts.cfg
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match opts.root.or_else(|| find_repo_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            return usage("could not locate the repository root (pass --root)");
+        }
+    };
+    let allowlist = opts
+        .allowlist
+        .unwrap_or_else(|| root.join("noc-lint.allow"));
+
+    let report = run(&opts.cfg, &root, &allowlist, opts.passes);
+
+    // Build the whole report in memory and write it once, tolerating a
+    // closed pipe (`noc-lint --json | head` must not abort).
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => {
+                let _ = writeln!(out, "{s}");
+            }
+            Err(e) => {
+                eprintln!("noc-lint: JSON serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &report.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        if let Some(c) = &report.coverage {
+            let _ = writeln!(
+                out,
+                "coverage: {}/{} sites covered, {} live signal kinds, \
+                 min {} checker(s) per site",
+                c.covered_sites, c.total_sites, c.live_signal_kinds, c.min_constrainers_per_site
+            );
+        }
+        for p in &report.proofs {
+            let _ = writeln!(
+                out,
+                "prove: {} — {} cases, {} violations{}",
+                p.cone,
+                p.cases,
+                p.violations,
+                if p.violations == 0 { " (proved)" } else { "" }
+            );
+        }
+        if let Some(l) = &report.lint {
+            let _ = writeln!(
+                out,
+                "lint: {} files scanned, {} forbidden hit(s), {} allowlisted",
+                l.files_scanned, l.forbidden_hits, l.allowlisted_hits
+            );
+        }
+        let _ = writeln!(
+            out,
+            "noc-lint: {} error(s), {} warning(s), {} note(s)",
+            report.counts.error, report.counts.warning, report.counts.info
+        );
+    }
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

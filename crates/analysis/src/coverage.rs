@@ -1,0 +1,294 @@
+//! Pass 1 — checker-coverage / blind-spot analysis.
+//!
+//! The paper's headline result (0% false negatives for single-bit faults,
+//! Table 1) is demonstrated *dynamically* by fault-injection campaigns.
+//! This pass proves the static counterpart: it builds the signal graph of
+//! one configuration (every live wire bit of every module instance, via
+//! `noc_sim::signals`) and intersects it with the machine-readable
+//! `observes`/`constrains` sets declared in `nocalert::TABLE1`. A **blind
+//! spot** is a live fault site whose signal no policy-enabled checker
+//! constrains — a single-bit fault there could escape the checker array
+//! without any simulation telling us.
+//!
+//! The pass also enforces metadata hygiene (every checker must declare a
+//! non-empty, module-consistent observation set), which makes the
+//! no-redundant-checker property checkable: deleting any one checker's
+//! declared sets fails the pass, mirroring the dynamic ablation experiment
+//! (E12) that removes one checker and measures the faults that escape.
+
+use crate::diag::{Diagnostic, Pass, Severity};
+use noc_sim::signals::enumerate_all_sites;
+use noc_types::config::NocConfig;
+use noc_types::site::{SignalKind, SiteRef};
+use nocalert::{CheckerId, TABLE1};
+use serde::Serialize;
+
+/// Editable copy of the per-checker declared signal sets.
+///
+/// The default is exactly the Table-1 registry; tests (and ablation
+/// studies) mutate a copy to prove the analysis notices degraded
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct CheckerModel {
+    observes: Vec<Vec<SignalKind>>,
+    constrains: Vec<Vec<SignalKind>>,
+}
+
+impl CheckerModel {
+    /// The declared sets of the in-tree Table-1 registry.
+    pub fn from_table1() -> CheckerModel {
+        CheckerModel {
+            observes: TABLE1.iter().map(|e| e.observes.to_vec()).collect(),
+            constrains: TABLE1.iter().map(|e| e.constrains.to_vec()).collect(),
+        }
+    }
+
+    /// Deletes one checker's declared sets (the ablation the acceptance
+    /// criteria require the pass to catch).
+    pub fn delete(&mut self, id: CheckerId) {
+        self.observes[id.index()].clear();
+        self.constrains[id.index()].clear();
+    }
+
+    /// The checkers that constrain `sig` and are enabled under `cfg`'s
+    /// buffer policy.
+    pub fn constrainers(&self, cfg: &NocConfig, sig: SignalKind) -> Vec<CheckerId> {
+        CheckerId::all()
+            .filter(|c| TABLE1[c.index()].applicability.applies(cfg.buffer_policy))
+            .filter(|c| self.constrains[c.index()].contains(&sig))
+            .collect()
+    }
+}
+
+impl Default for CheckerModel {
+    fn default() -> CheckerModel {
+        CheckerModel::from_table1()
+    }
+}
+
+/// Summary statistics of one coverage run (part of the JSON report).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CoverageStats {
+    /// Live fault sites in the configuration's signal graph.
+    pub total_sites: usize,
+    /// Sites constrained by at least one enabled checker.
+    pub covered_sites: usize,
+    /// Sites no enabled checker constrains (must be 0).
+    pub uncovered_sites: usize,
+    /// Distinct signal kinds with at least one live site.
+    pub live_signal_kinds: usize,
+    /// Signals guarded by exactly one checker — deleting that checker
+    /// opens a blind spot (the static mirror of ablation E12).
+    pub sole_constrainer_signals: Vec<String>,
+    /// Smallest number of checkers constraining any live site.
+    pub min_constrainers_per_site: usize,
+}
+
+/// Result of the coverage pass.
+#[derive(Debug, Clone)]
+pub struct CoverageAnalysis {
+    /// Findings (blind spots, metadata violations, redundancy notes).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Aggregate statistics.
+    pub stats: CoverageStats,
+    /// The uncovered sites themselves (empty on a healthy registry).
+    pub uncovered: Vec<SiteRef>,
+}
+
+impl CoverageAnalysis {
+    /// True when no error-level diagnostic was produced.
+    pub fn clean(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity < Severity::Error)
+    }
+}
+
+/// Whether a single site is constrained by at least one enabled checker —
+/// the per-site query the dynamic⊆static cross-check test uses.
+pub fn site_covered(cfg: &NocConfig, model: &CheckerModel, site: SiteRef) -> bool {
+    !model.constrainers(cfg, site.signal).is_empty()
+}
+
+fn err(code: &'static str, msg: String) -> Diagnostic {
+    Diagnostic::new(Pass::Coverage, code, Severity::Error, msg)
+}
+
+/// Runs the full coverage pass for one configuration.
+pub fn analyze(cfg: &NocConfig, model: &CheckerModel) -> CoverageAnalysis {
+    let mut diagnostics = Vec::new();
+
+    // --- Metadata hygiene -------------------------------------------------
+    for e in &TABLE1 {
+        let i = e.id.index();
+        let (obs, con) = (&model.observes[i], &model.constrains[i]);
+        if obs.is_empty() {
+            diagnostics.push(
+                err(
+                    "NL101",
+                    format!(
+                        "checker {} (\"{}\") declares no observed signals — its \
+                         coverage contribution is unverifiable",
+                        e.id, e.name
+                    ),
+                )
+                .with_checker(e.id.0),
+            );
+            continue;
+        }
+        for s in con {
+            if !obs.contains(s) {
+                diagnostics.push(
+                    err(
+                        "NL102",
+                        format!("checker {} constrains {s:?} without observing it", e.id),
+                    )
+                    .with_checker(e.id.0),
+                );
+            }
+        }
+        if let Some(m) = e.module {
+            if !obs.iter().any(|s| s.module() == m) {
+                diagnostics.push(
+                    err(
+                        "NL103",
+                        format!(
+                            "checker {} is owned by module {m} but observes none of \
+                             its signals",
+                            e.id
+                        ),
+                    )
+                    .with_checker(e.id.0),
+                );
+            }
+        }
+    }
+
+    // --- Blind-spot sweep over the live signal graph ----------------------
+    let sites = enumerate_all_sites(cfg);
+    let mut uncovered = Vec::new();
+    let mut live_kinds: Vec<SignalKind> = Vec::new();
+    let mut min_constrainers = usize::MAX;
+    for &site in &sites {
+        if !live_kinds.contains(&site.signal) {
+            live_kinds.push(site.signal);
+        }
+        let n = model.constrainers(cfg, site.signal).len();
+        min_constrainers = min_constrainers.min(n);
+        if n == 0 {
+            uncovered.push(site);
+        }
+    }
+
+    // Report blind spots grouped by signal kind (one diagnostic per kind,
+    // with an example site), so a single metadata hole does not explode
+    // into thousands of identical findings.
+    for &kind in &live_kinds {
+        let holes: Vec<&SiteRef> = uncovered.iter().filter(|s| s.signal == kind).collect();
+        if let Some(first) = holes.first() {
+            diagnostics.push(
+                err(
+                    "NL110",
+                    format!(
+                        "blind spot: {} live {kind:?} bits are constrained by no \
+                         enabled checker (single-bit faults there are statically \
+                         unobservable)",
+                        holes.len()
+                    ),
+                )
+                .with_site(first),
+            );
+        }
+    }
+
+    // --- Redundancy analysis (static mirror of ablation E12) --------------
+    let mut sole = Vec::new();
+    for &kind in &live_kinds {
+        let cs = model.constrainers(cfg, kind);
+        if cs.len() == 1 {
+            sole.push(format!("{kind:?}"));
+            diagnostics.push(
+                Diagnostic::new(
+                    Pass::Coverage,
+                    "NL120",
+                    Severity::Info,
+                    format!(
+                        "{kind:?} is guarded only by {} (\"{}\") — deleting that \
+                         checker opens a blind spot",
+                        cs[0],
+                        TABLE1[cs[0].index()].name
+                    ),
+                )
+                .with_checker(cs[0].0),
+            );
+        }
+    }
+
+    let stats = CoverageStats {
+        total_sites: sites.len(),
+        covered_sites: sites.len() - uncovered.len(),
+        uncovered_sites: uncovered.len(),
+        live_signal_kinds: live_kinds.len(),
+        sole_constrainer_signals: sole,
+        min_constrainers_per_site: if min_constrainers == usize::MAX {
+            0
+        } else {
+            min_constrainers
+        },
+    };
+    CoverageAnalysis {
+        diagnostics,
+        stats,
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_registry_has_zero_blind_spots_small() {
+        let cfg = NocConfig::small_test();
+        let a = analyze(&cfg, &CheckerModel::from_table1());
+        assert!(a.clean(), "diagnostics: {:#?}", a.diagnostics);
+        assert_eq!(a.stats.uncovered_sites, 0);
+        assert_eq!(a.stats.covered_sites, a.stats.total_sites);
+        assert!(a.stats.min_constrainers_per_site >= 1);
+    }
+
+    #[test]
+    fn deleting_a_checker_is_detected() {
+        let cfg = NocConfig::small_test();
+        let mut m = CheckerModel::from_table1();
+        m.delete(CheckerId(17));
+        let a = analyze(&cfg, &m);
+        assert!(!a.clean());
+        // Invariance 17 is the sole guard of the SA-won event wire and the
+        // state register — deleting it must surface actual blind spots,
+        // not just the metadata-completeness error.
+        assert!(
+            a.diagnostics.iter().any(|d| d.code == "NL110"),
+            "{:#?}",
+            a.diagnostics
+        );
+        assert!(a.stats.uncovered_sites > 0);
+    }
+
+    #[test]
+    fn site_covered_queries_one_site() {
+        let cfg = NocConfig::small_test();
+        let model = CheckerModel::from_table1();
+        let sites = enumerate_all_sites(&cfg);
+        assert!(sites.iter().all(|&s| site_covered(&cfg, &model, s)));
+    }
+
+    #[test]
+    fn nonatomic_policy_still_fully_covered() {
+        let mut cfg = NocConfig::small_test();
+        cfg.buffer_policy = noc_types::config::BufferPolicy::NonAtomic;
+        let a = analyze(&cfg, &CheckerModel::from_table1());
+        assert!(a.clean(), "{:#?}", a.diagnostics);
+        assert_eq!(a.stats.uncovered_sites, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Structured diagnostics — the output vocabulary of every `noc-lint` pass.
+//!
+//! Each finding is a [`Diagnostic`] with a stable code (`NL1xx` coverage,
+//! `NL2xx` proving, `NL3xx` lint), a severity, and whatever provenance the
+//! pass can attach: a fault site, a checker id, or a source location. The
+//! driver renders them for humans or as JSON (`--json`), and CI fails on
+//! any [`Severity::Error`].
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Severity {
+    /// Informational note (e.g. an allowlisted lint hit, a sole-observer
+    /// redundancy report).
+    Info,
+    /// Suspicious but not gating.
+    Warning,
+    /// Gating: the static claim does not hold. `noc-lint` exits non-zero.
+    Error,
+}
+
+/// Which analysis pass produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Pass {
+    /// Pass 1: checker-coverage / blind-spot analysis over the signal graph.
+    Coverage,
+    /// Pass 2: exhaustive invariant proving over small combinational cones.
+    Prove,
+    /// Pass 3: source-level repo lints.
+    Lint,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Coverage => "coverage",
+            Pass::Prove => "prove",
+            Pass::Lint => "lint",
+        })
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// Producing pass.
+    pub pass: Pass,
+    /// Stable machine-readable code (`NL101`, `NL210`, ...).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Fault-site provenance (`n3/RC[p1]/RcOutDir.2`), when site-scoped.
+    pub site: Option<String>,
+    /// Checker provenance (Table-1 number), when checker-scoped.
+    pub checker: Option<u8>,
+    /// Source file (repo-relative), when source-scoped.
+    pub file: Option<String>,
+    /// 1-based line number, when source-scoped.
+    pub line: Option<u32>,
+}
+
+impl Diagnostic {
+    /// A bare diagnostic with no provenance attached.
+    pub fn new(pass: Pass, code: &'static str, severity: Severity, message: String) -> Diagnostic {
+        Diagnostic {
+            pass,
+            code,
+            severity,
+            message,
+            site: None,
+            checker: None,
+            file: None,
+            line: None,
+        }
+    }
+
+    /// Attaches fault-site provenance.
+    pub fn with_site(mut self, site: impl fmt::Display) -> Diagnostic {
+        self.site = Some(site.to_string());
+        self
+    }
+
+    /// Attaches checker provenance.
+    pub fn with_checker(mut self, id: u8) -> Diagnostic {
+        self.checker = Some(id);
+        self
+    }
+
+    /// Attaches source provenance.
+    pub fn with_source(mut self, file: impl Into<String>, line: u32) -> Diagnostic {
+        self.file = Some(file.into());
+        self.line = Some(line);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}/{}]", self.code, self.pass)?;
+        if let (Some(file), Some(line)) = (&self.file, self.line) {
+            write!(f, " {file}:{line}")?;
+        }
+        if let Some(site) = &self.site {
+            write!(f, " {site}")?;
+        }
+        if let Some(c) = self.checker {
+            write!(f, " inv{c}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_below_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_provenance() {
+        let d = Diagnostic::new(
+            Pass::Lint,
+            "NL301",
+            Severity::Error,
+            "forbidden call".into(),
+        )
+        .with_source("crates/x/src/lib.rs", 12);
+        let s = d.to_string();
+        assert!(s.contains("error[NL301/lint]"), "{s}");
+        assert!(s.contains("crates/x/src/lib.rs:12"), "{s}");
+    }
+
+    #[test]
+    fn site_and_checker_provenance_render() {
+        let d = Diagnostic::new(
+            Pass::Coverage,
+            "NL110",
+            Severity::Error,
+            "blind spot".into(),
+        )
+        .with_site("n0/RC[p0]/RcOutDir.0")
+        .with_checker(3);
+        let s = d.to_string();
+        assert!(s.contains("n0/RC[p0]/RcOutDir.0"), "{s}");
+        assert!(s.contains("inv3"), "{s}");
+    }
+}

@@ -1,0 +1,257 @@
+//! **noc-lint** — static verification of the NoCAlert checker array.
+//!
+//! The dynamic side of this repository demonstrates the paper's claims by
+//! *simulation*: golden-run campaigns inject faults and measure detection.
+//! This crate is the static side — it analyses the machine-readable models
+//! the runtime already exposes and proves, without simulating a single
+//! cycle, that the checker deployment is structurally sound:
+//!
+//! 1. [`coverage`] — every live wire bit of the configured mesh is
+//!    constrained by at least one enabled checker (no blind spots), and
+//!    the per-checker `observes`/`constrains` metadata is hygienic.
+//! 2. [`prove`] — for the small combinational cones (arbiters, routing
+//!    function, VC-state transitions) the checker invariants are proved by
+//!    exhaustive input enumeration, over the *same* predicate functions
+//!    the runtime checkers execute.
+//! 3. [`lint`] — source-level repo lints: no abort points in hot-path
+//!    crates outside tests, and the hand-maintained signal catalogues stay
+//!    consistent with the compiled `SignalKind` enum.
+//!
+//! The `noc-lint` binary drives all three and renders a human report or a
+//! stable JSON document (`--json`); CI treats any error-level diagnostic
+//! as a failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod diag;
+pub mod lint;
+pub mod prove;
+
+pub use coverage::{analyze, site_covered, CheckerModel, CoverageStats};
+pub use diag::{Diagnostic, Pass, Severity};
+pub use lint::{run_lint, LintStats};
+pub use prove::{prove_all, ConeProof};
+
+use noc_types::config::NocConfig;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// The canonical configuration the acceptance criteria pin: the paper's
+/// 8×8 mesh with 2 VCs per port (the smallest point of the paper's 2–8 VC
+/// sweep, and the configuration the committed JSON snapshot freezes).
+pub fn canonical_config() -> NocConfig {
+    NocConfig {
+        vcs_per_port: 2,
+        ..NocConfig::paper_baseline()
+    }
+}
+
+/// Compact description of the analysed configuration (part of the report).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ConfigSummary {
+    /// Mesh dimensions as `WxH`.
+    pub mesh: String,
+    /// VCs per input port.
+    pub vcs_per_port: u8,
+    /// Buffer policy (`Atomic`/`NonAtomic`).
+    pub buffer_policy: String,
+    /// Routing algorithm the config selects (the prover covers both).
+    pub routing: String,
+    /// Speculative pipeline flag.
+    pub speculative: bool,
+}
+
+impl ConfigSummary {
+    fn of(cfg: &NocConfig) -> ConfigSummary {
+        ConfigSummary {
+            mesh: format!("{}x{}", cfg.mesh.width(), cfg.mesh.height()),
+            vcs_per_port: cfg.vcs_per_port,
+            buffer_policy: format!("{:?}", cfg.buffer_policy),
+            routing: format!("{:?}", cfg.routing),
+            speculative: cfg.speculative,
+        }
+    }
+}
+
+/// Diagnostic counts by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct SeverityCounts {
+    /// Informational notes.
+    pub info: usize,
+    /// Warnings (non-gating).
+    pub warning: usize,
+    /// Errors (gating: `noc-lint` exits non-zero).
+    pub error: usize,
+}
+
+/// Everything one `noc-lint` invocation produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// The analysed configuration.
+    pub config: ConfigSummary,
+    /// Pass-1 statistics (present unless the pass was skipped).
+    pub coverage: Option<CoverageStats>,
+    /// Pass-2 proofs (empty if the pass was skipped).
+    pub proofs: Vec<ConeProof>,
+    /// Pass-3 statistics (present unless the pass was skipped).
+    pub lint: Option<LintStats>,
+    /// Diagnostic counts by severity.
+    pub counts: SeverityCounts,
+    /// All diagnostics, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSelection {
+    /// Run pass 1 (coverage).
+    pub coverage: bool,
+    /// Run pass 2 (prove).
+    pub prove: bool,
+    /// Run pass 3 (lint).
+    pub lint: bool,
+}
+
+impl Default for PassSelection {
+    fn default() -> PassSelection {
+        PassSelection {
+            coverage: true,
+            prove: true,
+            lint: true,
+        }
+    }
+}
+
+impl Report {
+    /// True when no error-level diagnostic was produced.
+    pub fn clean(&self) -> bool {
+        self.counts.error == 0
+    }
+
+    /// The stable subset of the report the snapshot test pins: config,
+    /// coverage statistics, proofs and the error count. Volatile fields
+    /// (scanned-file counts, info/warning diagnostics whose line numbers
+    /// move with every edit) are excluded so the snapshot only changes
+    /// when the *verified claims* change.
+    pub fn snapshot(&self) -> serde_json::Value {
+        use serde::Serialize as _;
+        use serde_json::Value;
+        let errors: Vec<String> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(ToString::to_string)
+            .collect();
+        Value::Object(vec![
+            ("config".into(), self.config.to_value()),
+            ("coverage".into(), self.coverage.to_value()),
+            ("proofs".into(), self.proofs.to_value()),
+            ("errors".into(), Value::U64(self.counts.error as u64)),
+            ("error_diagnostics".into(), errors.to_value()),
+        ])
+    }
+}
+
+/// Runs the selected passes and assembles the report.
+pub fn run(cfg: &NocConfig, root: &Path, allowlist: &Path, passes: PassSelection) -> Report {
+    let mut diagnostics = Vec::new();
+    let coverage = if passes.coverage {
+        let a = coverage::analyze(cfg, &CheckerModel::from_table1());
+        diagnostics.extend(a.diagnostics);
+        Some(a.stats)
+    } else {
+        None
+    };
+    let proofs = if passes.prove {
+        let (d, p) = prove::prove_all(cfg);
+        diagnostics.extend(d);
+        p
+    } else {
+        Vec::new()
+    };
+    let lint = if passes.lint {
+        let (d, s) = lint::run_lint(root, allowlist);
+        diagnostics.extend(d);
+        Some(s)
+    } else {
+        None
+    };
+    let mut counts = SeverityCounts::default();
+    for d in &diagnostics {
+        match d.severity {
+            Severity::Info => counts.info += 1,
+            Severity::Warning => counts.warning += 1,
+            Severity::Error => counts.error += 1,
+        }
+    }
+    Report {
+        config: ConfigSummary::of(cfg),
+        coverage,
+        proofs,
+        lint,
+        counts,
+        diagnostics,
+    }
+}
+
+/// Locates the repository root by walking upward from `start` until a
+/// directory containing the signal catalogue is found.
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("crates/noc-types/src/site.rs").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_config_is_8x8_2vc_and_valid() {
+        let cfg = canonical_config();
+        assert_eq!(cfg.mesh.len(), 64);
+        assert_eq!(cfg.vcs_per_port, 2);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn coverage_only_run_skips_other_passes() {
+        let cfg = NocConfig::small_test();
+        let r = run(
+            &cfg,
+            Path::new("/nonexistent"),
+            Path::new("/nonexistent/noc-lint.allow"),
+            PassSelection {
+                coverage: true,
+                prove: false,
+                lint: false,
+            },
+        );
+        assert!(r.coverage.is_some());
+        assert!(r.proofs.is_empty());
+        assert!(r.lint.is_none());
+        assert!(r.clean(), "{:#?}", r.diagnostics);
+    }
+
+    #[test]
+    fn snapshot_excludes_volatile_fields() {
+        let cfg = NocConfig::small_test();
+        let r = run(
+            &cfg,
+            Path::new("/nonexistent"),
+            Path::new("/nonexistent/noc-lint.allow"),
+            PassSelection::default(),
+        );
+        let s = serde_json::to_string(&r.snapshot()).unwrap_or_default();
+        assert!(s.contains("\"config\""));
+        assert!(!s.contains("files_scanned"), "{s}");
+    }
+}

@@ -1,0 +1,603 @@
+//! Pass 3 — source-level repo lints.
+//!
+//! Two families of checks, both token-level (comments, strings and
+//! `#[cfg(test)]` items are blanked out first, so documentation and test
+//! code never trip them):
+//!
+//! * **Hot-path abort lint** (`NL301`/`NL302`/`NL303`) — the simulator,
+//!   checker bank and campaign crates must not contain `unwrap`/`expect`/
+//!   `panic!`-style abort points outside test code. The paper's mechanism
+//!   is *observational* (checkers never perturb the network); a stray
+//!   panic in the hot path would make a fault-injection run die instead of
+//!   recording an escape. A committed allowlist (`noc-lint.allow`) grants
+//!   named per-file budgets for the few justified aborts (e.g.
+//!   constructor-contract panics); anything beyond the budget is an error,
+//!   and stale allowlist entries are warnings so the budget only shrinks.
+//! * **Catalogue consistency** (`NL311`/`NL312`) — the `SignalKind` enum
+//!   in `noc-types` is mirrored by two hand-maintained tables: its own
+//!   `ALL` array and the width table in `noc-sim::signals`. The lint
+//!   cross-checks the *source text* of both against the compiled enum, so
+//!   a variant added to one but not the other is caught even where the
+//!   compiler cannot help (const arrays don't enforce completeness).
+
+use crate::diag::{Diagnostic, Pass, Severity};
+use noc_types::site::SignalKind;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The crates whose `src/` trees form the runtime hot path. The `compat/`
+/// shims are deliberately excluded: they mirror external crates whose real
+/// APIs panic by contract.
+pub const HOT_PATH_ROOTS: [&str; 10] = [
+    "crates/analysis/src",
+    "crates/bench/src",
+    "crates/core/src",
+    "crates/fault/src",
+    "crates/forever/src",
+    "crates/golden/src",
+    "crates/hw-model/src",
+    "crates/noc-sim/src",
+    "crates/noc-types/src",
+    "src",
+];
+
+/// Call tokens that abort the process.
+const FORBIDDEN: [&str; 7] = [
+    ".unwrap(",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "dbg!",
+];
+
+/// Summary statistics of one lint run (part of the JSON report).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LintStats {
+    /// `.rs` files scanned under the hot-path roots.
+    pub files_scanned: usize,
+    /// Forbidden-token hits absorbed by the allowlist.
+    pub allowlisted_hits: usize,
+    /// Forbidden-token hits exceeding (or missing from) the allowlist.
+    pub forbidden_hits: usize,
+}
+
+/// One allowlist entry: `path token budget`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Allow {
+    file: String,
+    token: String,
+    budget: usize,
+}
+
+fn parse_allowlist(text: &str, path: &Path, diags: &mut Vec<Diagnostic>) -> Vec<Allow> {
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(file), Some(token), Some(budget), None) => match budget.parse::<usize>() {
+                Ok(budget) if budget > 0 => entries.push(Allow {
+                    file: file.to_string(),
+                    token: token.to_string(),
+                    budget,
+                }),
+                _ => diags.push(
+                    Diagnostic::new(
+                        Pass::Lint,
+                        "NL304",
+                        Severity::Error,
+                        format!("allowlist budget must be a positive integer, got `{budget}`"),
+                    )
+                    .with_source(path.display().to_string(), idx as u32 + 1),
+                ),
+            },
+            _ => diags.push(
+                Diagnostic::new(
+                    Pass::Lint,
+                    "NL304",
+                    Severity::Error,
+                    format!("malformed allowlist line `{line}` (want `path token budget`)"),
+                )
+                .with_source(path.display().to_string(), idx as u32 + 1),
+            ),
+        }
+    }
+    entries
+}
+
+/// Replaces every comment, string/char literal and `#[cfg(test)]`-gated
+/// item with spaces, preserving byte offsets and line structure.
+pub fn blank_noncode(src: &str) -> String {
+    let mut out: Vec<u8> = src.bytes().collect();
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for c in out.iter_mut().take(to).skip(from) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                // Ordinary string: blank the contents, keep the quotes.
+                let start = i + 1;
+                i += 1;
+                while i < n && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                blank(&mut out, start, i.min(n));
+                i = (i + 1).min(n);
+            }
+            b'r' | b'b'
+                if {
+                    // Raw (byte) string heads: r", r#", br", b" ...
+                    let mut j = i + 1;
+                    if b[i] == b'b' && j < n && b[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while j < n && b[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    j < n && b[j] == b'"' && (hashes > 0 || b[i] != b'b' || b[i + 1] == b'"')
+                } =>
+            {
+                let mut j = i + 1;
+                let raw = b[i] == b'r' || (j < n && b[j] == b'r');
+                if b[i] == b'b' && j < n && b[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                let start = j + 1;
+                i = j + 1;
+                'scan: while i < n {
+                    if b[i] == b'\\' && !raw {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while seen < hashes && k < n && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            blank(&mut out, start, i);
+                            i = k;
+                            break 'scan;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal is 'x' or '\x...'.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    let start = i + 1;
+                    i += 2;
+                    while i < n && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    blank(&mut out, start, i.min(n));
+                    i = (i + 1).min(n);
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    blank(&mut out, i + 1, i + 2);
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Safety of from_utf8: we only overwrote bytes with ASCII spaces, and
+    // only whole multi-byte sequences land inside blanked regions.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blanks every item gated behind a `#[cfg(...)]` attribute whose
+/// condition mentions `test`. Expects comment/string-blanked input.
+pub fn blank_test_items(blanked: &str) -> String {
+    let mut out: Vec<u8> = blanked.bytes().collect();
+    let b = blanked.as_bytes();
+    let n = b.len();
+    let mut i = 0;
+    while let Some(pos) = blanked[i..].find("#[cfg") {
+        let attr_start = i + pos;
+        // Find the closing bracket of the attribute.
+        let mut j = attr_start + 1;
+        let mut depth = 0;
+        while j < n {
+            match b[j] {
+                b'[' | b'(' => depth += 1,
+                b']' | b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr_end = (j + 1).min(n);
+        let cond = &blanked[attr_start..attr_end];
+        let is_test = cond
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w == "test");
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        // Skip any further attributes, then the item itself: up to the
+        // first top-level `;` or through the matching `}` of the first
+        // top-level `{`.
+        let mut k = attr_end;
+        loop {
+            while k < n && (b[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if k < n && b[k] == b'#' {
+                let mut depth = 0;
+                while k < n {
+                    match b[k] {
+                        b'[' | b'(' => depth += 1,
+                        b']' | b')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut depth = 0i32;
+        while k < n {
+            match b[k] {
+                b'{' | b'(' | b'[' => depth += 1,
+                b'}' | b')' | b']' => {
+                    depth -= 1;
+                    if depth == 0 && b[k] == b'}' {
+                        k += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for c in out.iter_mut().take(k).skip(attr_start) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+        i = k.max(attr_end);
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn rs_files(dir: &Path, acc: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rs_files(&p, acc);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            acc.push(p);
+        }
+    }
+}
+
+fn line_of(text: &str, offset: usize) -> u32 {
+    text[..offset].bytes().filter(|&c| c == b'\n').count() as u32 + 1
+}
+
+/// Runs the full lint pass over `root` with the allowlist at
+/// `allowlist_path` (a missing allowlist means an empty one).
+pub fn run_lint(root: &Path, allowlist_path: &Path) -> (Vec<Diagnostic>, LintStats) {
+    let mut diags = Vec::new();
+    let allow_text = fs::read_to_string(allowlist_path).unwrap_or_default();
+    let allows = parse_allowlist(&allow_text, allowlist_path, &mut diags);
+
+    // (file, token) -> hit lines, in deterministic path order.
+    let mut hits: BTreeMap<(String, String), Vec<u32>> = BTreeMap::new();
+    let mut files_scanned = 0;
+    for sub in HOT_PATH_ROOTS {
+        let mut files = Vec::new();
+        rs_files(&root.join(sub), &mut files);
+        for path in files {
+            let Ok(src) = fs::read_to_string(&path) else {
+                diags.push(Diagnostic::new(
+                    Pass::Lint,
+                    "NL390",
+                    Severity::Warning,
+                    format!("could not read {}", path.display()),
+                ));
+                continue;
+            };
+            files_scanned += 1;
+            let code = blank_test_items(&blank_noncode(&src));
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string()
+                .replace('\\', "/");
+            for tok in FORBIDDEN {
+                let mut at = 0;
+                while let Some(p) = code[at..].find(tok) {
+                    let off = at + p;
+                    hits.entry((
+                        rel.clone(),
+                        tok.trim_matches('.').trim_end_matches('(').into(),
+                    ))
+                    .or_default()
+                    .push(line_of(&code, off));
+                    at = off + tok.len();
+                }
+            }
+        }
+    }
+
+    let mut allowlisted_hits = 0;
+    let mut forbidden_hits = 0;
+    for ((file, token), lines) in &hits {
+        let budget = allows
+            .iter()
+            .find(|a| a.file == *file && a.token == *token)
+            .map_or(0, |a| a.budget);
+        for (idx, &line) in lines.iter().enumerate() {
+            if idx < budget {
+                allowlisted_hits += 1;
+                diags.push(
+                    Diagnostic::new(
+                        Pass::Lint,
+                        "NL302",
+                        Severity::Info,
+                        format!("allowlisted `{token}` in hot path"),
+                    )
+                    .with_source(file.clone(), line),
+                );
+            } else {
+                forbidden_hits += 1;
+                diags.push(
+                    Diagnostic::new(
+                        Pass::Lint,
+                        "NL301",
+                        Severity::Error,
+                        format!(
+                            "forbidden `{token}` in hot-path code (budget {budget}, hit {}) — \
+                             return an error or add a justified noc-lint.allow entry",
+                            idx + 1
+                        ),
+                    )
+                    .with_source(file.clone(), line),
+                );
+            }
+        }
+    }
+    for a in &allows {
+        let used = hits
+            .get(&(a.file.clone(), a.token.clone()))
+            .map_or(0, Vec::len);
+        if used < a.budget {
+            diags.push(Diagnostic::new(
+                Pass::Lint,
+                "NL303",
+                Severity::Warning,
+                format!(
+                    "stale allowlist entry: {} {} budget {} but only {used} hit(s) — \
+                     shrink the budget",
+                    a.file, a.token, a.budget
+                ),
+            ));
+        }
+    }
+
+    catalogue_consistency(root, &mut diags);
+
+    let stats = LintStats {
+        files_scanned,
+        allowlisted_hits,
+        forbidden_hits,
+    };
+    (diags, stats)
+}
+
+/// Cross-checks the `SignalKind` source tables against the compiled enum.
+fn catalogue_consistency(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let site_rs = root.join("crates/noc-types/src/site.rs");
+    let signals_rs = root.join("crates/noc-sim/src/signals.rs");
+    for (path, what) in [(&site_rs, "SignalKind enum"), (&signals_rs, "width table")] {
+        let Ok(src) = fs::read_to_string(path) else {
+            diags.push(Diagnostic::new(
+                Pass::Lint,
+                "NL390",
+                Severity::Warning,
+                format!("could not read {} for the {what} check", path.display()),
+            ));
+            return;
+        };
+        let code = blank_noncode(&src);
+        for kind in SignalKind::ALL {
+            let name = format!("{kind:?}");
+            let present = code
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|w| w == name);
+            if !present {
+                diags.push(
+                    Diagnostic::new(
+                        Pass::Lint,
+                        "NL312",
+                        Severity::Error,
+                        format!("signal kind {name} is missing from the {what}"),
+                    )
+                    .with_source(
+                        path.strip_prefix(root)
+                            .unwrap_or(path)
+                            .display()
+                            .to_string(),
+                        1,
+                    ),
+                );
+            }
+        }
+    }
+    // The hand-maintained `ALL` array must list every variant exactly once:
+    // its declared length is part of the type, so compare the source count
+    // of `SignalKind::` references inside the array with the compiled
+    // truth.
+    if let Ok(src) = fs::read_to_string(&site_rs) {
+        let code = blank_noncode(&src);
+        if let Some(start) = code.find("const ALL: [SignalKind;") {
+            let body_start = match code[start..].find('[') {
+                Some(rel) => match code[start + rel + 1..].find('[') {
+                    Some(rel2) => start + rel + 1 + rel2,
+                    None => start,
+                },
+                None => start,
+            };
+            let body_end = code[body_start..]
+                .find(']')
+                .map_or(code.len(), |rel| body_start + rel);
+            let count = code[body_start..body_end].matches("SignalKind::").count();
+            if count != SignalKind::ALL.len() {
+                diags.push(
+                    Diagnostic::new(
+                        Pass::Lint,
+                        "NL311",
+                        Severity::Error,
+                        format!(
+                            "SignalKind::ALL lists {count} variants but the enum has {}",
+                            SignalKind::ALL.len()
+                        ),
+                    )
+                    .with_source("crates/noc-types/src/site.rs", line_of(&code, body_start)),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_strips_comments_strings_and_chars() {
+        let src = r##"
+let a = "panic!(inside string)"; // panic! in comment
+/* panic! in block */
+let c = '\n';
+let r = r#"panic! raw"#;
+let real = 1;
+"##;
+        let out = blank_noncode(src);
+        assert!(!out.contains("panic!"), "{out}");
+        assert!(out.contains("let real = 1;"));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn test_items_are_blanked() {
+        let src = "
+fn live() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+#[cfg(test)]
+#[derive(Debug)]
+struct Probe;
+fn live2() {}
+";
+        let out = blank_test_items(&blank_noncode(src));
+        assert_eq!(out.matches(".unwrap(").count(), 1, "{out}");
+        assert!(out.contains("fn live2"));
+        assert!(!out.contains("struct Probe"));
+    }
+
+    #[test]
+    fn lifetimes_survive_blanking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(blank_noncode(src), src);
+    }
+
+    #[test]
+    fn allowlist_parsing_and_budget() {
+        let mut diags = Vec::new();
+        let entries = parse_allowlist(
+            "# comment\ncrates/x/src/a.rs expect 2\n\nbad line\n",
+            Path::new("noc-lint.allow"),
+            &mut diags,
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].budget, 2);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "NL304");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        assert_eq!(line_of("a\nb\nc", 0), 1);
+        assert_eq!(line_of("a\nb\nc", 2), 2);
+        assert_eq!(line_of("a\nb\nc", 4), 3);
+    }
+}

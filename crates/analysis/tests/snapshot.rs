@@ -1,0 +1,53 @@
+//! Pins the stable subset of `noc-lint --json` output on the canonical
+//! (seed) configuration against a committed snapshot.
+//!
+//! The snapshot freezes the *verified claims* — configuration, coverage
+//! statistics, proof case counts and the (empty) error list — while
+//! excluding volatile fields like scanned-file counts and info-level
+//! diagnostics whose line numbers move with every edit. To regenerate
+//! after an intentional change:
+//!
+//! ```text
+//! NOC_LINT_BLESS=1 cargo test -p nocalert-analysis --test snapshot
+//! ```
+
+use nocalert_analysis::{canonical_config, find_repo_root, run, PassSelection};
+use std::path::Path;
+
+#[test]
+fn canonical_json_report_matches_committed_snapshot() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = match find_repo_root(manifest) {
+        Some(r) => r,
+        None => panic!("repository root not found from {manifest:?}"),
+    };
+    let report = run(
+        &canonical_config(),
+        &root,
+        &root.join("noc-lint.allow"),
+        PassSelection::default(),
+    );
+    assert!(report.clean(), "{:#?}", report.diagnostics);
+
+    let mut actual = String::new();
+    report.snapshot().write_json_pretty(&mut actual);
+    actual.push('\n');
+
+    let snap_path = manifest.join("tests/snapshots/canonical.json");
+    if std::env::var_os("NOC_LINT_BLESS").is_some() {
+        if let Some(dir) = snap_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&snap_path, &actual) {
+            Ok(()) => return,
+            Err(e) => panic!("could not bless {}: {e}", snap_path.display()),
+        }
+    }
+    let expected = std::fs::read_to_string(&snap_path).unwrap_or_default();
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "noc-lint canonical JSON snapshot drifted; if the change is \
+         intentional, rerun with NOC_LINT_BLESS=1"
+    );
+}

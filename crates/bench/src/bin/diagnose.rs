@@ -49,7 +49,11 @@ fn main() {
             continue;
         }
         detected += 1;
-        let d = localize(bank.assertions(), window).expect("asserted");
+        // `any_asserted()` above guarantees a non-empty stream, but a
+        // localization miss should skip the sample, not abort the sweep.
+        let Some(d) = localize(bank.assertions(), window) else {
+            continue;
+        };
         if d.router == site.router {
             exact_router += 1;
             if d.module == Some(site.signal.module()) {

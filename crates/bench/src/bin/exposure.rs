@@ -40,7 +40,7 @@ fn main() {
             continue;
         }
         let mean_lat = lats.iter().sum::<u64>() as f64 / lats.len() as f64;
-        let max_lat = *lats.iter().max().unwrap();
+        let max_lat = lats.iter().copied().max().unwrap_or(0);
         println!("\n{d:?} ({} true positives):", lats.len());
         row("mean detection latency", format!("{mean_lat:.1} cycles"));
         row(

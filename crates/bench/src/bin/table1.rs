@@ -47,9 +47,54 @@ fn main() {
             }
         );
         println!("     {}", e.rule);
+        let fmt = |sigs: &[noc_types::site::SignalKind]| {
+            sigs.iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "     observes: {{{}}}  constrains: {{{}}}",
+            fmt(e.observes),
+            fmt(e.constrains)
+        );
     }
     println!(
         "\n{} invariances; low-risk set = {{1, 3}} (Observation 2)",
         TABLE1.len()
     );
+
+    // The machine-readable signal sets feed the static coverage analysis
+    // (`noc-lint`), so this artifact generator doubles as an assertion
+    // that they are complete and internally consistent.
+    let mut bad = 0;
+    for e in &TABLE1 {
+        if e.observes.is_empty() {
+            eprintln!("metadata error: inv{} observes nothing", e.id.0);
+            bad += 1;
+        }
+        for s in e.constrains {
+            if !e.observes.contains(s) {
+                eprintln!(
+                    "metadata error: inv{} constrains {s:?} without observing it",
+                    e.id.0
+                );
+                bad += 1;
+            }
+        }
+        if let Some(m) = e.module {
+            if !e.observes.iter().any(|s| s.module() == m) {
+                eprintln!(
+                    "metadata error: inv{} is owned by {m} but observes none of its signals",
+                    e.id.0
+                );
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("{bad} metadata error(s)");
+        std::process::exit(1);
+    }
+    println!("observes/constrains metadata: complete and consistent");
 }

@@ -31,7 +31,7 @@ impl Args {
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 let val = match it.peek() {
-                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
                     _ => String::from("true"),
                 };
                 map.insert(key.to_string(), val);
@@ -233,8 +233,17 @@ impl Experiment {
 /// Writes `value` as pretty JSON to `--json PATH` if given.
 pub fn maybe_write_json<T: Serialize>(args: &Args, value: &T) {
     if let Some(path) = args.map.get("json") {
-        let s = serde_json::to_string_pretty(value).expect("serializable");
-        std::fs::write(path, s).expect("write json");
+        let s = match serde_json::to_string_pretty(value) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[json] serialization failed for {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, s) {
+            eprintln!("[json] could not write {path}: {e}");
+            std::process::exit(2);
+        }
         eprintln!("[json] wrote {path}");
     }
 }

@@ -8,6 +8,7 @@
 //! never influences the simulation (checkers "never interfere with — or
 //! interrupt — the operation of the NoC").
 
+use crate::predicates::{check_arbiter_wires, vc_order_violated};
 use crate::table::{info, CheckerId, Risk, TABLE1};
 use noc_sim::routing::{productive, turn_legal};
 use noc_sim::Observer;
@@ -197,13 +198,16 @@ impl AlertBank {
     }
 
     fn check_arbiter(&mut self, cycle: Cycle, router: u16, port: u8, req: u64, grant: u64) {
-        if grant & !req != 0 {
+        // One definition of the arbiter invariances, shared with the static
+        // prover (see `crate::predicates`).
+        let check = check_arbiter_wires(req, grant);
+        if check.grant_without_request {
             self.raise(CheckerId(4), cycle, router, port, 0);
         }
-        if req != 0 && grant == 0 {
+        if check.grant_to_nobody {
             self.raise(CheckerId(5), cycle, router, port, 0);
         }
-        if grant.count_ones() > 1 {
+        if check.multiple_grants {
             self.raise(CheckerId(6), cycle, router, port, 0);
         }
     }
@@ -365,9 +369,14 @@ impl Observer for AlertBank {
             // In the speculative design of Section 4.4, SA may legally
             // succeed while VA is still pending — invariance 17 is altered
             // "so as not to raise an assertion if SA succeeds before VA is
-            // done".
-            let sa_ok = (self.cfg.speculative && s == 2) || s == 3;
-            if (e.ev_rc_done && s != 1) || (e.ev_va_done && s != 2) || (e.ev_sa_won && !sa_ok) {
+            // done". The predicate is shared with the static prover.
+            if vc_order_violated(
+                s,
+                e.ev_rc_done,
+                e.ev_va_done,
+                e.ev_sa_won,
+                self.cfg.speculative,
+            ) {
                 self.raise(CheckerId(17), cycle, router, e.port, e.vc);
             }
             if e.ev_va_done {

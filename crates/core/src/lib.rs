@@ -55,8 +55,10 @@
 
 pub mod bank;
 pub mod diagnosis;
+pub mod predicates;
 pub mod table;
 
 pub use bank::{AlertBank, AssertionEvent};
 pub use diagnosis::{localize, Diagnosis};
+pub use predicates::{check_arbiter_wires, vc_order_violated, ArbiterCheck};
 pub use table::{info, Applicability, Category, CheckerId, CheckerInfo, Risk, TABLE1};

@@ -1,0 +1,103 @@
+//! Pure combinational checker predicates.
+//!
+//! The invariance conditions that operate on small, closed input cones are
+//! factored out of [`crate::AlertBank`] into free functions so that exactly
+//! one definition exists for each predicate. Two consumers share them:
+//!
+//! 1. the runtime checker bank, which evaluates them on live wire records
+//!    every cycle, and
+//! 2. the static prover in `nocalert-analysis`, which enumerates the full
+//!    input space of each cone and proves the predicate silent on every
+//!    legal input (and, for the VC-state cone, that it fires on every
+//!    illegal one).
+//!
+//! Because both sides call the *same* functions, an exhaustive proof over a
+//! cone is a proof about the deployed checker, not about a re-derivation of
+//! it.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating the three arbiter invariances (Table 1: 4, 5, 6)
+/// on one request/grant wire pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterCheck {
+    /// Invariance 4: a grant bit is set outside the request vector.
+    pub grant_without_request: bool,
+    /// Invariance 5: requests pending but no grant issued.
+    pub grant_to_nobody: bool,
+    /// Invariance 6: more than one grant bit set.
+    pub multiple_grants: bool,
+}
+
+impl ArbiterCheck {
+    /// True when none of the three invariances is violated.
+    #[inline]
+    pub fn silent(self) -> bool {
+        !(self.grant_without_request || self.grant_to_nobody || self.multiple_grants)
+    }
+}
+
+/// Evaluates invariances 4/5/6 on an arbiter's request and grant vectors.
+///
+/// Both vectors are taken as raw (possibly fault-corrupted) wires; bits at
+/// or above the arbiter's width must already be masked off by the caller,
+/// exactly as the physical checker sees only the existing wires.
+#[inline]
+pub fn check_arbiter_wires(req: u64, grant: u64) -> ArbiterCheck {
+    ArbiterCheck {
+        grant_without_request: grant & !req != 0,
+        grant_to_nobody: req != 0 && grant == 0,
+        multiple_grants: grant.count_ones() > 1,
+    }
+}
+
+/// Invariance 17: pipeline-stage events must match the VC's 2-bit state.
+///
+/// `state` is the raw state-register value *before* the events apply
+/// (encodings in `noc_sim::vc::state`): RC may complete only from
+/// `ROUTING` (1), VA only from `VA_PENDING` (2), and a switch grant may
+/// land only on an `ACTIVE` (3) VC — or, in the speculative pipeline of
+/// Section 4.4, also while VA is still pending (`state == 2`).
+///
+/// Returns `true` when the combination is illegal (the checker fires).
+#[inline]
+pub fn vc_order_violated(
+    state: u64,
+    ev_rc_done: bool,
+    ev_va_done: bool,
+    ev_sa_won: bool,
+    speculative: bool,
+) -> bool {
+    let sa_ok = (speculative && state == 2) || state == 3;
+    (ev_rc_done && state != 1) || (ev_va_done && state != 2) || (ev_sa_won && !sa_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_predicate_matches_definitions() {
+        assert!(check_arbiter_wires(0, 0).silent());
+        assert!(check_arbiter_wires(0b1010, 0b0010).silent());
+        assert!(check_arbiter_wires(0b1010, 0b0100).grant_without_request);
+        assert!(check_arbiter_wires(0b1010, 0).grant_to_nobody);
+        assert!(check_arbiter_wires(0b1111, 0b0110).multiple_grants);
+        // An all-zero grant on zero requests is legal silence.
+        assert!(!check_arbiter_wires(0, 0).grant_to_nobody);
+    }
+
+    #[test]
+    fn vc_order_predicate_basic_cases() {
+        // Legal: each event from its proper state.
+        assert!(!vc_order_violated(1, true, false, false, false));
+        assert!(!vc_order_violated(2, false, true, false, false));
+        assert!(!vc_order_violated(3, false, false, true, false));
+        // Illegal: RC event on an idle VC; SA win while VA pending.
+        assert!(vc_order_violated(0, true, false, false, false));
+        assert!(vc_order_violated(2, false, false, true, false));
+        // ...unless the pipeline is speculative (Section 4.4 relaxation).
+        assert!(!vc_order_violated(2, false, false, true, true));
+        assert!(vc_order_violated(1, false, false, true, true));
+    }
+}

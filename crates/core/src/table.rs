@@ -4,7 +4,7 @@
 //! 2) and buffer-policy applicability.
 
 use noc_types::config::BufferPolicy;
-use noc_types::site::ModuleClass;
+use noc_types::site::{ModuleClass, SignalKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -101,9 +101,29 @@ pub struct CheckerInfo {
     pub risk: Risk,
     /// Buffer-policy applicability.
     pub applicability: Applicability,
+    /// Every wire bundle the checker's predicate reads. This is the static
+    /// fan-in of the hardware assertion: a stuck or flipped value on any of
+    /// these signals is *visible* inside the checker's input cone.
+    pub observes: &'static [SignalKind],
+    /// The subset of [`CheckerInfo::observes`] whose illegal values the
+    /// checker itself flags (its detection responsibility). Signals that
+    /// are merely gating/context inputs are observed but not constrained.
+    /// The static coverage pass (`noc-lint`) unions these sets to prove
+    /// every live fault site answers to at least one checker.
+    pub constrains: &'static [SignalKind],
 }
 
 use Category::*;
+use SignalKind::*;
+
+/// The eight request/grant wire pairs of the four arbitration stages —
+/// invariances 4 and 5 monitor every arbiter in the router.
+const ARB_WIRES: &[SignalKind] = &[
+    Va1Req, Va1Grant, Va2Req, Va2Grant, Sa1Req, Sa1Grant, Sa2Req, Sa2Grant,
+];
+/// The grant vectors alone (invariance 6 constrains the one-hot shape of
+/// the output side of each arbiter).
+const ARB_GRANTS: &[SignalKind] = &[Va1Grant, Va2Grant, Sa1Grant, Sa2Grant];
 
 /// The full Table 1.
 pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
@@ -115,6 +135,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Low,
         applicability: Applicability::Always,
+        observes: &[RcOutDir],
+        constrains: &[RcOutDir],
     },
     CheckerInfo {
         id: CheckerId(2),
@@ -124,6 +146,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[RcOutDir, VcOutPort],
+        constrains: &[RcOutDir, VcOutPort],
     },
     CheckerInfo {
         id: CheckerId(3),
@@ -133,6 +157,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Low,
         applicability: Applicability::Always,
+        observes: &[RcDestX, RcDestY, RcHeadValid, BufEmpty, RcOutDir],
+        constrains: &[RcOutDir],
     },
     CheckerInfo {
         id: CheckerId(4),
@@ -142,6 +168,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoNewFlit, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: ARB_WIRES,
+        constrains: ARB_WIRES,
     },
     CheckerInfo {
         id: CheckerId(5),
@@ -151,6 +179,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: ARB_WIRES,
+        constrains: ARB_WIRES,
     },
     CheckerInfo {
         id: CheckerId(6),
@@ -160,6 +190,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: ARB_GRANTS,
+        constrains: ARB_GRANTS,
     },
     CheckerInfo {
         id: CheckerId(7),
@@ -169,6 +201,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Sa1Grant, Va2Grant, Va2OutVc, Sa2Grant],
+        constrains: &[Sa1Grant, Va2Grant, Va2OutVc, Sa2Grant],
     },
     CheckerInfo {
         id: CheckerId(8),
@@ -178,6 +212,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Va1Grant, Va2Grant],
+        constrains: &[Va2Grant],
     },
     CheckerInfo {
         id: CheckerId(9),
@@ -187,6 +223,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Sa2Grant],
+        constrains: &[Sa2Grant],
     },
     CheckerInfo {
         id: CheckerId(10),
@@ -196,6 +234,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Va2Grant, VcOutPort],
+        constrains: &[Va2Grant, VcOutPort],
     },
     CheckerInfo {
         id: CheckerId(11),
@@ -205,6 +245,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Sa2Grant, VcOutPort],
+        constrains: &[Sa2Grant, VcOutPort],
     },
     CheckerInfo {
         id: CheckerId(12),
@@ -214,6 +256,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Va1Grant, Va2Grant],
+        constrains: &[Va2Grant],
     },
     CheckerInfo {
         id: CheckerId(13),
@@ -223,6 +267,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, BoundedDelivery, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Sa1Grant, Sa2Grant],
+        constrains: &[Sa2Grant],
     },
     CheckerInfo {
         id: CheckerId(14),
@@ -233,6 +279,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[XbarCol],
+        constrains: &[XbarCol],
     },
     CheckerInfo {
         id: CheckerId(15),
@@ -242,6 +290,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[XbarCol],
+        constrains: &[XbarCol],
     },
     CheckerInfo {
         id: CheckerId(16),
@@ -251,6 +301,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[XbarCol, XbarGrantIn],
+        constrains: &[XbarCol, XbarGrantIn],
     },
     CheckerInfo {
         id: CheckerId(17),
@@ -260,6 +312,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, NoNewFlit, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcStateCode, VcEvRcDone, VcEvVaDone, VcEvSaWon],
+        constrains: &[VcStateCode, VcEvRcDone, VcEvVaDone, VcEvSaWon],
     },
     CheckerInfo {
         id: CheckerId(18),
@@ -269,6 +323,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufWrite, BufHeadKind, VcStateCode],
+        constrains: &[BufWrite, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(19),
@@ -278,6 +334,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[Va2OutVc, VcOutVc],
+        constrains: &[Va2OutVc, VcOutVc],
     },
     CheckerInfo {
         id: CheckerId(20),
@@ -287,6 +345,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcEvRcDone, RcHeadValid, BufHeadKind],
+        constrains: &[VcEvRcDone, RcHeadValid, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(21),
@@ -296,6 +356,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcEvRcDone, BufEmpty],
+        constrains: &[VcEvRcDone, BufEmpty],
     },
     CheckerInfo {
         id: CheckerId(22),
@@ -305,6 +367,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcEvVaDone, BufHeadKind],
+        constrains: &[VcEvVaDone, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(23),
@@ -314,6 +378,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcEvVaDone, BufEmpty],
+        constrains: &[VcEvVaDone, BufEmpty],
     },
     CheckerInfo {
         id: CheckerId(24),
@@ -323,6 +389,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufRead, BufEmpty],
+        constrains: &[BufRead, BufEmpty],
     },
     CheckerInfo {
         id: CheckerId(25),
@@ -332,6 +400,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufWrite, BufFull],
+        constrains: &[BufWrite, BufFull],
     },
     CheckerInfo {
         id: CheckerId(26),
@@ -341,6 +411,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::AtomicOnly,
+        observes: &[BufWrite, BufHeadKind, VcStateCode],
+        constrains: &[BufWrite, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(27),
@@ -350,6 +422,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::NonAtomicOnly,
+        observes: &[BufWrite, BufHeadKind],
+        constrains: &[BufWrite, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(28),
@@ -359,6 +433,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufWrite, BufHeadKind],
+        constrains: &[BufWrite, BufHeadKind],
     },
     CheckerInfo {
         id: CheckerId(29),
@@ -368,6 +444,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing, NoFlitDrop],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufRead],
+        constrains: &[BufRead],
     },
     CheckerInfo {
         id: CheckerId(30),
@@ -377,6 +455,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoMixing, NoNewFlit],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[BufWrite],
+        constrains: &[BufWrite],
     },
     CheckerInfo {
         id: CheckerId(31),
@@ -386,6 +466,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[BoundedDelivery],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[VcEvRcDone],
+        constrains: &[VcEvRcDone],
     },
     CheckerInfo {
         id: CheckerId(32),
@@ -395,6 +477,8 @@ pub const TABLE1: [CheckerInfo; CheckerId::COUNT] = [
         categories: &[NoFlitDrop, BoundedDelivery, NoNewFlit, NoMixing],
         risk: Risk::Normal,
         applicability: Applicability::Always,
+        observes: &[RcDestX, RcDestY],
+        constrains: &[RcDestX, RcDestY],
     },
 ];
 
@@ -463,6 +547,54 @@ mod tests {
                 TABLE1.iter().any(|e| e.categories.contains(&cat)),
                 "{cat:?} uncovered"
             );
+        }
+    }
+
+    #[test]
+    fn observes_metadata_is_complete_and_consistent() {
+        for e in &TABLE1 {
+            assert!(
+                !e.observes.is_empty(),
+                "{} declares no observed signals",
+                e.id
+            );
+            assert!(
+                !e.constrains.is_empty(),
+                "{} declares no constrained signals",
+                e.id
+            );
+            for s in e.constrains {
+                assert!(
+                    e.observes.contains(s),
+                    "{} constrains {s:?} without observing it",
+                    e.id
+                );
+            }
+            // A module-owned checker must read at least one wire of its own
+            // module (cross-module context signals are allowed on top).
+            if let Some(m) = e.module {
+                assert!(
+                    e.observes.iter().any(|s| s.module() == m),
+                    "{} ({m}) observes no signal of its own module",
+                    e.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_signal_kind_is_constrained_by_some_checker() {
+        use noc_types::site::SignalKind;
+        for policy in [BufferPolicy::Atomic, BufferPolicy::NonAtomic] {
+            for sig in SignalKind::ALL {
+                assert!(
+                    TABLE1
+                        .iter()
+                        .filter(|e| e.applicability.applies(policy))
+                        .any(|e| e.constrains.contains(&sig)),
+                    "{sig:?} unconstrained under {policy:?}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,74 @@
+//! Static/dynamic cross-check: the `noc-lint` coverage analysis predicts,
+//! purely from the declared `observes`/`constrains` metadata and the
+//! signal graph, which fault sites the checker array can observe. This
+//! test runs a real golden-reference fault-injection campaign on a small
+//! mesh and verifies the dynamic results are a *subset* of the static
+//! prediction:
+//!
+//! * every site where any detector raised an alarm must be statically
+//!   covered (a dynamic detection at a statically-blind site would mean
+//!   the static model under-approximates the deployed checkers);
+//! * every checker that fired is one the static model knows (non-empty
+//!   declared sets), so no detection is attributed to unmodelled logic.
+
+use analysis::{analyze, site_covered, CheckerModel};
+use nocalert_repro::prelude::*;
+
+#[test]
+fn dynamic_detections_are_statically_predicted_covered() {
+    let mut cfg = NocConfig::small_test();
+    cfg.injection_rate = 0.15;
+    let cc = CampaignConfig {
+        noc: cfg.clone(),
+        warmup: 400,
+        active_window: 400,
+        drain_deadline: 6_000,
+        forever_epoch: 400,
+    };
+    let campaign = Campaign::new(cc);
+    let universe = enumerate_sites(&cfg);
+    let sites = fault::sample::stride(&universe, 160);
+    let model = CheckerModel::from_table1();
+
+    let results = campaign.run_many(&sites, 4);
+    assert_eq!(results.len(), sites.len());
+
+    let mut detections = 0;
+    for r in &results {
+        if !r.nocalert.detected {
+            continue;
+        }
+        detections += 1;
+        assert!(
+            site_covered(&cfg, &model, r.site),
+            "dynamic detection at statically-uncovered site {} — the static \
+             coverage model under-approximates the deployed checkers",
+            r.site
+        );
+        for &c in &r.checkers {
+            assert!(
+                !nocalert::TABLE1[c.index()].observes.is_empty(),
+                "checker {c} fired dynamically but declares no observed \
+                 signals in the static model"
+            );
+        }
+    }
+    // The sweep must actually exercise the property: a campaign where
+    // nothing is detected would make the subset check vacuous.
+    assert!(
+        detections >= 20,
+        "only {detections} detections in {} runs — sweep too weak to \
+         validate the static model",
+        results.len()
+    );
+}
+
+#[test]
+fn static_model_is_clean_on_the_campaign_config() {
+    // The subset check above is only meaningful if the static side also
+    // claims full coverage for the very config the campaign ran.
+    let cfg = NocConfig::small_test();
+    let a = analyze(&cfg, &CheckerModel::from_table1());
+    assert!(a.clean(), "{:#?}", a.diagnostics);
+    assert_eq!(a.stats.uncovered_sites, 0);
+}
