@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== noc-lint (static verification) =="
 cargo run -q --release -p nocalert-analysis --bin noc-lint
 
+echo "== recovery smoke (one fault per class, 100% delivery) =="
+cargo run -q --release -p nocalert-bench --bin recovery -- --smoke
+
 echo "== cargo test =="
 cargo test -q --workspace
 

@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fault::FaultSpec;
+use fault::{FaultSpec, Watchdog};
 use golden::{Campaign, CampaignConfig, ResilienceOptions, RunResult};
 use noc_types::{Cycle, NocConfig};
 use serde::Serialize;
@@ -73,12 +73,21 @@ pub struct Experiment {
     pub checkpoint_dir: Option<PathBuf>,
     /// Skip sites already completed in the checkpoint (`--resume`).
     pub resume: bool,
+    /// Hang-detection policy override (`--cycle-budget` /
+    /// `--stall-window`); `None` keeps [`Watchdog::default_policy`].
+    pub watchdog: Option<Watchdog>,
 }
 
 impl Experiment {
     /// Builds the experiment from CLI args: `--sites N` (default 400,
     /// `--full` for the whole universe), `--rate F`, `--mesh K`,
-    /// `--threads N`, `--seed S`, `--checkpoint-dir PATH`, `--resume`.
+    /// `--threads N`, `--seed S`, `--checkpoint-dir PATH`, `--resume`,
+    /// `--cycle-budget C`, `--stall-window C`.
+    ///
+    /// An invalid watchdog override (zero budget or stall window) is a
+    /// configuration error, not a per-run failure: it exits immediately
+    /// with the [`noc_types::SimError::WatchdogInvalid`] diagnostic
+    /// instead of silently terminating every rollout at cycle zero.
     pub fn from_args(args: &Args) -> Experiment {
         let mut noc = NocConfig::paper_baseline();
         let k: u8 = args.get("mesh", 8);
@@ -96,12 +105,27 @@ impl Experiment {
                 .map(|n| n.get())
                 .unwrap_or(4),
         );
+        let watchdog = if args.str("cycle-budget").is_some() || args.str("stall-window").is_some() {
+            let defaults = Watchdog::default_policy();
+            let dog = Watchdog {
+                cycle_budget: args.get("cycle-budget", defaults.cycle_budget),
+                stall_window: args.get("stall-window", defaults.stall_window),
+            };
+            if let Err(e) = dog.validate() {
+                eprintln!("[args] {e}");
+                std::process::exit(2);
+            }
+            Some(dog)
+        } else {
+            None
+        };
         Experiment {
             noc,
             sites,
             threads,
             checkpoint_dir: args.str("checkpoint-dir").map(PathBuf::from),
             resume: args.flag("resume"),
+            watchdog,
         }
     }
 
@@ -125,6 +149,7 @@ impl Experiment {
     /// flushes instead).
     pub fn resilience(&self, phase: &str) -> ResilienceOptions {
         ResilienceOptions {
+            watchdog: self.watchdog,
             checkpoint_dir: self.checkpoint_dir.as_ref().map(|d| d.join(phase)),
             resume: self.resume,
             cancel: self.checkpoint_dir.as_ref().map(|d| {
@@ -140,7 +165,6 @@ impl Experiment {
                 });
                 flag
             }),
-            ..ResilienceOptions::default()
         }
     }
 
@@ -269,6 +293,25 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_flags_build_a_validated_policy() {
+        let mut a = Args::default();
+        a.map.insert("cycle-budget".into(), "50000".into());
+        let e = Experiment::from_args(&a);
+        let dog = e.watchdog.unwrap_or_else(Watchdog::default_policy);
+        assert_eq!(dog.cycle_budget, 50_000);
+        assert_eq!(dog.stall_window, Watchdog::default_policy().stall_window);
+
+        let mut b = Args::default();
+        b.map.insert("stall-window".into(), "750".into());
+        let e = Experiment::from_args(&b);
+        let dog = e.watchdog.unwrap_or_else(Watchdog::default_policy);
+        assert_eq!(dog.stall_window, 750);
+
+        let none = Experiment::from_args(&Args::default());
+        assert!(none.watchdog.is_none(), "no flags → library default policy");
+    }
+
+    #[test]
     fn experiment_site_sampling() {
         let e = Experiment {
             noc: NocConfig::small_test(),
@@ -276,6 +319,7 @@ mod tests {
             threads: 1,
             checkpoint_dir: None,
             resume: false,
+            watchdog: None,
         };
         assert_eq!(e.site_list().len(), 50);
         let full = Experiment {

@@ -132,6 +132,13 @@ impl AlertBank {
         &self.events
     }
 
+    /// The assertions raised at or after index `from` — the tail a
+    /// closed-loop consumer (e.g. the recovery harness) has not drained
+    /// yet. Out-of-range indices yield an empty slice.
+    pub fn events_since(&self, from: usize) -> &[AssertionEvent] {
+        self.events.get(from..).unwrap_or(&[])
+    }
+
     /// Per-checker assertion counts (`counts()[id.index()]`).
     pub fn counts(&self) -> &[u64; CheckerId::COUNT] {
         &self.counts

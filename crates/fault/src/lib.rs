@@ -62,13 +62,28 @@ impl FaultSpec {
     ///
     /// Returns [`noc_types::SimError::FaultSpecInvalid`] for an
     /// intermittent fault with a zero period (its activity pattern is
-    /// undefined — evaluating it divides by zero).
+    /// undefined — evaluating it divides by zero), with a zero duty
+    /// (never active: a vacuous injection a campaign should reject rather
+    /// than silently classify as benign), or with a duty exceeding the
+    /// period (equivalent to a permanent fault and almost certainly a
+    /// misconfiguration).
     pub fn validate(&self) -> Result<(), noc_types::SimError> {
-        if let FaultKind::Intermittent { period: 0, .. } = self.kind {
-            return Err(noc_types::SimError::FaultSpecInvalid {
-                site: self.site,
-                reason: "intermittent fault period must be non-zero",
-            });
+        if let FaultKind::Intermittent { period, duty } = self.kind {
+            let reason = if period == 0 {
+                Some("intermittent fault period must be non-zero")
+            } else if duty == 0 {
+                Some("intermittent fault duty must be non-zero (never active)")
+            } else if duty > period {
+                Some("intermittent fault duty must not exceed its period")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                return Err(noc_types::SimError::FaultSpecInvalid {
+                    site: self.site,
+                    reason,
+                });
+            }
         }
         Ok(())
     }
@@ -88,6 +103,32 @@ impl FaultSpec {
         FaultSpec {
             site,
             kind: FaultKind::Permanent,
+            start,
+        }
+    }
+
+    /// A classical stuck-at defect: the wire is forced to `level` (0 or 1)
+    /// from `start` onward. These are the hard faults the recovery
+    /// subsystem (DESIGN.md §11) is built to survive.
+    pub fn stuck_at(site: SiteRef, level: bool, start: Cycle) -> FaultSpec {
+        FaultSpec {
+            site,
+            kind: if level {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+            start,
+        }
+    }
+
+    /// An intermittent fault: flipped for the first `duty` cycles of every
+    /// `period`-cycle window from `start` onward. Callers should
+    /// [`FaultSpec::validate`] the result before running a campaign on it.
+    pub fn intermittent(site: SiteRef, period: u32, duty: u32, start: Cycle) -> FaultSpec {
+        FaultSpec {
+            site,
+            kind: FaultKind::Intermittent { period, duty },
             start,
         }
     }
@@ -195,6 +236,32 @@ impl Watchdog {
             cycle_budget: u64::MAX,
             stall_window: 2_000,
         }
+    }
+
+    /// Checks the policy for values a campaign CLI should reject up front.
+    ///
+    /// A zero cycle budget terminates every rollout before its first
+    /// cycle; a zero stall window declares every drain phase hung on its
+    /// first check. Both are legal to *construct* (tests use them to
+    /// exercise the trip paths deterministically) but are always operator
+    /// errors when they arrive via `--cycle-budget` / `--stall-window`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`noc_types::SimError::WatchdogInvalid`] naming the
+    /// offending threshold.
+    pub fn validate(&self) -> Result<(), noc_types::SimError> {
+        if self.cycle_budget == 0 {
+            return Err(noc_types::SimError::WatchdogInvalid {
+                reason: "cycle budget must be non-zero",
+            });
+        }
+        if self.stall_window == 0 {
+            return Err(noc_types::SimError::WatchdogInvalid {
+                reason: "drain stall window must be non-zero",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -431,6 +498,66 @@ mod tests {
         assert!(matches!(
             bad.validate(),
             Err(noc_types::SimError::FaultSpecInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_intermittent_duties() {
+        let site = SiteRef {
+            router: 0,
+            port: 0,
+            vc: 0,
+            signal: noc_types::site::SignalKind::Sa1Req,
+            bit: 0,
+        };
+        let never = FaultSpec::intermittent(site, 10, 0, 0);
+        assert!(matches!(
+            never.validate(),
+            Err(noc_types::SimError::FaultSpecInvalid { .. })
+        ));
+        let over = FaultSpec::intermittent(site, 4, 5, 0);
+        assert!(matches!(
+            over.validate(),
+            Err(noc_types::SimError::FaultSpecInvalid { .. })
+        ));
+        assert!(FaultSpec::intermittent(site, 4, 4, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn stuck_at_constructor_maps_level_to_kind() {
+        let site = SiteRef {
+            router: 1,
+            port: 0,
+            vc: 0,
+            signal: noc_types::site::SignalKind::RcOutDir,
+            bit: 1,
+        };
+        assert_eq!(
+            FaultSpec::stuck_at(site, false, 7).kind,
+            FaultKind::StuckAt0
+        );
+        assert_eq!(FaultSpec::stuck_at(site, true, 7).kind, FaultKind::StuckAt1);
+        assert!(FaultSpec::stuck_at(site, true, 7).validate().is_ok());
+    }
+
+    #[test]
+    fn watchdog_validate_rejects_zero_thresholds() {
+        assert!(Watchdog::default_policy().validate().is_ok());
+        let no_budget = Watchdog {
+            cycle_budget: 0,
+            stall_window: 100,
+        };
+        assert!(matches!(
+            no_budget.validate(),
+            Err(noc_types::SimError::WatchdogInvalid { .. })
+        ));
+        let no_window = Watchdog {
+            cycle_budget: 100,
+            stall_window: 0,
+        };
+        assert!(matches!(
+            no_window.validate(),
+            Err(noc_types::SimError::WatchdogInvalid { .. })
         ));
     }
 

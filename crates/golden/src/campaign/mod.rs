@@ -35,7 +35,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod outcome;
-mod resilience;
+pub(crate) mod resilience;
 
 pub use checkpoint::Checkpoint;
 pub use error::CampaignError;

@@ -36,6 +36,7 @@
 
 pub mod campaign;
 pub mod oracle;
+pub mod recovery;
 pub mod stats;
 
 pub use campaign::{
@@ -43,3 +44,7 @@ pub use campaign::{
     DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult, SiteReport,
 };
 pub use oracle::{classify, GoldenReference, RunLog, Verdict, ViolationKind};
+pub use recovery::{
+    containment_covered, verify_delivery, DeliveryVerdict, RecoveryHarness, RecoveryOptions,
+    RecoveryOutcome, RecoveryRun,
+};

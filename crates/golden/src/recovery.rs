@@ -1,0 +1,449 @@
+//! Closed-loop recovery evaluation: detection driving containment, with
+//! ARQ transport restoring end-to-end delivery (DESIGN.md §11).
+//!
+//! The detection campaigns ([`crate::campaign`]) keep NoCAlert purely
+//! observational, exactly as the paper evaluates it. This module closes
+//! the loop the paper defers to "an accompanying recovery mechanism":
+//! every [`nocalert::AssertionEvent`] raised by the checker bank is
+//! translated to a containment notification for the simulator's per-router
+//! recovery controllers, and the NIC-level ARQ transport retransmits
+//! whatever containment destroys. The harness then holds the system to a
+//! *delivery* oracle — every offered application message arrives exactly
+//! once, uncorrupted — rather than the flit-level golden diff, which by
+//! design would flag the (expected, benign) retransmissions.
+//!
+//! Alert translation: a checker's [`nocalert::CheckerInfo::module`] says
+//! whether its port context addresses an input or an output port
+//! ([`noc_types::site::ModuleClass::port_is_output`]); output-side alerts
+//! are mapped across the link to the downstream input VC inside
+//! `Network::notify_alert`. The network-level end-to-end invariance 32
+//! (`module == None`) is detection without localization and is not fed to
+//! containment. Invariance 1 (turn legality) is disabled in this harness:
+//! once a port is fenced, degraded routing deliberately takes turns the
+//! XY turn model forbids, and the watchdog — not the turn filter — is the
+//! deadlock backstop.
+
+use crate::campaign::resilience::catch_payload;
+use fault::{FaultSpec, Hang, HangKind, Watchdog};
+use noc_sim::{
+    ArqConfig, ContainmentEvent, DeliveryRecord, Network, RecoveryPolicy, RecoveryStats, Transport,
+    TransportStats,
+};
+use noc_types::{Cycle, NocConfig, SimError};
+use nocalert::{info, AlertBank, CheckerId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Everything configurable about one recovery rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOptions {
+    /// Containment escalation thresholds.
+    pub policy: RecoveryPolicy,
+    /// Retransmission policy of the end-to-end transport.
+    pub arq: ArqConfig,
+    /// Fault-free warm-up cycles before the measurement window.
+    pub warmup: Cycle,
+    /// Measured cycles with injection enabled (faults are active here).
+    pub active_window: Cycle,
+    /// Hang detection: total cycle budget and drain stall window.
+    pub watchdog: Watchdog,
+}
+
+impl RecoveryOptions {
+    /// Defaults matching the detection campaigns' scale: short warm-up, a
+    /// measurement window long enough for several ARQ round trips, and the
+    /// stock watchdog.
+    pub fn paper_defaults() -> RecoveryOptions {
+        RecoveryOptions {
+            policy: RecoveryPolicy::default_policy(),
+            arq: ArqConfig::default_policy(),
+            warmup: 500,
+            active_window: 6_000,
+            watchdog: Watchdog {
+                cycle_budget: 200_000,
+                stall_window: 2_000,
+            },
+        }
+    }
+
+    /// Validates every nested policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid nested policy
+    /// ([`noc_types::SimError::ArqInvalid`] /
+    /// [`noc_types::SimError::WatchdogInvalid`]).
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.policy.validate()?;
+        self.arq.validate()?;
+        self.watchdog.validate()
+    }
+}
+
+/// How a recovery rollout ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryOutcome {
+    /// The network drained and the transport reached quiescence (every
+    /// message acknowledged or given up on) inside the watchdog budget.
+    Quiescent,
+    /// A watchdog tripped first.
+    Hung(Hang),
+    /// The rollout panicked (only produced by [`RecoveryHarness::run_isolated`]).
+    Crashed(String),
+}
+
+/// The delivery oracle's judgement of one rollout.
+///
+/// Retransmissions are expected; what is *not* tolerated is silent loss,
+/// duplication towards the application, or a corrupted copy being
+/// delivered (corrupted completes are NACKed and never enter the record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryVerdict {
+    /// Every offered message was delivered exactly once, uncorrupted.
+    ExactlyOnce,
+    /// End-to-end delivery was violated.
+    Violated {
+        /// Offered messages never delivered (in flight at the end or
+        /// abandoned).
+        undelivered: u64,
+        /// Messages the sender abandoned after `max_retries`.
+        gave_up: u64,
+        /// Application-level duplicate deliveries (dedup failure).
+        duplicates: u64,
+    },
+}
+
+/// Full result of one closed-loop rollout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryRun {
+    /// The injected fault, if any.
+    pub spec: Option<FaultSpec>,
+    /// How the rollout ended.
+    pub outcome: RecoveryOutcome,
+    /// The delivery oracle's judgement.
+    pub verdict: DeliveryVerdict,
+    /// Transport counters (offered/delivered/retransmits/ACK overhead…).
+    pub transport: TransportStats,
+    /// Containment counters (squashes/resets/disables/fenced ports…).
+    pub recovery: RecoveryStats,
+    /// Every containment action, in order.
+    pub trace: Vec<ContainmentEvent>,
+    /// Every exactly-once delivery, in arrival order (latency data).
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Assertions the checker bank raised.
+    pub alerts: u64,
+    /// Observable fault activations.
+    pub fault_hits: u64,
+    /// Final simulation cycle.
+    pub end_cycle: Cycle,
+}
+
+impl RecoveryRun {
+    /// Delivered-to-offered ratio in `[0, 1]` (1.0 when nothing was
+    /// offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.transport.offered == 0 {
+            1.0
+        } else {
+            self.transport.delivered as f64 / self.transport.offered as f64
+        }
+    }
+
+    /// Wire overhead beyond one transmission per message: retransmissions
+    /// plus control packets, per offered message.
+    pub fn overhead_per_message(&self) -> f64 {
+        if self.transport.offered == 0 {
+            return 0.0;
+        }
+        let extra =
+            self.transport.retransmits + self.transport.acks_sent + self.transport.nacks_sent;
+        extra as f64 / self.transport.offered as f64
+    }
+}
+
+/// Judges the transport's end state against exactly-once semantics.
+///
+/// This is a *delivery* oracle: it asks whether the application saw every
+/// offered message exactly once. Whether the network itself drained (it
+/// may hold quarantined garbage flits forever under a permanent fault) is
+/// the rollout outcome's business, not the verdict's.
+pub fn verify_delivery(transport: &Transport) -> DeliveryVerdict {
+    let s = transport.stats();
+    let mut apps = BTreeSet::new();
+    let mut duplicates = 0u64;
+    for rec in transport.records() {
+        if !apps.insert(rec.app) {
+            duplicates += 1;
+        }
+    }
+    let undelivered = s.offered.saturating_sub(s.delivered);
+    if undelivered == 0 && duplicates == 0 {
+        DeliveryVerdict::ExactlyOnce
+    } else {
+        DeliveryVerdict::Violated {
+            undelivered,
+            gave_up: s.gave_up,
+            duplicates,
+        }
+    }
+}
+
+/// True when faults on `signal` are *containment-covered*: localizable to
+/// one input VC by the checkers that observe them, and fully masked by the
+/// VC-granular escalation machine (empirically verified across all four
+/// fault classes at every such site).
+///
+/// What is excluded, and why:
+///
+/// * `RcDestX`/`RcDestY` — the destination wires feed the minimal-routing
+///   checker's *own input cone*, so a corrupted destination routes
+///   "correctly" toward the wrong node; only the unlocalized end-to-end
+///   invariance fires, and containment has no target.
+/// * `VcStateCode` — some stuck-at values wedge the VC state machine in a
+///   legal-looking state that raises no alert at all.
+/// * `VcOutPort`/`VcOutVc` — bit-flipped but *valid* encodings misroute
+///   through legal turns; alerts accumulate too slowly downstream to
+///   localize the source VC reliably.
+/// * Arbitration and crossbar wires (`Va*`, `Sa*`, `Xbar*`) — the faulty
+///   hardware is port-granular; disabling suspect input VCs cannot mask a
+///   broken arbiter that corrupts every VC behind its port.
+///
+/// Faults at non-covered sites remain *detected* (the detection campaigns
+/// are unchanged); they are just not guaranteed survivable, and the
+/// recovery campaign reports their delivered ratio separately.
+pub fn containment_covered(signal: noc_types::site::SignalKind) -> bool {
+    use noc_types::site::SignalKind;
+    matches!(
+        signal,
+        SignalKind::BufEmpty
+            | SignalKind::BufFull
+            | SignalKind::RcHeadValid
+            | SignalKind::RcOutDir
+            | SignalKind::VcEvSaWon
+    )
+}
+
+/// The closed-loop harness: one instance, many rollouts.
+#[derive(Debug, Clone)]
+pub struct RecoveryHarness {
+    cfg: NocConfig,
+    opts: RecoveryOptions,
+}
+
+impl RecoveryHarness {
+    /// Builds a harness after validating `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecoveryOptions::validate`] failures.
+    pub fn try_new(cfg: NocConfig, opts: RecoveryOptions) -> Result<RecoveryHarness, SimError> {
+        opts.validate()?;
+        Ok(RecoveryHarness { cfg, opts })
+    }
+
+    /// The options the harness runs with.
+    pub fn options(&self) -> &RecoveryOptions {
+        &self.opts
+    }
+
+    /// The cycle at which the measurement window ends and draining begins.
+    pub fn active_end(&self) -> Cycle {
+        self.opts.warmup.saturating_add(self.opts.active_window)
+    }
+
+    /// One closed-loop rollout: inject `spec` (or nothing, for the
+    /// baseline), feed every alert to containment, retransmit end to end,
+    /// and drain until the transport is quiescent or a watchdog trips.
+    pub fn run(&self, spec: Option<&FaultSpec>) -> RecoveryRun {
+        let mut net = Network::new(self.cfg.clone());
+        net.enable_recovery(self.opts.policy);
+        let mut bank = AlertBank::new(&self.cfg);
+        // Degraded routing around fenced ports legitimately violates the
+        // turn model; the watchdog backs the deadlock risk instead.
+        bank.disable(CheckerId(1));
+        let mut transport = Transport::new(&self.cfg, self.opts.arq);
+        if let Some(s) = spec {
+            net.arm_fault(s.site, s.kind, s.start);
+        }
+
+        let dog = self.opts.watchdog;
+        let active_end = self.active_end();
+        let mut consumed = 0usize;
+        let mut hang: Option<Hang> = None;
+
+        while net.cycle() < active_end {
+            if net.cycle() >= dog.cycle_budget {
+                hang = Some(Hang {
+                    kind: HangKind::CycleBudget,
+                    at_cycle: net.cycle(),
+                    stalled_for: 0,
+                });
+                break;
+            }
+            self.step_once(&mut net, &mut bank, &mut transport, &mut consumed);
+        }
+
+        if hang.is_none() {
+            net.set_injection_enabled(false);
+            let mut sig = net.progress_signature();
+            let mut stalled: Cycle = 0;
+            loop {
+                if net.is_drained() && transport.quiescent() {
+                    break;
+                }
+                if net.cycle() >= dog.cycle_budget {
+                    hang = Some(Hang {
+                        kind: HangKind::CycleBudget,
+                        at_cycle: net.cycle(),
+                        stalled_for: stalled,
+                    });
+                    break;
+                }
+                // A non-quiescent transport is waiting on an armed
+                // retransmission timer — progress resumes by construction,
+                // so the stall check only applies once it has nothing left.
+                if transport.quiescent() && stalled >= dog.stall_window {
+                    hang = Some(Hang {
+                        kind: HangKind::NoProgress,
+                        at_cycle: net.cycle(),
+                        stalled_for: stalled,
+                    });
+                    break;
+                }
+                self.step_once(&mut net, &mut bank, &mut transport, &mut consumed);
+                let now = net.progress_signature();
+                if now == sig {
+                    stalled += 1;
+                } else {
+                    sig = now;
+                    stalled = 0;
+                }
+            }
+        }
+
+        let verdict = verify_delivery(&transport);
+        let outcome = match hang {
+            Some(h) => RecoveryOutcome::Hung(h),
+            None => RecoveryOutcome::Quiescent,
+        };
+        RecoveryRun {
+            spec: spec.copied(),
+            outcome,
+            verdict,
+            transport: transport.stats(),
+            recovery: net.recovery_stats(),
+            trace: net.recovery_trace().to_vec(),
+            deliveries: transport.records().to_vec(),
+            alerts: bank.assertions().len() as u64,
+            fault_hits: net.fault_hits(),
+            end_cycle: net.cycle(),
+        }
+    }
+
+    /// [`RecoveryHarness::run`] behind the campaign panic-isolation
+    /// boundary: a panicking rollout becomes a `Crashed` report instead of
+    /// taking the sweep down.
+    pub fn run_isolated(&self, spec: Option<&FaultSpec>) -> RecoveryRun {
+        match catch_payload(|| self.run(spec)) {
+            Ok(run) => run,
+            Err(panic) => RecoveryRun {
+                spec: spec.copied(),
+                outcome: RecoveryOutcome::Crashed(panic),
+                verdict: DeliveryVerdict::Violated {
+                    undelivered: 0,
+                    gave_up: 0,
+                    duplicates: 0,
+                },
+                transport: TransportStats::default(),
+                recovery: RecoveryStats::default(),
+                trace: Vec::new(),
+                deliveries: Vec::new(),
+                alerts: 0,
+                fault_hits: 0,
+                end_cycle: 0,
+            },
+        }
+    }
+
+    /// One simulated cycle of the closed loop: step the network under the
+    /// checker bank and the transport, hand fresh alerts to containment
+    /// (applied by the network at the start of the next cycle — the
+    /// one-cycle reaction latency of a real alert wire), then let the
+    /// transport fabricate control packets and fire timers.
+    fn step_once(
+        &self,
+        net: &mut Network,
+        bank: &mut AlertBank,
+        transport: &mut Transport,
+        consumed: &mut usize,
+    ) {
+        net.step_observed(&mut (&mut *bank, &mut *transport));
+        let fresh: Vec<nocalert::AssertionEvent> = bank.events_since(*consumed).to_vec();
+        *consumed = bank.assertions().len();
+        for ev in fresh {
+            if let Some(module) = info(ev.checker).module {
+                net.notify_alert(ev.router, ev.port, ev.vc, module.port_is_output());
+            }
+        }
+        transport.post_step(net);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts() -> RecoveryOptions {
+        RecoveryOptions {
+            warmup: 200,
+            active_window: 1_500,
+            watchdog: Watchdog {
+                cycle_budget: 60_000,
+                stall_window: 1_500,
+            },
+            ..RecoveryOptions::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn options_validation_propagates() {
+        let mut opts = RecoveryOptions::paper_defaults();
+        assert!(opts.validate().is_ok());
+        opts.watchdog.cycle_budget = 0;
+        assert!(opts.validate().is_err());
+        opts = RecoveryOptions::paper_defaults();
+        opts.arq.ack_timeout = 0;
+        assert!(opts.validate().is_err());
+        opts = RecoveryOptions::paper_defaults();
+        opts.policy.reset_threshold = 0;
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn fault_free_baseline_is_exactly_once_with_no_containment() {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.05;
+        let h = RecoveryHarness::try_new(cfg, small_opts()).expect("valid options");
+        let run = h.run(None);
+        assert_eq!(run.outcome, RecoveryOutcome::Quiescent);
+        assert_eq!(run.verdict, DeliveryVerdict::ExactlyOnce);
+        assert_eq!(run.alerts, 0, "fault-free runs never assert");
+        assert_eq!(run.recovery.alerts_consumed, 0);
+        assert!(run.trace.is_empty());
+        assert!(run.transport.offered > 0);
+        assert_eq!(run.transport.retransmits, 0);
+        assert_eq!(run.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn crashed_runs_are_contained() {
+        // The harness itself should not panic on a degenerate zero-node
+        // exercise of run_isolated's happy path; the Crashed arm is
+        // exercised indirectly by the campaign resilience tests.
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.02;
+        let h = RecoveryHarness::try_new(cfg, small_opts()).expect("valid options");
+        let run = h.run_isolated(None);
+        assert_eq!(run.outcome, RecoveryOutcome::Quiescent);
+    }
+}

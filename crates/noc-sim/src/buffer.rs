@@ -130,6 +130,16 @@ impl VcBuffer {
         flit
     }
 
+    /// Drops every live flit (a recovery-controller VC reset), returning
+    /// how many were destroyed. The slots keep their stale copies and the
+    /// head pointer is left in place — physically this is a pointer reset,
+    /// not a storage wipe.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.len;
+        self.len = 0;
+        dropped
+    }
+
     /// The wire value a head-kind observer sees: the live head's kind, or
     /// the stale slot's kind when the buffer is empty.
     pub fn head_kind_wire(&self) -> FlitKind {

@@ -118,8 +118,20 @@ impl FaultPlane {
                     && cycle >= f.start
                     && f.kind.active_at(cycle - f.start)
                 {
-                    self.hits += 1;
-                    value ^ (1u64 << s.bit)
+                    let bit = 1u64 << s.bit;
+                    let faulted = match f.kind {
+                        // Stuck-at defects force the wire to a level; a hit
+                        // is only counted when the level actually differs
+                        // from the fault-free value (otherwise the defect is
+                        // invisible this cycle).
+                        FaultKind::StuckAt0 => value & !bit,
+                        FaultKind::StuckAt1 => value | bit,
+                        _ => value ^ bit,
+                    };
+                    if faulted != value {
+                        self.hits += 1;
+                    }
+                    faulted
                 } else {
                     value
                 }
@@ -223,6 +235,36 @@ mod tests {
         });
         assert!(p.xf_bool(0, 3, 1, 2, SignalKind::BufRead, false));
         assert!(!p.xf_bool(1, 3, 1, 2, SignalKind::BufRead, false));
+    }
+
+    #[test]
+    fn stuck_at_one_forces_level_and_counts_visible_hits_only() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::StuckAt1,
+            start: 0,
+        });
+        // Bit 1 already high: no observable corruption, no hit.
+        assert_eq!(p.xf(0, 3, 1, 2, SignalKind::RcOutDir, 0b010), 0b010);
+        assert_eq!(p.hits(), 0);
+        // Bit 1 low: forced high, hit recorded.
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0b100), 0b110);
+        assert_eq!(p.hits(), 1);
+    }
+
+    #[test]
+    fn stuck_at_zero_forces_level_and_counts_visible_hits_only() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::StuckAt0,
+            start: 0,
+        });
+        assert_eq!(p.xf(0, 3, 1, 2, SignalKind::RcOutDir, 0b101), 0b101);
+        assert_eq!(p.hits(), 0);
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0b111), 0b101);
+        assert_eq!(p.hits(), 1);
     }
 
     #[test]

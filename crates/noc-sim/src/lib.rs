@@ -36,17 +36,23 @@ pub mod buffer;
 pub mod fault_plane;
 pub mod network;
 pub mod nic;
+pub mod recovery;
 pub mod router;
 pub mod routing;
 pub mod signals;
 pub mod stats;
 pub mod trace;
 pub mod traffic;
+pub mod transport;
 pub mod vc;
 
 pub use fault_plane::{ArmedFault, FaultPlane};
 pub use network::{NetStats, Network, NullObserver, Observer};
+pub use recovery::{
+    ContainmentEvent, ContainmentLevel, RecoveryController, RecoveryPolicy, RecoveryStats,
+};
 pub use router::{CreditMsg, LinkFlit, Router};
 pub use signals::{enumerate_all_sites, enumerate_router_sites, live_bits, signal_width};
 pub use stats::{LatencyStats, StatsCollector};
 pub use trace::TraceObserver;
+pub use transport::{ArqConfig, DeliveryRecord, Transport, TransportStats};

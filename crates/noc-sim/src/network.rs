@@ -19,12 +19,17 @@
 
 use crate::fault_plane::{ArmedFault, FaultPlane};
 use crate::nic::Nic;
-use crate::router::{CreditMsg, Router, RouterScratch};
+use crate::recovery::{
+    ContainmentEvent, ContainmentLevel, RecoveryController, RecoveryPolicy, RecoveryStats,
+};
+use crate::router::{CreditMsg, Router, RouterScratch, P};
 use noc_types::config::NocConfig;
+use noc_types::flit::make_packet;
 use noc_types::geometry::{Direction, NodeId};
 use noc_types::record::{CycleRecord, EjectEvent};
 use noc_types::site::{FaultKind, SiteRef};
-use noc_types::{Cycle, Flit};
+use noc_types::{Cycle, Flit, PacketId};
+use std::collections::BTreeSet;
 
 /// Receives everything observable that happens during simulation.
 ///
@@ -124,6 +129,19 @@ impl NetStats {
     }
 }
 
+/// Containment machinery attached to a network when recovery is enabled:
+/// one controller per router, the queued alert targets, and the action
+/// trace/stats the campaign reports.
+#[derive(Debug, Clone)]
+struct RecoveryState {
+    policy: RecoveryPolicy,
+    controllers: Vec<RecoveryController>,
+    /// Input-side targets `(router, port, vc)` queued for the next cycle.
+    pending: Vec<(u16, u8, u8)>,
+    trace: Vec<ContainmentEvent>,
+    stats: RecoveryStats,
+}
+
 /// The simulated network.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -138,6 +156,7 @@ pub struct Network {
     next_uid: u64,
     injection_enabled: bool,
     stats: NetStats,
+    recovery: Option<RecoveryState>,
 }
 
 impl Network {
@@ -175,6 +194,7 @@ impl Network {
             cycle: 0,
             injection_enabled: true,
             stats: NetStats::default(),
+            recovery: None,
             cfg,
         })
     }
@@ -259,6 +279,210 @@ impl Network {
             && self.nics.iter().all(|n| n.eject_backlog() == 0)
     }
 
+    /// Enables alert-driven containment with the given escalation policy
+    /// (one [`RecoveryController`] per router). Idempotent: re-enabling
+    /// resets all escalation state.
+    pub fn enable_recovery(&mut self, policy: RecoveryPolicy) {
+        let n = self.routers.len();
+        self.recovery = Some(RecoveryState {
+            policy,
+            controllers: (0..n).map(|_| RecoveryController::new()).collect(),
+            pending: Vec::new(),
+            trace: Vec::new(),
+            stats: RecoveryStats::default(),
+        });
+    }
+
+    /// Queues one alert for containment at the start of the next cycle
+    /// (one cycle of reaction latency, matching a hardware alert network).
+    ///
+    /// `port_is_output` tells whether `port` addresses an *output* port of
+    /// `router` (see `ModuleClass::port_is_output`); output-side alerts are
+    /// translated to the downstream router's input VC, since that is where
+    /// the suspect worm's state lives. Local-output alerts (the ejection
+    /// path) are not contained here — the end-to-end transport covers them.
+    /// No-op when recovery is disabled.
+    pub fn notify_alert(&mut self, router: u16, port: u8, vc: u8, port_is_output: bool) {
+        if self.recovery.is_none() || router as usize >= self.routers.len() {
+            return;
+        }
+        let vc = if vc < self.cfg.vcs_per_port { vc } else { 0 };
+        let target = if port_is_output {
+            let Some(&d) = Direction::ALL.get(port as usize) else {
+                return;
+            };
+            if d == Direction::Local {
+                return;
+            }
+            match self.cfg.mesh.neighbor(NodeId(router), d) {
+                Some(nb) => (nb.0, d.opposite().index() as u8, vc),
+                None => return,
+            }
+        } else {
+            if port as usize >= P {
+                return;
+            }
+            (router, port, vc)
+        };
+        if let Some(rs) = self.recovery.as_mut() {
+            rs.pending.push(target);
+        }
+    }
+
+    /// Containment actions applied so far, in application order.
+    pub fn recovery_trace(&self) -> &[ContainmentEvent] {
+        self.recovery
+            .as_ref()
+            .map(|r| r.trace.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Aggregate containment counters (zeros when recovery is disabled).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
+    /// Fabricates a packet at `node`'s NI source queue, destined for
+    /// `dest`, drawing fresh packet/flit identities from the network-wide
+    /// counters. Used by the end-to-end transport for acknowledgements and
+    /// retransmissions — a retransmit is a *new* packet on the wire (fresh
+    /// `PacketId`), so per-packet invariances never see the same identity
+    /// twice. Returns the assigned id; out-of-range nodes return `None`.
+    pub fn enqueue_packet(
+        &mut self,
+        node: u16,
+        dest: u16,
+        class: u8,
+        len: u16,
+    ) -> Option<PacketId> {
+        if node as usize >= self.nics.len() || dest as usize >= self.nics.len() || len == 0 {
+            return None;
+        }
+        let class = class % self.cfg.message_classes;
+        let pkt = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let flits = make_packet(
+            pkt,
+            self.next_uid,
+            NodeId(node),
+            NodeId(dest),
+            class,
+            len,
+            self.cycle,
+        );
+        self.next_uid += len as u64;
+        self.nics[node as usize].enqueue(flits);
+        Some(pkt)
+    }
+
+    /// Tears down the worm occupying input VC `(router, port, vc)` end to
+    /// end: input buffer and link registers here, output-port bookkeeping
+    /// and staged flits upstream, recursively following allocation owners
+    /// back to the source NI. Returns flits destroyed.
+    fn chain_reset(&mut self, router: u16, port: u8, vc: u8) -> usize {
+        let depth = self.cfg.buffer_depth;
+        let mut dropped = 0usize;
+        let mut stack = vec![(router, port, vc)];
+        let mut visited: BTreeSet<(u16, u8, u8)> = BTreeSet::new();
+        while let Some((r, p, v)) = stack.pop() {
+            if r as usize >= self.routers.len() || p as usize >= P || !visited.insert((r, p, v)) {
+                continue;
+            }
+            dropped += self.routers[r as usize].hard_reset_input_vc(p, v);
+            let d = Direction::ALL[p as usize];
+            if d == Direction::Local {
+                dropped += self.nics[r as usize].abort_worm(&self.cfg, v);
+            } else if let Some(up) = self.cfg.mesh.neighbor(NodeId(r), d) {
+                let u = up.index();
+                let up_out = d.opposite().index() as u8;
+                dropped += self.routers[u].clear_out_flit_to(up_out, v);
+                let owner = self.routers[u].output_owner(up_out, v);
+                self.routers[u].reset_output_vc(up_out, v, depth);
+                if let Some((q, w)) = owner {
+                    stack.push((up.0, q, w));
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Quarantines input VC `(router, port, vc)` on both ends of its link
+    /// and fences the upstream output port once all of its VCs are gone.
+    /// Returns whether a port was newly fenced.
+    fn quarantine(&mut self, router: u16, port: u8, vc: u8) -> bool {
+        let d = Direction::ALL[port as usize];
+        if d == Direction::Local {
+            self.nics[router as usize].disable_vc(vc);
+            false
+        } else if let Some(up) = self.cfg.mesh.neighbor(NodeId(router), d) {
+            let u = up.index();
+            let up_out = d.opposite().index() as u8;
+            self.routers[u].disable_output_vc(up_out, vc);
+            // Fence the direction as soon as *any* message class has lost
+            // every VC it may use through it — with per-class VC pools, a
+            // starved class is as undeliverable as a dead port.
+            let (lo, hi) = self.cfg.vc_range_of_class(self.cfg.class_of_vc(vc));
+            let already = self.routers[u].avoid_mask() & (1 << up_out) != 0;
+            if !already && self.routers[u].output_class_starved(up_out, lo, hi) {
+                self.routers[u].set_avoid(up_out, true);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Applies the containment actions queued by [`Network::notify_alert`].
+    /// Runs at the start of each cycle, before the router phase. Multiple
+    /// alerts against the same VC within one cycle collapse into a single
+    /// escalation step, so thresholds count alert-*cycles*, not checker
+    /// fan-out.
+    fn apply_recovery(&mut self, cy: Cycle) {
+        let Some(mut rs) = self.recovery.take() else {
+            return;
+        };
+        if !rs.pending.is_empty() {
+            let targets: BTreeSet<(u16, u8, u8)> =
+                std::mem::take(&mut rs.pending).into_iter().collect();
+            for (r, p, v) in targets {
+                rs.stats.alerts_consumed += 1;
+                let Some(level) = rs.controllers[r as usize].note_alert(&rs.policy, p, v) else {
+                    continue;
+                };
+                let dropped = match level {
+                    ContainmentLevel::Squash => {
+                        rs.stats.squashes += 1;
+                        self.routers[r as usize].squash_input_vc(p, v)
+                    }
+                    ContainmentLevel::Reset => {
+                        rs.stats.resets += 1;
+                        self.chain_reset(r, p, v)
+                    }
+                    ContainmentLevel::Disable => {
+                        rs.stats.disables += 1;
+                        let dropped = self.chain_reset(r, p, v);
+                        if self.quarantine(r, p, v) {
+                            rs.stats.ports_fenced += 1;
+                        }
+                        dropped
+                    }
+                };
+                rs.stats.flits_dropped += dropped as u64;
+                rs.trace.push(ContainmentEvent {
+                    cycle: cy,
+                    router: r,
+                    port: p,
+                    vc: v,
+                    level,
+                    flits_dropped: dropped as u32,
+                });
+            }
+        }
+        self.recovery = Some(rs);
+    }
+
     /// Advances one cycle without observation.
     pub fn step(&mut self) {
         self.step_observed(&mut NullObserver);
@@ -274,6 +498,9 @@ impl Network {
     /// Advances one cycle, reporting records, injections and ejections.
     pub fn step_observed<O: Observer>(&mut self, obs: &mut O) {
         let cy = self.cycle;
+
+        // ---- Phase -1: containment actions queued last cycle ----
+        self.apply_recovery(cy);
         let cfg = &self.cfg;
 
         // ---- Phase 0: single-event upsets on state registers ----

@@ -1,0 +1,214 @@
+//! Alert-driven fault containment (DESIGN.md §11).
+//!
+//! NoCAlert itself is purely observational: the paper defers what happens
+//! *after* a checker fires to "an accompanying recovery mechanism". This
+//! module is that mechanism's control side. Each router owns a
+//! [`RecoveryController`] that consumes alert notifications (router, port,
+//! VC, and whether the module's port address is an output port) and decides
+//! an escalating containment response per suspect input VC:
+//!
+//! 1. **Squash** — first alert at a site: the suspect in-flight flit at the
+//!    head of the VC is destroyed and its upstream credit staged, on the
+//!    assumption of a transient glitch.
+//! 2. **Reset** — repeated alerts: the whole worm occupying the VC is torn
+//!    down end to end (input buffer, in-flight link registers, upstream
+//!    output-port bookkeeping, recursively up to the source NI).
+//! 3. **Disable** — sustained alerts imply a permanent fault: the VC is
+//!    quarantined on both sides of the link, never to be allocated again.
+//!    When every VC of an output port is quarantined the port is fenced
+//!    and the router's RC stage falls back to degraded (detouring) minimal
+//!    routing.
+//!
+//! Containment destroys flits by design; end-to-end delivery is restored by
+//! the NIC-level ARQ transport (`transport` module), which the delivery
+//! oracle in `nocalert-golden` holds to exactly-once semantics.
+
+use noc_types::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Escalation thresholds of the containment state machine.
+///
+/// Alert counts are tracked per suspect input VC. A count of 1 up to (but
+/// excluding) `reset_threshold` squashes; from `reset_threshold` up to (but
+/// excluding) `disable_threshold` resets; at `disable_threshold` the VC is
+/// quarantined and the site goes quiet permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Alert count at which squashing escalates to a full worm teardown.
+    pub reset_threshold: u32,
+    /// Alert count at which the VC is inferred permanently faulty and
+    /// quarantined.
+    pub disable_threshold: u32,
+}
+
+impl RecoveryPolicy {
+    /// Defaults tuned for the canonical campaigns: one squash attempt, one
+    /// worm teardown, then quarantine. Permanent and intermittent faults on
+    /// sparsely-checked wires raise alerts slowly (each containment action
+    /// also destroys the evidence), so the disable threshold must be small
+    /// enough that sustained-but-infrequent alerts still reach quarantine
+    /// before the ARQ sender exhausts its retries.
+    pub fn default_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            reset_threshold: 2,
+            disable_threshold: 3,
+        }
+    }
+
+    /// Checks the thresholds for values the escalation machine cannot run
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`noc_types::SimError::ArqInvalid`] when a threshold is zero
+    /// or the ordering `reset_threshold <= disable_threshold` is violated.
+    pub fn validate(&self) -> Result<(), noc_types::SimError> {
+        if self.reset_threshold == 0 || self.disable_threshold == 0 {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "recovery thresholds must be non-zero",
+            });
+        }
+        if self.reset_threshold > self.disable_threshold {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "reset threshold must not exceed disable threshold",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The containment level a controller selected for one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContainmentLevel {
+    /// Destroy the suspect head flit of the VC.
+    Squash,
+    /// Tear the worm occupying the VC down end to end.
+    Reset,
+    /// Quarantine the VC permanently (permanent-fault inference).
+    Disable,
+}
+
+/// One containment action, as recorded in the recovery trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainmentEvent {
+    /// Cycle at which the action was applied.
+    pub cycle: Cycle,
+    /// Router whose *input* VC was targeted.
+    pub router: u16,
+    /// Input port of the targeted VC.
+    pub port: u8,
+    /// The targeted VC.
+    pub vc: u8,
+    /// Escalation level applied.
+    pub level: ContainmentLevel,
+    /// Flits destroyed by the action.
+    pub flits_dropped: u32,
+}
+
+/// Aggregate containment counters (one set per network).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Alert notifications consumed (after output→input translation).
+    pub alerts_consumed: u64,
+    /// L1 squash actions applied.
+    pub squashes: u64,
+    /// L2 worm-teardown resets applied.
+    pub resets: u64,
+    /// L3 VC quarantines applied.
+    pub disables: u64,
+    /// Output ports fully fenced (degraded routing engaged downstream).
+    pub ports_fenced: u64,
+    /// Flits destroyed by containment actions in total.
+    pub flits_dropped: u64,
+}
+
+/// Per-router escalation state: alert counts and quarantine flags per
+/// suspect input VC `(port, vc)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryController {
+    counts: BTreeMap<(u8, u8), u32>,
+    quarantined: BTreeMap<(u8, u8), bool>,
+}
+
+impl RecoveryController {
+    /// A controller with no alert history.
+    pub fn new() -> RecoveryController {
+        RecoveryController::default()
+    }
+
+    /// Consumes one alert against input VC `(port, vc)` and returns the
+    /// containment level to apply, or `None` when the VC is already
+    /// quarantined (the site is contained; further alerts are stale
+    /// fallout).
+    pub fn note_alert(
+        &mut self,
+        policy: &RecoveryPolicy,
+        port: u8,
+        vc: u8,
+    ) -> Option<ContainmentLevel> {
+        if self.quarantined.get(&(port, vc)).copied().unwrap_or(false) {
+            return None;
+        }
+        let count = self.counts.entry((port, vc)).or_insert(0);
+        *count += 1;
+        if *count >= policy.disable_threshold {
+            self.quarantined.insert((port, vc), true);
+            Some(ContainmentLevel::Disable)
+        } else if *count >= policy.reset_threshold {
+            Some(ContainmentLevel::Reset)
+        } else {
+            Some(ContainmentLevel::Squash)
+        }
+    }
+
+    /// Alert count accumulated against `(port, vc)`.
+    pub fn count(&self, port: u8, vc: u8) -> u32 {
+        self.counts.get(&(port, vc)).copied().unwrap_or(0)
+    }
+
+    /// True when `(port, vc)` has been quarantined.
+    pub fn is_quarantined(&self, port: u8, vc: u8) -> bool {
+        self.quarantined.get(&(port, vc)).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_follows_thresholds() {
+        let policy = RecoveryPolicy {
+            reset_threshold: 3,
+            disable_threshold: 5,
+        };
+        let mut c = RecoveryController::new();
+        assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Squash));
+        assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Squash));
+        assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Reset));
+        assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Reset));
+        assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Disable));
+        assert!(c.is_quarantined(1, 0));
+        // Post-quarantine alerts are absorbed.
+        assert_eq!(c.note_alert(&policy, 1, 0), None);
+        // Other sites are independent.
+        assert_eq!(c.note_alert(&policy, 1, 1), Some(ContainmentLevel::Squash));
+        assert_eq!(c.count(1, 0), 5);
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(RecoveryPolicy::default_policy().validate().is_ok());
+        let zero = RecoveryPolicy {
+            reset_threshold: 0,
+            disable_threshold: 5,
+        };
+        assert!(zero.validate().is_err());
+        let inverted = RecoveryPolicy {
+            reset_threshold: 6,
+            disable_threshold: 5,
+        };
+        assert!(inverted.validate().is_err());
+    }
+}

@@ -74,6 +74,9 @@ pub struct Router {
     id: u16,
     coord: Coord,
     live: [bool; P],
+    /// Output directions fenced by the recovery controller; when any bit is
+    /// set the RC stage falls back to degraded (detouring) routing.
+    avoid: [bool; P],
     /// `inputs[port][vc]`.
     inputs: Vec<Vec<VirtualChannel>>,
     /// `outputs[port]` — downstream allocation + credit bookkeeping.
@@ -138,6 +141,7 @@ impl Router {
             id,
             coord,
             live,
+            avoid: [false; P],
             inputs: (0..P)
                 .map(|_| {
                     (0..v)
@@ -206,6 +210,122 @@ impl Router {
             && self.incoming.iter().all(Option::is_none)
             && self.out_flits.iter().all(Option::is_none)
             && self.st_read.iter().all(|&m| m == 0)
+    }
+
+    // --- Recovery-controller containment primitives (DESIGN.md §11) ---
+
+    /// L1 squash: destroys the suspect flit at the head of input VC
+    /// `(port, vc)` and stages the upstream credit its read would have
+    /// produced, so flow control stays consistent. Returns flits dropped
+    /// (0 or 1).
+    pub(crate) fn squash_input_vc(&mut self, port: u8, vc: u8) -> usize {
+        let (p, v) = (port as usize, vc as usize);
+        if p >= P || !self.live[p] || v >= self.inputs[p].len() {
+            return 0;
+        }
+        let Some(flit) = self.inputs[p][v].buffer.pop() else {
+            return 0;
+        };
+        self.out_credits.push(CreditMsg {
+            port,
+            vc,
+            tail: flit.is_tail(),
+        });
+        if flit.is_tail() {
+            // The worm ended with the squashed flit: tear the VC down as a
+            // normal tail read would.
+            let vcref = &mut self.inputs[p][v];
+            vcref.release();
+            if let Some(next) = vcref.buffer.peek() {
+                if next.is_head() {
+                    vcref.state = state::ROUTING;
+                }
+            }
+        }
+        1
+    }
+
+    /// L2 teardown, input side: destroys every flit buffered in input VC
+    /// `(port, vc)`, cancels its pending switch read and clears an
+    /// in-flight link arrival addressed to it. Returns flits dropped.
+    pub(crate) fn hard_reset_input_vc(&mut self, port: u8, vc: u8) -> usize {
+        let (p, v) = (port as usize, vc as usize);
+        if p >= P || v >= self.inputs[p].len() {
+            return 0;
+        }
+        self.st_read[p] &= !(1 << v);
+        let mut dropped = self.inputs[p][v].hard_reset();
+        if self.incoming[p].is_some_and(|lf| lf.vc == vc) {
+            self.incoming[p] = None;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// L2 teardown, link side: destroys a staged outbound flit headed for
+    /// downstream VC `vc` of output `port`. Returns flits dropped.
+    pub(crate) fn clear_out_flit_to(&mut self, port: u8, vc: u8) -> usize {
+        let p = port as usize;
+        if p < P && self.out_flits[p].is_some_and(|lf| lf.vc == vc) {
+            self.out_flits[p] = None;
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The local input `(port, vc)` currently holding the allocation of
+    /// downstream VC `vc` at output `port` (for worm-chain teardown).
+    pub(crate) fn output_owner(&self, port: u8, vc: u8) -> Option<(u8, u8)> {
+        self.outputs
+            .get(port as usize)?
+            .owner
+            .get(vc as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// L2 teardown, output side: restores output VC bookkeeping to reset
+    /// values (full credits, free unless quarantined).
+    pub(crate) fn reset_output_vc(&mut self, port: u8, vc: u8, depth: u8) {
+        if let Some(op) = self.outputs.get_mut(port as usize) {
+            op.reset_vc(vc, depth);
+        }
+    }
+
+    /// L3 quarantine of downstream VC `vc` at output `port`.
+    pub(crate) fn disable_output_vc(&mut self, port: u8, vc: u8) {
+        if let Some(op) = self.outputs.get_mut(port as usize) {
+            op.disable(vc);
+        }
+    }
+
+    /// True when every downstream VC of output `port` is quarantined.
+    /// True when every VC of output `port` in the half-open range
+    /// `lo..hi` is disabled — a message class starved of paths through
+    /// this direction (the fence trigger for degraded routing).
+    pub(crate) fn output_class_starved(&self, port: u8, lo: u8, hi: u8) -> bool {
+        self.outputs.get(port as usize).is_some_and(|op| {
+            op.disabled
+                .get(lo as usize..(hi as usize).min(op.disabled.len()))
+                .is_some_and(|cls| !cls.is_empty() && cls.iter().all(|&d| d))
+        })
+    }
+
+    /// Fences (or unfences) output direction `port` for degraded routing.
+    pub(crate) fn set_avoid(&mut self, port: u8, fenced: bool) {
+        if (port as usize) < P {
+            self.avoid[port as usize] = fenced;
+        }
+    }
+
+    /// Bitmask of output directions currently fenced for degraded routing.
+    pub fn avoid_mask(&self) -> u64 {
+        self.avoid
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .fold(0, |m, (i, _)| m | 1 << i)
     }
 
     /// Applies a single-event upset directly to a stored state-table bit
@@ -823,14 +943,21 @@ impl Router {
                 SignalKind::RcHeadValid,
                 head.map(|f| f.is_head()).unwrap_or(false),
             );
-            let dir = route(
-                cfg.routing,
-                self.coord,
-                Coord::new(
-                    (dx as u8).min(cfg.mesh.width().saturating_sub(1).max(dx as u8)),
-                    (dy as u8).min(cfg.mesh.height().saturating_sub(1).max(dy as u8)),
-                ),
+            let dest_c = Coord::new(
+                (dx as u8).min(cfg.mesh.width().saturating_sub(1).max(dx as u8)),
+                (dy as u8).min(cfg.mesh.height().saturating_sub(1).max(dy as u8)),
             );
+            let dir = if self.avoid.iter().any(|&a| a) {
+                crate::routing::route_avoiding(
+                    cfg.routing,
+                    cfg.mesh,
+                    self.coord,
+                    dest_c,
+                    &self.avoid,
+                )
+            } else {
+                route(cfg.routing, self.coord, dest_c)
+            };
             let out_raw = pl.xf(cy, self.id, p, v, SignalKind::RcOutDir, dir.bits()) & 0b111;
             scratch.rc_result[p as usize][v as usize] = Some(out_raw);
             scratch.ev_rc[p as usize][v as usize] = true;

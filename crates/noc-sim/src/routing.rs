@@ -57,6 +57,43 @@ pub fn route(alg: RoutingAlgorithm, cur: Coord, dest: Coord) -> Direction {
     }
 }
 
+/// Degraded-mode routing around quarantined output ports (DESIGN.md §11).
+///
+/// When the algorithm's preferred direction is fenced (`avoid`), the other
+/// *productive* direction is taken instead, in a fixed deterministic
+/// priority order (E, W, N, S). Every hop still strictly decreases the
+/// Manhattan distance, so degraded routes cannot livelock; they may,
+/// however, violate the baseline turn model — the recovery harness
+/// therefore relaxes the turn-legality invariances once a router enters
+/// degraded mode, and the watchdog backs the residual deadlock risk.
+pub fn route_avoiding(
+    alg: RoutingAlgorithm,
+    mesh: Mesh,
+    cur: Coord,
+    dest: Coord,
+    avoid: &[bool],
+) -> Direction {
+    let preferred = route(alg, cur, dest);
+    let fenced = |d: Direction| avoid.get(d.index()).copied().unwrap_or(false);
+    if !fenced(preferred) {
+        return preferred;
+    }
+    for d in [
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+    ] {
+        if d != preferred && !fenced(d) && productive(mesh, cur, dest, d) {
+            return d;
+        }
+    }
+    // Every productive direction is fenced: emit the preferred one anyway
+    // (the packet blocks and the watchdog reports the loss of liveness —
+    // the site is beyond VC/port-granular containment).
+    preferred
+}
+
 /// Whether a turn from input port `in_port` to output direction `out` is
 /// permitted by the routing algorithm's turn model (invariance 1).
 ///
@@ -174,6 +211,54 @@ mod tests {
         assert!(turn_legal(alg, Direction::East, Direction::West));
         assert!(turn_legal(alg, Direction::Local, Direction::West));
         assert!(turn_legal(alg, Direction::North, Direction::East));
+    }
+
+    #[test]
+    fn route_avoiding_detours_productively() {
+        let mesh = MESH();
+        let alg = RoutingAlgorithm::XY;
+        let mut avoid = [false; 5];
+        // No fence: identical to the baseline algorithm.
+        assert_eq!(
+            route_avoiding(alg, mesh, Coord::new(1, 1), Coord::new(4, 5), &avoid),
+            Direction::East
+        );
+        // East fenced with progress available in Y: detour North.
+        avoid[Direction::East.index()] = true;
+        assert_eq!(
+            route_avoiding(alg, mesh, Coord::new(1, 1), Coord::new(4, 5), &avoid),
+            Direction::North
+        );
+        // Destination straight East and East fenced: no productive
+        // alternative exists; the preferred direction is emitted anyway.
+        assert_eq!(
+            route_avoiding(alg, mesh, Coord::new(1, 1), Coord::new(4, 1), &avoid),
+            Direction::East
+        );
+    }
+
+    #[test]
+    fn route_avoiding_stays_minimal_everywhere() {
+        let mesh = MESH();
+        let mut avoid = [false; 5];
+        avoid[Direction::East.index()] = true;
+        for sx in 0u8..8 {
+            for sy in 0u8..8 {
+                for dx in 0u8..8 {
+                    for dy in 0u8..8 {
+                        let cur = Coord::new(sx, sy);
+                        let dest = Coord::new(dx, dy);
+                        let out = route_avoiding(RoutingAlgorithm::XY, mesh, cur, dest, &avoid);
+                        if out != Direction::East {
+                            assert!(
+                                productive(mesh, cur, dest, out),
+                                "unproductive detour {out} at {cur} toward {dest}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! NIC-level end-to-end reliability: ACK/NACK with timeout and backoff.
+//!
+//! Containment (the `recovery` module) deliberately destroys flits, so the
+//! network alone can no longer promise delivery. This module adds the
+//! classical transport answer on top of the NICs: every application packet
+//! is tracked by the sender until the receiver's acknowledgement returns;
+//! a lost or corrupted packet is retransmitted after a configurable
+//! timeout with exponential backoff, and the receiver deduplicates so the
+//! application sees exactly-once delivery.
+//!
+//! ## Wire honesty
+//!
+//! Flits carry no payload bits in this model (identity only), so the
+//! transport keeps a *registry* mapping each on-wire [`PacketId`] to what
+//! its payload would encode: the application message id, whether it is a
+//! data packet, an ACK or a NACK, and its endpoints. Retransmissions and
+//! acknowledgements are **fresh packets** (new `PacketId`, new flit uids)
+//! fabricated through `Network::enqueue_packet` — per-packet invariances
+//! (e.g. the end-to-end checker) never see the same identity twice, and
+//! acknowledgements are full packets of the data packet's message class,
+//! because invariance 28 fixes the flit count per class. Retransmission
+//! overhead is therefore measured honestly, full-length packets included.
+
+use crate::network::{Network, Observer};
+use noc_types::record::EjectEvent;
+use noc_types::{Cycle, Flit, NocConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Retransmission policy of the end-to-end transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArqConfig {
+    /// Base acknowledgement timeout in cycles: a data packet unacknowledged
+    /// this long after entering the wire is retransmitted.
+    pub ack_timeout: Cycle,
+    /// Timeout multiplier applied per attempt (exponential backoff).
+    pub backoff_factor: u32,
+    /// Exponent cap: attempt counts beyond this stop growing the timeout.
+    pub backoff_cap: u32,
+    /// Retransmissions per message before the sender gives up (a give-up
+    /// is a delivery failure the oracle reports).
+    pub max_retries: u32,
+}
+
+impl ArqConfig {
+    /// Defaults sized for the canonical meshes. The timeout must sit well
+    /// above the worst-case loaded round trip (data + full-length ACK) or
+    /// the senders mass-retransmit, double the offered load, and drive the
+    /// mesh into congestion collapse — on the 8×8 at paper rates that
+    /// means thousands of cycles, not hundreds.
+    pub fn default_policy() -> ArqConfig {
+        ArqConfig {
+            ack_timeout: 2_500,
+            backoff_factor: 2,
+            backoff_cap: 3,
+            max_retries: 8,
+        }
+    }
+
+    /// Checks the policy for values the retransmission machine cannot run
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`noc_types::SimError::ArqInvalid`] for a zero timeout
+    /// (retransmit storm) or a zero backoff factor (zero timeouts after
+    /// the first retry).
+    pub fn validate(&self) -> Result<(), noc_types::SimError> {
+        if self.ack_timeout == 0 {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "ack timeout must be non-zero",
+            });
+        }
+        if self.backoff_factor == 0 {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "backoff factor must be non-zero",
+            });
+        }
+        Ok(())
+    }
+
+    /// The timeout for a message that has already been attempted
+    /// `attempts` times.
+    pub fn timeout_after(&self, attempts: u32) -> Cycle {
+        let exp = attempts.min(self.backoff_cap);
+        self.ack_timeout
+            .saturating_mul(self.backoff_factor.saturating_pow(exp) as u64)
+    }
+}
+
+/// What a packet's payload bits encode (registry entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    /// Application data for message `app`.
+    Data,
+    /// Acknowledgement of message `app`.
+    Ack,
+    /// Negative acknowledgement (corrupted arrival) of message `app`.
+    Nack,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WireMeta {
+    kind: WireKind,
+    /// Application message id (the original data packet's on-wire id).
+    app: u64,
+    src: u16,
+    dest: u16,
+    class: u8,
+    len: u16,
+}
+
+/// Sender-side state of one unacknowledged application message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    src: u16,
+    dest: u16,
+    class: u8,
+    len: u16,
+    offered_at: Cycle,
+    attempts: u32,
+    deadline: Cycle,
+}
+
+/// Receiver-side assembly of one on-wire packet.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RxState {
+    seqs: BTreeSet<u16>,
+    corrupted: bool,
+    done: bool,
+}
+
+/// A control message queued for fabrication at the next `post_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outbox {
+    kind: WireKind,
+    app: u64,
+    from: u16,
+    to: u16,
+    class: u8,
+    len: u16,
+}
+
+/// One exactly-once delivery, as the application saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryRecord {
+    /// Application message id.
+    pub app: u64,
+    /// Source node.
+    pub src: u16,
+    /// Destination node.
+    pub dest: u16,
+    /// Cycle the first copy entered the wire.
+    pub offered_at: Cycle,
+    /// Cycle the first complete, uncorrupted copy finished arriving.
+    pub delivered_at: Cycle,
+    /// Wire attempts up to that point (0 = first transmission sufficed).
+    pub attempts: u32,
+}
+
+/// Aggregate transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Application messages that entered the wire.
+    pub offered: u64,
+    /// Messages delivered exactly once to the application.
+    pub delivered: u64,
+    /// Data retransmissions sent.
+    pub retransmits: u64,
+    /// ACK packets sent.
+    pub acks_sent: u64,
+    /// NACK packets sent (corrupted complete arrivals).
+    pub nacks_sent: u64,
+    /// Duplicate complete arrivals suppressed by receiver dedup.
+    pub duplicates_suppressed: u64,
+    /// Complete arrivals discarded for corruption.
+    pub corrupted_arrivals: u64,
+    /// Flits ejected at a node other than their packet's destination.
+    pub misrouted_flits: u64,
+    /// Ejected flits with no registry entry (stale replays, fabrications).
+    pub stray_flits: u64,
+    /// Messages abandoned after `max_retries` (delivery failures).
+    pub gave_up: u64,
+}
+
+/// The end-to-end reliability layer over all NICs of one network.
+///
+/// Attach it as an [`Observer`] during `step_observed`, then call
+/// [`Transport::post_step`] once per cycle to let it fabricate control
+/// packets and fire retransmission timers:
+///
+/// ```ignore
+/// net.step_observed(&mut transport);
+/// transport.post_step(&mut net);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transport {
+    arq: ArqConfig,
+    packet_lengths: Vec<u16>,
+    registry: BTreeMap<u64, WireMeta>,
+    pending: BTreeMap<u64, Pending>,
+    delivered: BTreeSet<u64>,
+    rx: BTreeMap<u64, RxState>,
+    outbox: Vec<Outbox>,
+    records: Vec<DeliveryRecord>,
+    failed: Vec<u64>,
+    stats: TransportStats,
+    cycle_seen: Cycle,
+}
+
+impl Transport {
+    /// Creates the transport for networks built from `cfg`.
+    pub fn new(cfg: &NocConfig, arq: ArqConfig) -> Transport {
+        Transport {
+            arq,
+            packet_lengths: cfg.packet_lengths.clone(),
+            registry: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            rx: BTreeMap::new(),
+            outbox: Vec::new(),
+            records: Vec::new(),
+            failed: Vec::new(),
+            stats: TransportStats::default(),
+            cycle_seen: 0,
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Exactly-once deliveries in arrival order.
+    pub fn records(&self) -> &[DeliveryRecord] {
+        self.records.as_slice()
+    }
+
+    /// Application ids the sender gave up on (delivery failures).
+    pub fn failed(&self) -> &[u64] {
+        self.failed.as_slice()
+    }
+
+    /// Unacknowledged application messages currently tracked.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no message awaits acknowledgement and no control packet
+    /// awaits fabrication — the transport's drain criterion.
+    pub fn quiescent(&self) -> bool {
+        self.pending.is_empty() && self.outbox.is_empty()
+    }
+
+    fn class_len(&self, class: u8) -> u16 {
+        self.packet_lengths
+            .get(class as usize)
+            .copied()
+            .unwrap_or(1)
+    }
+
+    fn complete(&self, pid: u64) -> bool {
+        let (Some(meta), Some(rx)) = (self.registry.get(&pid), self.rx.get(&pid)) else {
+            return false;
+        };
+        !rx.done
+            && rx.seqs.len() >= meta.len as usize
+            && (0..meta.len).all(|s| rx.seqs.contains(&s))
+    }
+
+    /// Dispatches one fully assembled packet.
+    fn on_complete(&mut self, pid: u64, at: Cycle) {
+        let Some(meta) = self.registry.get(&pid).copied() else {
+            return;
+        };
+        if let Some(rx) = self.rx.get_mut(&pid) {
+            rx.done = true;
+        }
+        let corrupted = self.rx.get(&pid).map(|r| r.corrupted).unwrap_or(false);
+        match meta.kind {
+            WireKind::Data => {
+                if self.delivered.contains(&meta.app) {
+                    // Late duplicate (retransmit raced the ACK): suppress,
+                    // but re-acknowledge so the sender stops.
+                    self.stats.duplicates_suppressed += 1;
+                    self.queue_ctl(WireKind::Ack, meta);
+                } else if corrupted {
+                    self.stats.corrupted_arrivals += 1;
+                    self.queue_ctl(WireKind::Nack, meta);
+                } else {
+                    self.delivered.insert(meta.app);
+                    self.stats.delivered += 1;
+                    if let Some(p) = self.pending.get(&meta.app) {
+                        self.records.push(DeliveryRecord {
+                            app: meta.app,
+                            src: meta.src,
+                            dest: meta.dest,
+                            offered_at: p.offered_at,
+                            delivered_at: at,
+                            attempts: p.attempts,
+                        });
+                    }
+                    self.queue_ctl(WireKind::Ack, meta);
+                }
+            }
+            WireKind::Ack => {
+                // Arrived back at the data sender: the message is done.
+                // A corrupted ACK still acknowledges (its identity is the
+                // information); real hardware would checksum-drop it, which
+                // the next retransmission round would absorb identically.
+                self.pending.remove(&meta.app);
+            }
+            WireKind::Nack => {
+                if let Some(p) = self.pending.get_mut(&meta.app) {
+                    // Retransmit immediately: the receiver has proven the
+                    // path delivers, the copy was just damaged.
+                    p.deadline = at;
+                }
+            }
+        }
+    }
+
+    fn queue_ctl(&mut self, kind: WireKind, data: WireMeta) {
+        self.outbox.push(Outbox {
+            kind,
+            app: data.app,
+            from: data.dest,
+            to: data.src,
+            class: data.class,
+            len: data.len,
+        });
+    }
+
+    /// Fabricates queued control packets and fires retransmission timers.
+    /// Call once per cycle, after `step_observed`.
+    pub fn post_step(&mut self, net: &mut Network) {
+        let cy = net.cycle();
+        // 1. Control packets decided during the observation phase.
+        let outbox = std::mem::take(&mut self.outbox);
+        for msg in outbox {
+            let Some(pid) = net.enqueue_packet(msg.from, msg.to, msg.class, msg.len) else {
+                continue;
+            };
+            self.registry.insert(
+                pid.0,
+                WireMeta {
+                    kind: msg.kind,
+                    app: msg.app,
+                    src: msg.from,
+                    dest: msg.to,
+                    class: msg.class,
+                    len: msg.len,
+                },
+            );
+            match msg.kind {
+                WireKind::Ack => self.stats.acks_sent += 1,
+                WireKind::Nack => self.stats.nacks_sent += 1,
+                WireKind::Data => {}
+            }
+        }
+        // 2. Timeouts.
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| cy >= p.deadline)
+            .map(|(&app, _)| app)
+            .collect();
+        for app in due {
+            let Some(p) = self.pending.get(&app).copied() else {
+                continue;
+            };
+            if p.attempts >= self.arq.max_retries {
+                self.pending.remove(&app);
+                if !self.delivered.contains(&app) {
+                    self.failed.push(app);
+                    self.stats.gave_up += 1;
+                }
+                continue;
+            }
+            let Some(pid) = net.enqueue_packet(p.src, p.dest, p.class, p.len) else {
+                continue;
+            };
+            self.registry.insert(
+                pid.0,
+                WireMeta {
+                    kind: WireKind::Data,
+                    app,
+                    src: p.src,
+                    dest: p.dest,
+                    class: p.class,
+                    len: p.len,
+                },
+            );
+            if let Some(p) = self.pending.get_mut(&app) {
+                p.attempts += 1;
+                p.deadline = cy.saturating_add(self.arq.timeout_after(p.attempts));
+            }
+            self.stats.retransmits += 1;
+        }
+    }
+}
+
+impl Observer for Transport {
+    fn on_inject(&mut self, cycle: Cycle, flit: &Flit) {
+        self.cycle_seen = cycle;
+        if !flit.is_head() {
+            return;
+        }
+        let pid = flit.packet.0;
+        if let Some(meta) = self.registry.get(&pid).copied() {
+            // A transport-fabricated packet entered the wire; (re)start the
+            // sender timer for data packets now that it is actually moving.
+            if meta.kind == WireKind::Data {
+                let timeout = self
+                    .pending
+                    .get(&meta.app)
+                    .map(|p| self.arq.timeout_after(p.attempts))
+                    .unwrap_or(self.arq.ack_timeout);
+                if let Some(p) = self.pending.get_mut(&meta.app) {
+                    p.deadline = cycle.saturating_add(timeout);
+                }
+            }
+            return;
+        }
+        // Unknown head flit: ordinary NIC-generated application traffic.
+        let len = self.class_len(flit.class);
+        self.registry.insert(
+            pid,
+            WireMeta {
+                kind: WireKind::Data,
+                app: pid,
+                src: flit.src.0,
+                dest: flit.dest.0,
+                class: flit.class,
+                len,
+            },
+        );
+        self.pending.insert(
+            pid,
+            Pending {
+                src: flit.src.0,
+                dest: flit.dest.0,
+                class: flit.class,
+                len,
+                offered_at: cycle,
+                attempts: 0,
+                deadline: cycle.saturating_add(self.arq.ack_timeout),
+            },
+        );
+        self.stats.offered += 1;
+    }
+
+    fn on_eject(&mut self, ev: &EjectEvent) {
+        let flit = ev.flit;
+        let pid = flit.packet.0;
+        let Some(meta) = self.registry.get(&pid).copied() else {
+            self.stats.stray_flits += 1;
+            return;
+        };
+        if ev.node.0 != meta.dest {
+            self.stats.misrouted_flits += 1;
+            return;
+        }
+        {
+            let rx = self.rx.entry(pid).or_default();
+            if rx.done {
+                self.stats.stray_flits += 1;
+                return;
+            }
+            if flit.corrupted || flit.origin == noc_types::flit::FlitOrigin::StaleReplay {
+                rx.corrupted = true;
+            }
+            rx.seqs.insert(flit.seq);
+        }
+        if self.complete(pid) {
+            self.on_complete(pid, ev.cycle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::NocConfig;
+
+    fn drive(net: &mut Network, t: &mut Transport, cycles: u64) {
+        for _ in 0..cycles {
+            net.step_observed(t);
+            t.post_step(net);
+        }
+    }
+
+    #[test]
+    fn arq_config_validation_and_backoff() {
+        let arq = ArqConfig::default_policy();
+        assert!(arq.validate().is_ok());
+        assert_eq!(arq.timeout_after(0), 2_500);
+        assert_eq!(arq.timeout_after(1), 5_000);
+        assert_eq!(arq.timeout_after(3), 20_000);
+        // Capped at backoff_cap.
+        assert_eq!(arq.timeout_after(40), 20_000);
+        assert!(ArqConfig {
+            ack_timeout: 0,
+            ..arq
+        }
+        .validate()
+        .is_err());
+        assert!(ArqConfig {
+            backoff_factor: 0,
+            ..arq
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn fault_free_messages_deliver_and_quiesce() {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.05;
+        let mut net = Network::new(cfg.clone());
+        let mut t = Transport::new(&cfg, ArqConfig::default_policy());
+        drive(&mut net, &mut t, 1_500);
+        net.set_injection_enabled(false);
+        drive(&mut net, &mut t, 4_000);
+        let s = t.stats();
+        assert!(s.offered > 0, "traffic must flow");
+        assert_eq!(s.delivered, s.offered, "all messages delivered");
+        assert_eq!(s.gave_up, 0);
+        assert_eq!(s.misrouted_flits, 0);
+        assert!(
+            t.quiescent(),
+            "all ACKs returned: {} pending",
+            t.pending_count()
+        );
+        assert_eq!(t.records().len() as u64, s.offered);
+        // ACK overhead: one ACK per delivery (no losses, no duplicates).
+        assert_eq!(s.acks_sent, s.delivered);
+        assert_eq!(s.retransmits, 0, "nothing times out fault-free");
+    }
+
+    #[test]
+    fn manual_message_round_trip() {
+        let cfg = {
+            let mut c = NocConfig::small_test();
+            c.injection_rate = 0.0;
+            c
+        };
+        let mut net = Network::new(cfg.clone());
+        let mut t = Transport::new(&cfg, ArqConfig::default_policy());
+        let pid = net.enqueue_packet(0, 15, 0, 5).expect("valid endpoints");
+        drive(&mut net, &mut t, 600);
+        assert_eq!(t.stats().offered, 1);
+        assert_eq!(t.stats().delivered, 1);
+        assert!(t.quiescent());
+        let rec = t.records()[0];
+        assert_eq!(rec.app, pid.0);
+        assert_eq!(rec.src, 0);
+        assert_eq!(rec.dest, 15);
+        assert_eq!(rec.attempts, 0);
+        assert!(rec.delivered_at > rec.offered_at);
+    }
+}

@@ -63,6 +63,20 @@ impl VirtualChannel {
         self.out_port = 0;
         self.out_vc = 0;
     }
+
+    /// Recovery-controller VC reset: destroys every buffered flit and
+    /// returns the VC to its power-on condition (including the write-side
+    /// bookkeeping, since the partial worm it tracked is being squashed).
+    /// Returns how many flits were dropped.
+    pub fn hard_reset(&mut self) -> usize {
+        let dropped = self.buffer.clear();
+        self.state = state::IDLE;
+        self.out_port = 0;
+        self.out_vc = 0;
+        self.arrived = 0;
+        self.prev_written_was_tail = true;
+        dropped
+    }
 }
 
 /// Downstream bookkeeping of one output port: which downstream VCs are
@@ -78,6 +92,9 @@ pub struct OutputPort {
     /// Per downstream VC: the local input `(port, vc)` currently holding
     /// the allocation (diagnostics; not a wire).
     pub owner: Vec<Option<(u8, u8)>>,
+    /// Per downstream VC: quarantined by the recovery controller after a
+    /// permanent-fault inference. A disabled VC is never free again.
+    pub disabled: Vec<bool>,
 }
 
 impl OutputPort {
@@ -89,6 +106,7 @@ impl OutputPort {
             free: vec![live; vcs as usize],
             credits: vec![if live { depth } else { 0 }; vcs as usize],
             owner: vec![None; vcs as usize],
+            disabled: vec![false; vcs as usize],
         }
     }
 
@@ -115,12 +133,35 @@ impl OutputPort {
         }
     }
 
-    /// Releases `vc` for a new wormhole.
+    /// Releases `vc` for a new wormhole. A quarantined (disabled) VC stays
+    /// unallocatable forever.
     pub fn release(&mut self, vc: u64) {
         if let Some(slot) = self.free.get_mut(vc as usize) {
-            *slot = true;
+            *slot = !self.disabled[vc as usize];
             self.owner[vc as usize] = None;
         }
+    }
+
+    /// Quarantines `vc`: drops any allocation and pins it un-free so no
+    /// future wormhole can be assigned to it.
+    pub fn disable(&mut self, vc: u8) {
+        if let Some(slot) = self.disabled.get_mut(vc as usize) {
+            *slot = true;
+            self.free[vc as usize] = false;
+            self.owner[vc as usize] = None;
+        }
+    }
+
+    /// Restores `vc` to its reset condition (full credits, free unless
+    /// disabled, no owner) — the downstream half of a VC chain reset.
+    pub fn reset_vc(&mut self, vc: u8, depth: u8) {
+        let v = vc as usize;
+        if v >= self.free.len() {
+            return;
+        }
+        self.owner[v] = None;
+        self.credits[v] = if self.live { depth } else { 0 };
+        self.free[v] = self.live && !self.disabled[v];
     }
 
     /// Consumes one credit of `vc` (saturating: a faulty double-send cannot
@@ -205,6 +246,53 @@ mod tests {
             op.return_credit(0, 3);
         }
         assert_eq!(op.credits[0], 3);
+    }
+
+    #[test]
+    fn disabled_vc_is_quarantined_forever() {
+        let mut op = OutputPort::new(true, 4, 5);
+        op.allocate(1, (2, 0));
+        op.disable(1);
+        assert_eq!(op.owner[1], None);
+        assert!(!op.free[1]);
+        // Neither release nor reset may resurrect it.
+        op.release(1);
+        assert!(!op.free[1]);
+        op.reset_vc(1, 5);
+        assert!(!op.free[1]);
+        assert_eq!(op.lowest_free_in(0, 4), Some(0));
+        assert_eq!(op.free_mask() & 0b0010, 0);
+    }
+
+    #[test]
+    fn reset_vc_restores_credits_and_freedom() {
+        let mut op = OutputPort::new(true, 2, 3);
+        op.allocate(0, (1, 1));
+        op.consume_credit(0);
+        op.consume_credit(0);
+        op.reset_vc(0, 3);
+        assert!(op.free[0]);
+        assert_eq!(op.credits[0], 3);
+        assert_eq!(op.owner[0], None);
+        op.reset_vc(9, 3); // out of range: ignored
+    }
+
+    #[test]
+    fn hard_reset_drops_flits_and_rearms_write_side() {
+        use noc_types::flit::make_packet;
+        use noc_types::{geometry::NodeId, PacketId};
+        let mut vc = VirtualChannel::new(5);
+        for f in make_packet(PacketId(7), 50, NodeId(0), NodeId(3), 0, 3, 0) {
+            vc.buffer.push(f);
+        }
+        vc.state = state::ACTIVE;
+        vc.arrived = 3;
+        vc.prev_written_was_tail = false;
+        assert_eq!(vc.hard_reset(), 3);
+        assert!(vc.buffer.is_empty());
+        assert_eq!(vc.state, state::IDLE);
+        assert_eq!(vc.arrived, 0);
+        assert!(vc.prev_written_was_tail);
     }
 
     #[test]

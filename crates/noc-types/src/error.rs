@@ -33,6 +33,18 @@ pub enum SimError {
         /// What is wrong with the spec.
         reason: &'static str,
     },
+    /// A watchdog policy is malformed (e.g. a zero cycle budget or stall
+    /// window, which would terminate every run before its first cycle).
+    WatchdogInvalid {
+        /// What is wrong with the policy.
+        reason: &'static str,
+    },
+    /// An end-to-end reliability (ARQ) configuration is malformed (e.g. a
+    /// zero acknowledgement timeout, which would retransmit every cycle).
+    ArqInvalid {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
     /// The simulator reached an internally inconsistent state — the
     /// replacement for a bare panic deep in a router model, annotated
     /// with where and when.
@@ -59,6 +71,12 @@ impl fmt::Display for SimError {
             }
             SimError::FaultSpecInvalid { site, reason } => {
                 write!(f, "invalid fault spec at {site}: {reason}")
+            }
+            SimError::WatchdogInvalid { reason } => {
+                write!(f, "invalid watchdog policy: {reason}")
+            }
+            SimError::ArqInvalid { reason } => {
+                write!(f, "invalid ARQ configuration: {reason}")
             }
             SimError::Internal {
                 router,

@@ -306,13 +306,21 @@ impl fmt::Display for SiteRef {
 /// The paper's campaign uses single-bit **transient** faults; it argues the
 /// mechanism behaves identically for permanent and intermittent faults
 /// (the checker simply stays asserted), which Observation 3 probes — so all
-/// three are supported.
+/// three temporal classes are supported. The recovery work (DESIGN.md §11)
+/// additionally distinguishes the *value* behaviour of hard faults: the
+/// original `Permanent` keeps the paper's stuck-*flipped* (XOR) semantics,
+/// while `StuckAt0`/`StuckAt1` model the classical stuck-at defects that a
+/// containment mechanism must survive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Bit flipped during exactly one cycle (single-event upset).
     Transient,
     /// Bit stuck-flipped from the injection cycle onward.
     Permanent,
+    /// Bit forced to logic 0 from the injection cycle onward.
+    StuckAt0,
+    /// Bit forced to logic 1 from the injection cycle onward.
+    StuckAt1,
     /// Bit flipped every cycle where `(cycle - start) % period < duty`.
     Intermittent {
         /// Repetition period in cycles.
@@ -328,9 +336,19 @@ impl FaultKind {
     pub fn active_at(self, delta: u64) -> bool {
         match self {
             FaultKind::Transient => delta == 0,
-            FaultKind::Permanent => true,
+            FaultKind::Permanent | FaultKind::StuckAt0 | FaultKind::StuckAt1 => true,
             FaultKind::Intermittent { period, duty } => (delta % period as u64) < duty as u64,
         }
+    }
+
+    /// True for the hard-fault kinds that persist forever once started —
+    /// the classes `noc-sim`'s recovery controller may infer as permanent.
+    #[inline]
+    pub fn is_persistent(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Permanent | FaultKind::StuckAt0 | FaultKind::StuckAt1
+        )
     }
 }
 
@@ -381,6 +399,21 @@ mod tests {
         assert!(inter.active_at(2));
         assert!(!inter.active_at(3));
         assert!(inter.active_at(10));
+    }
+
+    #[test]
+    fn stuck_at_kinds_are_persistent() {
+        for k in [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Permanent,
+        ] {
+            assert!(k.is_persistent());
+            assert!(k.active_at(0));
+            assert!(k.active_at(1_000_000));
+        }
+        assert!(!FaultKind::Transient.is_persistent());
+        assert!(!FaultKind::Intermittent { period: 4, duty: 1 }.is_persistent());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Wiring between the static coverage model and the recovery layer.
+//!
+//! Containment can only act on an alert it can localize; the recovery
+//! harness therefore leans on two properties of the checker metadata that
+//! nothing else would pin down:
+//!
+//! 1. the canonical 8×8/2-VC configuration keeps **zero blind spots**
+//!    (every fault site constrained by at least one checker), so a fault
+//!    at a covered site is guaranteed to be *detected*, and
+//! 2. every *containment-covered* signal (see
+//!    [`golden::containment_covered`]) is constrained by at least one
+//!    **localizing** checker — one whose [`nocalert::CheckerInfo::module`]
+//!    names the router module, giving `notify_alert` a (port, vc) target.
+//!
+//! Deleting or de-localizing a checker the recovery loop depends on now
+//! fails here rather than silently degrading survival.
+
+use analysis::{analyze, canonical_config, CheckerModel};
+use golden::containment_covered;
+use noc_types::site::SignalKind;
+
+#[test]
+fn canonical_config_has_zero_blind_spots() {
+    let cfg = canonical_config();
+    let report = analyze(&cfg, &CheckerModel::from_table1());
+    assert!(
+        report.clean(),
+        "coverage regressed on the canonical 8x8/2-VC config: {:?}",
+        report.stats
+    );
+}
+
+#[test]
+fn every_containment_covered_signal_has_a_localizing_checker() {
+    let cfg = canonical_config();
+    let model = CheckerModel::from_table1();
+    for sig in SignalKind::ALL {
+        if !containment_covered(sig) {
+            continue;
+        }
+        let localizing = model
+            .constrainers(&cfg, sig)
+            .into_iter()
+            .filter(|&id| nocalert::info(id).module.is_some())
+            .count();
+        assert!(
+            localizing > 0,
+            "{sig:?} is containment-covered but no checker localizes it \
+             — containment would have no (port, vc) target"
+        );
+    }
+}
+
+#[test]
+fn containment_covered_is_a_strict_subset_of_detection() {
+    // The recovery layer narrows, never widens, the detection guarantees:
+    // signals like RcDestX stay detected (via the end-to-end invariance)
+    // while being excluded from the survival bar.
+    assert!(!containment_covered(SignalKind::RcDestX));
+    assert!(!containment_covered(SignalKind::VcStateCode));
+    assert!(containment_covered(SignalKind::BufEmpty));
+    let covered = SignalKind::ALL
+        .into_iter()
+        .filter(|&s| containment_covered(s))
+        .count();
+    assert!(covered < SignalKind::ALL.len());
+    assert!(covered >= 5);
+}
