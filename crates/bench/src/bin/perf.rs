@@ -1,0 +1,244 @@
+//! **Perf baseline harness** — the repo's first performance trajectory
+//! (`BENCH_nocsim.json`).
+//!
+//! Measures two throughput figures on the canonical configurations:
+//!
+//! * **cycles/sec** — raw simulation stepping under the full NoCAlert
+//!   checker bank, on the 4×4 (`small_test`) and 8×8 (`paper_baseline`)
+//!   meshes. This is the per-cycle hot path the allocation-free refactor
+//!   targets.
+//! * **campaign runs/sec** — complete detection-campaign rollouts
+//!   (clone/reset from the warm snapshot, watched rollout, ForEVeR coda,
+//!   oracle classification) through [`golden::Campaign::run_many`] on the
+//!   canonical 8×8 / 2-VC sweep configuration, single-threaded (per-core
+//!   throughput, so the number is comparable across hosts with different
+//!   core counts).
+//!
+//! ```text
+//! cargo run --release -p nocalert-bench --bin perf -- \
+//!     [--smoke] [--json PATH] [--ref PATH] [--baseline PATH] \
+//!     [--cycles N] [--runs N] [--tolerance PCT]
+//! ```
+//!
+//! Modes:
+//!
+//! * default — full measurement; with `--baseline PATH` (a flat metrics
+//!   JSON from a previous `--measure-only` run) the output file carries
+//!   both the recorded baseline and the current numbers plus their ratio.
+//! * `--measure-only` — write just the flat metrics (used to record the
+//!   pre-refactor baseline).
+//! * `--smoke` — the CI regression gate: a shortened measurement compared
+//!   against the committed reference (`--ref`, default
+//!   `BENCH_nocsim.json`); exits 1 when current 8×8 cycles/sec fall more
+//!   than `--tolerance` (default 15) percent below the reference's
+//!   `current` section. Emits the measured smoke numbers to `--json`
+//!   (default `BENCH_nocsim.smoke.json`) for inspection.
+
+use golden::{Campaign, CampaignConfig};
+use noc_sim::Network;
+use noc_types::NocConfig;
+use nocalert::AlertBank;
+use nocalert_bench::Args;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One set of measured throughput figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Metrics {
+    /// Simulation cycles per wall-clock second, 4×4 mesh, checker bank
+    /// attached.
+    cycles_per_sec_4x4: f64,
+    /// Simulation cycles per wall-clock second, 8×8 paper baseline,
+    /// checker bank attached.
+    cycles_per_sec_8x8: f64,
+    /// Complete campaign rollouts per wall-clock second on the canonical
+    /// 8×8 / 2-VC sweep, single worker thread.
+    campaign_runs_per_sec_8x8_2vc: f64,
+    /// Cycles stepped per mesh for the cycles/sec figures.
+    measured_cycles: u64,
+    /// Campaign rollouts timed for the runs/sec figure.
+    measured_runs: usize,
+}
+
+/// The committed `BENCH_nocsim.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Reference {
+    /// Format tag.
+    schema: String,
+    /// Pre-refactor numbers, measured with this same harness before the
+    /// allocation-free/arena overhaul landed.
+    baseline: Metrics,
+    /// Post-refactor numbers.
+    current: Metrics,
+    /// `current.campaign_runs_per_sec_8x8_2vc / baseline.…` — the
+    /// acceptance figure.
+    campaign_speedup: f64,
+    /// `current.cycles_per_sec_8x8 / baseline.cycles_per_sec_8x8`.
+    cycle_speedup_8x8: f64,
+}
+
+/// The canonical 8×8 / 2-VC campaign sweep configuration (the recovery
+/// campaign's mesh shape driven through the detection campaign driver).
+fn sweep_noc() -> NocConfig {
+    let mut noc = NocConfig::paper_baseline();
+    noc.vcs_per_port = 2;
+    noc.message_classes = 1;
+    noc.packet_lengths = vec![5];
+    noc.injection_rate = 0.05;
+    noc
+}
+
+/// Steps `cycles` simulated cycles under the full checker bank and
+/// returns cycles/sec.
+fn measure_cycles(cfg: NocConfig, cycles: u64) -> f64 {
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(&cfg);
+    // Warm the allocator pools and branch predictors out of the
+    // measurement window.
+    for _ in 0..500 {
+        net.step_observed(&mut bank);
+    }
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        net.step_observed(&mut bank);
+    }
+    cycles as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Times `runs` complete campaign rollouts (single worker) and returns
+/// runs/sec.
+fn measure_campaign(runs: usize) -> f64 {
+    let cc = CampaignConfig::paper_defaults(sweep_noc(), 500);
+    let campaign = Campaign::new(cc);
+    let universe = fault::enumerate_sites(&campaign.config().noc);
+    let sites = fault::sample::stride(&universe, runs);
+    // One untimed rollout warms per-thread state.
+    let _ = campaign.run_many(&sites[..1], 1);
+    let t0 = Instant::now();
+    let results = campaign.run_many(&sites, 1);
+    assert_eq!(results.len(), sites.len());
+    sites.len() as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure(cycles: u64, runs: usize) -> Metrics {
+    eprintln!("[perf] stepping 4x4 for {cycles} cycles…");
+    let c4 = measure_cycles(NocConfig::small_test(), cycles);
+    eprintln!("[perf] stepping 8x8 for {cycles} cycles…");
+    let c8 = measure_cycles(NocConfig::paper_baseline(), cycles);
+    eprintln!("[perf] timing {runs} campaign rollouts (8x8/2-VC)…");
+    let rps = measure_campaign(runs);
+    Metrics {
+        cycles_per_sec_4x4: c4,
+        cycles_per_sec_8x8: c8,
+        campaign_runs_per_sec_8x8_2vc: rps,
+        measured_cycles: cycles,
+        measured_runs: runs,
+    }
+}
+
+fn print_metrics(label: &str, m: &Metrics) {
+    println!("-- {label} --");
+    nocalert_bench::row("cycles/sec 4x4", format!("{:.0}", m.cycles_per_sec_4x4));
+    nocalert_bench::row("cycles/sec 8x8", format!("{:.0}", m.cycles_per_sec_8x8));
+    nocalert_bench::row(
+        "campaign runs/sec 8x8/2-VC (1 thread)",
+        format!("{:.3}", m.campaign_runs_per_sec_8x8_2vc),
+    );
+}
+
+fn write_json<T: Serialize>(path: &str, value: &T) {
+    let s = serde_json::to_string_pretty(value).unwrap_or_else(|e| {
+        eprintln!("[perf] cannot serialize metrics: {e}");
+        std::process::exit(2);
+    });
+    std::fs::write(path, s + "\n").unwrap_or_else(|e| {
+        eprintln!("[perf] cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[perf] wrote {path}");
+}
+
+fn load_metrics(path: &str) -> Metrics {
+    let s = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("[perf] cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&s).unwrap_or_else(|e| {
+        eprintln!("[perf] cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn smoke(args: &Args) -> i32 {
+    let tolerance: f64 = args.get("tolerance", 15.0);
+    let cycles: u64 = args.get("cycles", 6_000);
+    let runs: usize = args.get("runs", 4);
+    let m = measure(cycles, runs);
+    print_metrics("smoke", &m);
+    write_json(args.str("json").unwrap_or("BENCH_nocsim.smoke.json"), &m);
+    let ref_path = args.str("ref").unwrap_or("BENCH_nocsim.json");
+    let s = match std::fs::read_to_string(ref_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[perf] no committed reference at {ref_path} ({e}); gate skipped");
+            return 0;
+        }
+    };
+    let reference: Reference = serde_json::from_str(&s).unwrap_or_else(|e| {
+        eprintln!("[perf] cannot parse {ref_path}: {e}");
+        std::process::exit(2);
+    });
+    let floor = reference.current.cycles_per_sec_8x8 * (1.0 - tolerance / 100.0);
+    nocalert_bench::row(
+        "reference cycles/sec 8x8 (floor)",
+        format!("{:.0} ({:.0})", reference.current.cycles_per_sec_8x8, floor),
+    );
+    if m.cycles_per_sec_8x8 < floor {
+        println!(
+            "\nPERF GATE FAILED: 8x8 cycles/sec {:.0} is more than {tolerance}% below the committed reference {:.0}.",
+            m.cycles_per_sec_8x8, reference.current.cycles_per_sec_8x8
+        );
+        1
+    } else {
+        println!("\nPERF GATE PASSED: within {tolerance}% of the committed reference.");
+        0
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("smoke") {
+        std::process::exit(smoke(&args));
+    }
+    let cycles: u64 = args.get("cycles", 30_000);
+    let runs: usize = args.get("runs", 24);
+    let m = measure(cycles, runs);
+    print_metrics("current", &m);
+    if args.flag("measure-only") {
+        write_json(args.str("json").unwrap_or("BENCH_nocsim.metrics.json"), &m);
+        return;
+    }
+    let Some(baseline_path) = args.str("baseline") else {
+        eprintln!("[perf] no --baseline given; writing flat metrics only");
+        write_json(args.str("json").unwrap_or("BENCH_nocsim.metrics.json"), &m);
+        return;
+    };
+    let baseline = load_metrics(baseline_path);
+    print_metrics("baseline (pre-refactor)", &baseline);
+    let reference = Reference {
+        schema: "nocsim-perf-v1".to_string(),
+        campaign_speedup: m.campaign_runs_per_sec_8x8_2vc / baseline.campaign_runs_per_sec_8x8_2vc,
+        cycle_speedup_8x8: m.cycles_per_sec_8x8 / baseline.cycles_per_sec_8x8,
+        baseline,
+        current: m,
+    };
+    nocalert_bench::row(
+        "campaign speedup",
+        format!("{:.2}x", reference.campaign_speedup),
+    );
+    nocalert_bench::row(
+        "8x8 cycle speedup",
+        format!("{:.2}x", reference.cycle_speedup_8x8),
+    );
+    write_json(args.str("json").unwrap_or("BENCH_nocsim.json"), &reference);
+}

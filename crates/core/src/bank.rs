@@ -15,9 +15,8 @@ use noc_sim::Observer;
 use noc_types::config::{BufferPolicy, NocConfig};
 use noc_types::geometry::{Coord, Direction, NodeId};
 use noc_types::record::{CycleRecord, EjectEvent};
-use noc_types::{Cycle, Flit, PacketId};
+use noc_types::{Cycle, Flit};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// One raised hardware assertion.
@@ -75,7 +74,7 @@ struct E2eEntry {
 /// }
 /// assert!(bank.assertions().is_empty(), "fault-free runs never assert");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AlertBank {
     cfg: NocConfig,
     enabled: [bool; CheckerId::COUNT],
@@ -85,8 +84,46 @@ pub struct AlertBank {
     first_cycle_normal_risk: Option<Cycle>,
     /// Distinct checkers asserted during the first detection cycle.
     first_cycle_checkers: Vec<CheckerId>,
-    e2e: HashMap<PacketId, E2eEntry>,
+    /// End-to-end tracking, a dense slab indexed by the (monotone)
+    /// `PacketId` so the per-ejection path is a bounds check away from the
+    /// entry instead of a hash lookup.
+    e2e: Vec<E2eEntry>,
+    /// Reused scratch for the invariance-8 cross-arbiter check.
+    va2_granted: Vec<(u8, u8)>,
     max_events: usize,
+}
+
+// Manual impl so `clone_from` (the campaign arena's per-run reset) reuses
+// the event log and the e2e slab instead of reallocating them each run.
+impl Clone for AlertBank {
+    fn clone(&self) -> AlertBank {
+        AlertBank {
+            cfg: self.cfg.clone(),
+            enabled: self.enabled,
+            events: self.events.clone(),
+            counts: self.counts,
+            first_cycle: self.first_cycle,
+            first_cycle_normal_risk: self.first_cycle_normal_risk,
+            first_cycle_checkers: self.first_cycle_checkers.clone(),
+            e2e: self.e2e.clone(),
+            va2_granted: self.va2_granted.clone(),
+            max_events: self.max_events,
+        }
+    }
+
+    fn clone_from(&mut self, src: &AlertBank) {
+        self.cfg.clone_from(&src.cfg);
+        self.enabled = src.enabled;
+        self.events.clone_from(&src.events);
+        self.counts = src.counts;
+        self.first_cycle = src.first_cycle;
+        self.first_cycle_normal_risk = src.first_cycle_normal_risk;
+        self.first_cycle_checkers
+            .clone_from(&src.first_cycle_checkers);
+        self.e2e.clone_from(&src.e2e);
+        self.va2_granted.clone_from(&src.va2_granted);
+        self.max_events = src.max_events;
+    }
 }
 
 impl AlertBank {
@@ -105,7 +142,8 @@ impl AlertBank {
             first_cycle: None,
             first_cycle_normal_risk: None,
             first_cycle_checkers: Vec::new(),
-            e2e: HashMap::new(),
+            e2e: Vec::new(),
+            va2_granted: Vec::new(),
             max_events: 100_000,
         }
     }
@@ -283,7 +321,7 @@ impl Observer for AlertBank {
                 va1_winner[(e.port & 7) as usize] = Some(e.grant.trailing_zeros() as u8);
             }
         }
-        let mut granted_input_vcs: Vec<(u8, u8)> = Vec::new();
+        self.va2_granted.clear();
         for e in &rec.va2 {
             self.check_arbiter(cycle, router, e.out_port, e.req, e.grant);
             if e.grant != 0 {
@@ -302,7 +340,7 @@ impl Observer for AlertBank {
                 for p in 0..8u8 {
                     if (e.grant >> p) & 1 == 1 {
                         if let Some(v) = va1_winner[p as usize] {
-                            granted_input_vcs.push((p, v));
+                            self.va2_granted.push((p, v));
                         }
                     }
                 }
@@ -317,10 +355,11 @@ impl Observer for AlertBank {
             }
         }
         // Invariance 8: the same input VC allocated by two VA2 arbiters.
-        granted_input_vcs.sort_unstable();
-        for w in granted_input_vcs.windows(2) {
-            if w[0] == w[1] {
-                self.raise(CheckerId(8), cycle, router, w[0].0, w[0].1);
+        self.va2_granted.sort_unstable();
+        for i in 1..self.va2_granted.len() {
+            if self.va2_granted[i - 1] == self.va2_granted[i] {
+                let (p, v) = self.va2_granted[i];
+                self.raise(CheckerId(8), cycle, router, p, v);
             }
         }
 
@@ -468,7 +507,11 @@ impl Observer for AlertBank {
         let node = ev.node;
         let f: &Flit = &ev.flit;
         let mut bad = f.dest != node;
-        let entry = self.e2e.entry(f.packet).or_default();
+        let idx = f.packet.0 as usize;
+        if idx >= self.e2e.len() {
+            self.e2e.resize_with(idx + 1, E2eEntry::default);
+        }
+        let entry = &mut self.e2e[idx];
         match entry.node {
             None => entry.node = Some(node),
             Some(n) if n != node => bad = true,
@@ -503,6 +546,7 @@ mod tests {
     use super::*;
     use noc_sim::Network;
     use noc_types::flit::{make_packet, FlitKind};
+    use noc_types::PacketId;
 
     fn eject(bank: &mut AlertBank, node: u16, cycle: Cycle, flit: Flit) {
         bank.on_eject(&EjectEvent {

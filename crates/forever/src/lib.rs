@@ -102,7 +102,7 @@ impl PartialOrd for Notification {
 /// }
 /// assert!(fv.detections().is_empty(), "fault-free run, no alarms");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Forever {
     cfg: NocConfig,
     epoch_len: u64,
@@ -113,6 +113,36 @@ pub struct Forever {
     first: Option<Cycle>,
     last_cycle: Option<Cycle>,
     max_detections: usize,
+}
+
+// Manual impl so `clone_from` (the campaign arena's per-run reset) reuses
+// the per-node counter vectors and the in-flight notification heap.
+impl Clone for Forever {
+    fn clone(&self) -> Forever {
+        Forever {
+            cfg: self.cfg.clone(),
+            epoch_len: self.epoch_len,
+            counters: self.counters.clone(),
+            reached_zero: self.reached_zero.clone(),
+            notifications: self.notifications.clone(),
+            detections: self.detections.clone(),
+            first: self.first,
+            last_cycle: self.last_cycle,
+            max_detections: self.max_detections,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Forever) {
+        self.cfg.clone_from(&src.cfg);
+        self.epoch_len = src.epoch_len;
+        self.counters.clone_from(&src.counters);
+        self.reached_zero.clone_from(&src.reached_zero);
+        self.notifications.clone_from(&src.notifications);
+        self.detections.clone_from(&src.detections);
+        self.first = src.first;
+        self.last_cycle = src.last_cycle;
+        self.max_detections = src.max_detections;
+    }
 }
 
 impl Forever {

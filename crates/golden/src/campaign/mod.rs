@@ -193,6 +193,20 @@ pub struct Campaign {
     golden: GoldenReference,
 }
 
+/// Reusable per-worker simulation state: one network, detector pair and
+/// run log that campaign rollouts rewind (via `clone_from`) and reuse
+/// instead of reconstructing per site. Rewinding restores every field
+/// from the warm snapshot, so results are bit-identical to fresh-cloned
+/// runs — the steady-state cost per site is a memcpy-shaped reset, not
+/// thousands of allocations.
+#[derive(Debug, Clone)]
+pub struct CampaignArena {
+    net: Network,
+    bank: AlertBank,
+    forever: Forever,
+    log: RunLog,
+}
+
 impl Campaign {
     /// Warms the network up, snapshots it, and runs the golden rollout.
     ///
@@ -282,17 +296,40 @@ impl Campaign {
         self.bank0.disable(id);
     }
 
+    /// Allocates a reusable [`CampaignArena`] pre-warmed with this
+    /// campaign's snapshot state. One arena per worker thread turns the
+    /// per-site cost from "construct a network" into "rewind a network".
+    pub fn arena(&self) -> CampaignArena {
+        CampaignArena {
+            net: self.snapshot.clone(),
+            bank: self.bank0.clone(),
+            forever: self.forever0.clone(),
+            log: self.log0.clone(),
+        }
+    }
+
     /// Runs one single-bit **transient** injection at `site` — the paper's
     /// campaign fault model.
     pub fn run_site(&self, site: SiteRef) -> RunResult {
-        self.run_spec(FaultSpec::transient(site, self.injection_cycle()))
+        self.run_site_in(&mut self.arena(), site)
+    }
+
+    /// [`Campaign::run_site`] into a caller-provided arena.
+    pub fn run_site_in(&self, arena: &mut CampaignArena, site: SiteRef) -> RunResult {
+        self.run_spec_in(arena, FaultSpec::transient(site, self.injection_cycle()))
     }
 
     /// Runs an arbitrary fault spec (permanent/intermittent for the
     /// Observation-3 experiments). The spec's `start` should not precede
     /// the snapshot cycle.
     pub fn run_spec(&self, spec: FaultSpec) -> RunResult {
-        let (result, _hang) = self.run_spec_watched(
+        self.run_spec_in(&mut self.arena(), spec)
+    }
+
+    /// [`Campaign::run_spec`] into a caller-provided arena.
+    pub fn run_spec_in(&self, arena: &mut CampaignArena, spec: FaultSpec) -> RunResult {
+        let (result, _hang) = self.run_spec_watched_in(
+            arena,
             spec,
             Watchdog {
                 cycle_budget: u64::MAX,
@@ -307,17 +344,36 @@ impl Campaign {
     /// [`Hang`] and are still classified against the golden reference on
     /// the truncated log (the verdict then includes `NotDrained`).
     pub fn run_spec_watched(&self, spec: FaultSpec, dog: Watchdog) -> (RunResult, Option<Hang>) {
-        let mut net = self.snapshot.clone();
-        let mut bank = self.bank0.clone();
-        let mut fv = self.forever0.clone();
-        let mut log = self.log0.clone();
+        self.run_spec_watched_in(&mut self.arena(), spec, dog)
+    }
+
+    /// [`Campaign::run_spec_watched`] into a caller-provided arena. The
+    /// arena is rewound to the warm snapshot before the rollout, so the
+    /// result is bit-identical to a fresh-cloned run regardless of what
+    /// the arena ran before — including a run that panicked out of it.
+    pub fn run_spec_watched_in(
+        &self,
+        arena: &mut CampaignArena,
+        spec: FaultSpec,
+        dog: Watchdog,
+    ) -> (RunResult, Option<Hang>) {
+        arena.net.clone_from(&self.snapshot);
+        arena.bank.clone_from(&self.bank0);
+        arena.forever.clone_from(&self.forever0);
+        arena.log.clone_from(&self.log0);
+        let CampaignArena {
+            net,
+            bank,
+            forever: fv,
+            log,
+        } = arena;
         let watched = rollout_watched(
-            &mut net,
+            net,
             Some(&spec),
             self.cc.active_window,
             self.cc.drain_deadline,
             dog,
-            &mut (&mut bank, &mut fv, &mut log),
+            &mut (&mut *bank, &mut *fv, &mut *log),
         );
         // Coda: keep the clock running past the next two ForEVeR epoch
         // boundaries so its end-of-epoch counter checks can evaluate the
@@ -327,11 +383,11 @@ impl Campaign {
         // is spent, and its ForEVeR view is reported as-of termination.
         if watched.hang.is_none() {
             for _ in 0..(2 * self.cc.forever_epoch + 1) {
-                net.step_observed(&mut (&mut bank, &mut fv, &mut log));
+                net.step_observed(&mut (&mut *bank, &mut *fv, &mut *log));
             }
         }
         let out = watched.outcome;
-        let verdict = classify(&self.golden, &log, out.drained);
+        let verdict = classify(&self.golden, log, out.drained);
         let lat = |c: Option<Cycle>| c.map(|c| c.saturating_sub(spec.start));
         let result = RunResult {
             site: spec.site,
@@ -361,8 +417,21 @@ impl Campaign {
     /// watchdog, and (for crashed/hung runs) one deterministic retry.
     /// Never panics, whatever the fault does to the simulator.
     pub fn run_spec_resilient(&self, spec: FaultSpec, dog: Watchdog) -> SiteReport {
-        let attempt = || -> RunOutcome {
-            match resilience::catch_payload(|| self.run_spec_watched(spec, dog)) {
+        self.run_spec_resilient_in(&mut self.arena(), spec, dog)
+    }
+
+    /// [`Campaign::run_spec_resilient`] into a caller-provided arena. A
+    /// panicking run may leave the arena torn mid-rollout; that is fine —
+    /// the next use (including the deterministic retry below) rewinds
+    /// every field from the warm snapshot first.
+    pub fn run_spec_resilient_in(
+        &self,
+        arena: &mut CampaignArena,
+        spec: FaultSpec,
+        dog: Watchdog,
+    ) -> SiteReport {
+        let mut attempt = || -> RunOutcome {
+            match resilience::catch_payload(|| self.run_spec_watched_in(arena, spec, dog)) {
                 Ok((result, None)) => RunOutcome::Completed(result),
                 Ok((result, Some(hang))) => RunOutcome::Deadlock { result, hang },
                 Err(payload) => RunOutcome::Crashed {
@@ -402,7 +471,11 @@ impl Campaign {
     /// poisoned sites.
     pub fn run_many(&self, sites: &[SiteRef], threads: usize) -> Vec<RunResult> {
         if threads <= 1 || sites.len() < 2 {
-            return sites.iter().map(|&s| self.run_site(s)).collect();
+            let mut arena = self.arena();
+            return sites
+                .iter()
+                .map(|&s| self.run_site_in(&mut arena, s))
+                .collect();
         }
         let chunk = sites.len().div_ceil(threads);
         let mut out: Vec<Vec<RunResult>> = Vec::new();
@@ -410,7 +483,12 @@ impl Campaign {
             let handles: Vec<_> = sites
                 .chunks(chunk)
                 .map(|ch| {
-                    scope.spawn(move || ch.iter().map(|&s| self.run_site(s)).collect::<Vec<_>>())
+                    scope.spawn(move || {
+                        let mut arena = self.arena();
+                        ch.iter()
+                            .map(|&s| self.run_site_in(&mut arena, s))
+                            .collect::<Vec<_>>()
+                    })
                 })
                 .collect();
             for h in handles {
@@ -474,11 +552,12 @@ impl Campaign {
                 Some(c) => Some(c.shard_writer(0)?),
                 None => None,
             };
+            let mut arena = self.arena();
             for &spec in &todo {
                 if opts.cancelled() {
                     break;
                 }
-                let rep = self.run_spec_resilient(spec, dog);
+                let rep = self.run_spec_resilient_in(&mut arena, spec, dog);
                 if let Some(w) = &mut writer {
                     w.append(&rep)?;
                 }
@@ -501,12 +580,13 @@ impl Campaign {
                     .zip(writers)
                     .map(|(ch, mut writer)| {
                         scope.spawn(move || -> Result<Vec<SiteReport>, CampaignError> {
+                            let mut arena = self.arena();
                             let mut out = Vec::with_capacity(ch.len());
                             for &spec in ch {
                                 if opts.cancelled() {
                                     break;
                                 }
-                                let rep = self.run_spec_resilient(spec, dog);
+                                let rep = self.run_spec_resilient_in(&mut arena, spec, dog);
                                 if let Some(w) = &mut writer {
                                     w.append(&rep)?;
                                 }

@@ -40,8 +40,9 @@ pub mod recovery;
 pub mod stats;
 
 pub use campaign::{
-    outcome, Campaign, CampaignConfig, CampaignError, CampaignReport, Checkpoint, Detector,
-    DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult, SiteReport,
+    outcome, Campaign, CampaignArena, CampaignConfig, CampaignError, CampaignReport, Checkpoint,
+    Detector, DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult,
+    SiteReport,
 };
 pub use oracle::{classify, GoldenReference, RunLog, Verdict, ViolationKind};
 pub use recovery::{

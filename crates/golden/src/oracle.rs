@@ -20,12 +20,28 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Black-box record of one run: what went in and what came out.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct RunLog {
     /// Flits handed to the network by NIs, in order.
     pub injected: Vec<(Cycle, Flit)>,
     /// Flits delivered to NIs, in order.
     pub ejected: Vec<EjectEvent>,
+}
+
+// Manual impl so `clone_from` (the campaign arena's per-run reset) reuses
+// the two (large) trace vectors across runs.
+impl Clone for RunLog {
+    fn clone(&self) -> RunLog {
+        RunLog {
+            injected: self.injected.clone(),
+            ejected: self.ejected.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &RunLog) {
+        self.injected.clone_from(&src.injected);
+        self.ejected.clone_from(&src.ejected);
+    }
 }
 
 impl RunLog {

@@ -378,7 +378,7 @@ impl RecoveryHarness {
         consumed: &mut usize,
     ) {
         net.step_observed(&mut (&mut *bank, &mut *transport));
-        let fresh: Vec<nocalert::AssertionEvent> = bank.events_since(*consumed).to_vec();
+        let fresh = bank.events_since(*consumed);
         *consumed = bank.assertions().len();
         for ev in fresh {
             if let Some(module) = info(ev.checker).module {

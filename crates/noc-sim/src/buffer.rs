@@ -13,11 +13,29 @@ use noc_types::PacketId;
 use serde::{Deserialize, Serialize};
 
 /// A fixed-capacity FIFO of flits backed by a ring of persistent slots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct VcBuffer {
     slots: Vec<Option<Flit>>,
     head: usize,
     len: usize,
+}
+
+// Manual impl so `clone_from` (the arena reset path) reuses the slot
+// allocation instead of reallocating one ring per VC per run.
+impl Clone for VcBuffer {
+    fn clone(&self) -> VcBuffer {
+        VcBuffer {
+            slots: self.slots.clone(),
+            head: self.head,
+            len: self.len,
+        }
+    }
+
+    fn clone_from(&mut self, src: &VcBuffer) {
+        self.slots.clone_from(&src.slots);
+        self.head = src.head;
+        self.len = src.len;
+    }
 }
 
 impl VcBuffer {

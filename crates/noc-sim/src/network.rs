@@ -129,6 +129,17 @@ impl NetStats {
     }
 }
 
+/// Per-VC progress sample of the worm-age monitor: the head-flit uid last
+/// seen in the VC's buffer and how many consecutive cycles it has sat
+/// there unmoved. The default (`uid: 0`) never matches a live flit — uid 0
+/// is reserved for the fabricated null flit — so the first observation of
+/// any worm starts a fresh count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WormWatch {
+    uid: u64,
+    age: Cycle,
+}
+
 /// Containment machinery attached to a network when recovery is enabled:
 /// one controller per router, the queued alert targets, and the action
 /// trace/stats the campaign reports.
@@ -138,12 +149,15 @@ struct RecoveryState {
     controllers: Vec<RecoveryController>,
     /// Input-side targets `(router, port, vc)` queued for the next cycle.
     pending: Vec<(u16, u8, u8)>,
+    /// Worm-age monitor state, one slot per input VC, indexed
+    /// `(router * P + port) * vcs + vc`.
+    ages: Vec<WormWatch>,
     trace: Vec<ContainmentEvent>,
     stats: RecoveryStats,
 }
 
 /// The simulated network.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Network {
     cfg: NocConfig,
     cycle: Cycle,
@@ -157,6 +171,55 @@ pub struct Network {
     injection_enabled: bool,
     stats: NetStats,
     recovery: Option<RecoveryState>,
+    /// Reused per-cycle transport scratch (ejection events/credits and
+    /// credit forwarding) so the steady-state step loop never allocates.
+    eject_events: Vec<EjectEvent>,
+    eject_credits: Vec<CreditMsg>,
+    credit_scratch: Vec<CreditMsg>,
+}
+
+// Manual impl so `clone_from` (the arena reset path) rewinds a used
+// network to the warm snapshot while reusing every router/NIC allocation.
+// Every field is restored, so the result is indistinguishable from a fresh
+// `clone()` no matter what state the previous run left behind.
+impl Clone for Network {
+    fn clone(&self) -> Network {
+        Network {
+            cfg: self.cfg.clone(),
+            cycle: self.cycle,
+            routers: self.routers.clone(),
+            nics: self.nics.clone(),
+            plane: self.plane.clone(),
+            scratch: self.scratch.clone(),
+            record: self.record.clone(),
+            next_packet: self.next_packet,
+            next_uid: self.next_uid,
+            injection_enabled: self.injection_enabled,
+            stats: self.stats,
+            recovery: self.recovery.clone(),
+            eject_events: self.eject_events.clone(),
+            eject_credits: self.eject_credits.clone(),
+            credit_scratch: self.credit_scratch.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Network) {
+        self.cfg.clone_from(&src.cfg);
+        self.cycle = src.cycle;
+        self.routers.clone_from(&src.routers);
+        self.nics.clone_from(&src.nics);
+        self.plane = src.plane.clone();
+        self.scratch.clone_from(&src.scratch);
+        self.record.clone_from(&src.record);
+        self.next_packet = src.next_packet;
+        self.next_uid = src.next_uid;
+        self.injection_enabled = src.injection_enabled;
+        self.stats = src.stats;
+        self.recovery.clone_from(&src.recovery);
+        self.eject_events.clone_from(&src.eject_events);
+        self.eject_credits.clone_from(&src.eject_credits);
+        self.credit_scratch.clone_from(&src.credit_scratch);
+    }
 }
 
 impl Network {
@@ -195,6 +258,9 @@ impl Network {
             injection_enabled: true,
             stats: NetStats::default(),
             recovery: None,
+            eject_events: Vec::new(),
+            eject_credits: Vec::new(),
+            credit_scratch: Vec::new(),
             cfg,
         })
     }
@@ -284,10 +350,12 @@ impl Network {
     /// resets all escalation state.
     pub fn enable_recovery(&mut self, policy: RecoveryPolicy) {
         let n = self.routers.len();
+        let vcs = self.cfg.vcs_per_port as usize;
         self.recovery = Some(RecoveryState {
             policy,
             controllers: (0..n).map(|_| RecoveryController::new()).collect(),
             pending: Vec::new(),
+            ages: vec![WormWatch::default(); n * P * vcs],
             trace: Vec::new(),
             stats: RecoveryStats::default(),
         });
@@ -388,6 +456,27 @@ impl Network {
             if r as usize >= self.routers.len() || p as usize >= P || !visited.insert((r, p, v)) {
                 continue;
             }
+            // Downstream half: if the VC holds a downstream allocation,
+            // release it and queue the worm's continuation for teardown.
+            // Without this the already-forwarded fragment is orphaned with
+            // its allocations held forever — and once its buffered flits
+            // drain, an ACTIVE-but-empty VC blocks the output VC it owns
+            // while generating no alerts at all.
+            let vcref = self.routers[r as usize].input_vc(p, v);
+            if vcref.state == crate::vc::state::ACTIVE {
+                let o = (vcref.out_port & 0b111) as u8;
+                let w = vcref.out_vc as u8;
+                if self.routers[r as usize].output_owner(o, w) == Some((p, v)) {
+                    dropped += self.routers[r as usize].clear_out_flit_to(o, w);
+                    self.routers[r as usize].reset_output_vc(o, w, depth);
+                    let dd = Direction::ALL[o as usize];
+                    if dd != Direction::Local {
+                        if let Some(down) = self.cfg.mesh.neighbor(NodeId(r), dd) {
+                            stack.push((down.0, dd.opposite().index() as u8, w));
+                        }
+                    }
+                }
+            }
             dropped += self.routers[r as usize].hard_reset_input_vc(p, v);
             let d = Direction::ALL[p as usize];
             if d == Direction::Local {
@@ -410,6 +499,11 @@ impl Network {
     /// and fences the upstream output port once all of its VCs are gone.
     /// Returns whether a port was newly fenced.
     fn quarantine(&mut self, router: u16, port: u8, vc: u8) -> bool {
+        // Input side first: the local read path must stop sampling the VC's
+        // wires, or a still-armed fault there (e.g. an intermittent
+        // `BufEmpty` flip on the drained buffer) keeps replaying stale
+        // flits as zombie worms faster than containment can clear them.
+        self.routers[router as usize].disable_input_vc(port, vc);
         let d = Direction::ALL[port as usize];
         if d == Direction::Local {
             self.nics[router as usize].disable_vc(vc);
@@ -444,9 +538,13 @@ impl Network {
             return;
         };
         if !rs.pending.is_empty() {
-            let targets: BTreeSet<(u16, u8, u8)> =
-                std::mem::take(&mut rs.pending).into_iter().collect();
-            for (r, p, v) in targets {
+            // Sorted + deduplicated in place: same visit order and same
+            // collapse-per-cycle semantics as the former `BTreeSet`, with
+            // the queue's capacity kept for the next cycle.
+            rs.pending.sort_unstable();
+            rs.pending.dedup();
+            for i in 0..rs.pending.len() {
+                let (r, p, v) = rs.pending[i];
                 rs.stats.alerts_consumed += 1;
                 let Some(level) = rs.controllers[r as usize].note_alert(&rs.policy, p, v) else {
                     continue;
@@ -479,8 +577,62 @@ impl Network {
                     flits_dropped: dropped as u32,
                 });
             }
+            rs.pending.clear();
         }
         self.recovery = Some(rs);
+    }
+
+    /// The per-VC worm-age progress monitor (DESIGN.md §11): samples every
+    /// input VC's head-flit uid once per cycle; a worm whose head has not
+    /// moved for `stall_age` consecutive cycles is queued for containment
+    /// exactly like a checker alert, re-arming after each escalation so a
+    /// still-stalled worm climbs squash → reset → quarantine. This closes
+    /// the alert-silent stall escape: a duty-cycled intermittent on
+    /// `BufEmpty` can wedge a worm in a state that raises no further
+    /// invariance violations, which no alert-driven path can see. No-op
+    /// (and zero cost) when recovery is disabled.
+    fn scan_worm_progress(&mut self) {
+        let Some(rs) = self.recovery.as_mut() else {
+            return;
+        };
+        let vcs = self.cfg.vcs_per_port as usize;
+        let stall_age = rs.policy.stall_age;
+        for (ri, router) in self.routers.iter().enumerate() {
+            for p in 0..P {
+                for v in 0..vcs {
+                    let w = &mut rs.ages[(ri * P + p) * vcs + v];
+                    let token = match router.input_head_uid(p as u8, v as u8) {
+                        // A headless in-flight VC (non-idle, buffer fully
+                        // drained) makes no observable head progress either:
+                        // age it under a sentinel uid no real flit carries,
+                        // so an orphaned worm fragment that forwarded all
+                        // its buffered flits still escalates instead of
+                        // holding its downstream allocation forever.
+                        None if router.input_vc(p as u8, v as u8).state
+                            != crate::vc::state::IDLE
+                            && !router.input_vc_disabled(p as u8, v as u8) =>
+                        {
+                            Some(u64::MAX)
+                        }
+                        other => other,
+                    };
+                    match token {
+                        Some(uid) if uid == w.uid => {
+                            w.age += 1;
+                            if w.age >= stall_age {
+                                rs.pending.push((ri as u16, p as u8, v as u8));
+                                w.age = 0;
+                            }
+                        }
+                        Some(uid) => {
+                            w.uid = uid;
+                            w.age = 0;
+                        }
+                        None => *w = WormWatch::default(),
+                    }
+                }
+            }
+        }
     }
 
     /// Advances one cycle without observation.
@@ -499,8 +651,10 @@ impl Network {
     pub fn step_observed<O: Observer>(&mut self, obs: &mut O) {
         let cy = self.cycle;
 
-        // ---- Phase -1: containment actions queued last cycle ----
+        // ---- Phase -1: containment actions queued last cycle, then the
+        // worm-age monitor queues stall escalations for the next one ----
         self.apply_recovery(cy);
+        self.scan_worm_progress();
         let cfg = &self.cfg;
 
         // ---- Phase 0: single-event upsets on state registers ----
@@ -515,8 +669,21 @@ impl Network {
         }
 
         // ---- Phase 1: routers ----
+        // Quiescent fast path: a router with every VC idle and empty, no
+        // latched switch reads/grants and nothing on its links provably
+        // performs no state change and emits an empty record (arbiters do
+        // not rotate on zero requests, result buses only latch on grants,
+        // the state table only writes on events). Skipping its step is
+        // bit-identical — unless the armed fault targets this router, in
+        // which case `FaultPlane::xf` could flip its wires (and must count
+        // hits), so the full step always runs there.
+        let armed_router = self.plane.armed().map(|f| f.site.router);
         for r in &mut self.routers {
             self.record.reset(r.id());
+            if armed_router != Some(r.id()) && r.is_quiescent() {
+                obs.on_cycle_record(cy, &self.record);
+                continue;
+            }
             r.step(
                 cfg,
                 cy,
@@ -528,15 +695,20 @@ impl Network {
         }
 
         // ---- Phase 2: transport ----
-        // 2a. NIs drain ejection buffers (flits that arrived ≤ last cycle).
-        for (i, nic) in self.nics.iter_mut().enumerate() {
-            let (events, credits) = nic.eject_step(cfg, cy);
-            for ev in events {
+        // 2a. NIs drain ejection buffers (flits that arrived ≤ last cycle)
+        // into the network's reused scratch buffers.
+        for i in 0..self.nics.len() {
+            self.eject_events.clear();
+            self.eject_credits.clear();
+            self.nics[i].eject_step(cfg, cy, &mut self.eject_events, &mut self.eject_credits);
+            for ev in &self.eject_events {
                 self.stats.ejected_flits += 1;
                 self.stats.latency_sum += cy.saturating_sub(ev.flit.injected_at);
-                obs.on_eject(&ev);
+                obs.on_eject(ev);
             }
-            self.routers[i].incoming_credits.extend(credits);
+            self.routers[i]
+                .incoming_credits
+                .extend_from_slice(&self.eject_credits);
         }
 
         // 2b. Move staged flits across links / into ejection buffers.
@@ -559,10 +731,11 @@ impl Network {
             }
         }
 
-        // 2c. Move staged credits upstream.
+        // 2c. Move staged credits upstream. The staged queue is swapped
+        // with a reused scratch vector so both keep their capacity.
         for i in 0..self.routers.len() {
-            let credits = std::mem::take(&mut self.routers[i].out_credits);
-            for c in credits {
+            std::mem::swap(&mut self.credit_scratch, &mut self.routers[i].out_credits);
+            for c in self.credit_scratch.drain(..) {
                 let d = Direction::ALL[c.port as usize];
                 if d == Direction::Local {
                     self.nics[i].credit_return(cfg, c.vc, c.tail);

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One node's network interface.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Nic {
     node: NodeId,
     rng: SmallRng,
@@ -43,6 +43,42 @@ pub struct Nic {
     pub injected: u64,
     /// Flits delivered to this NI so far.
     pub ejected: u64,
+}
+
+// Manual impl so `clone_from` (the arena reset path) reuses the source and
+// ejection queues plus the per-VC bookkeeping vectors.
+impl Clone for Nic {
+    fn clone(&self) -> Nic {
+        Nic {
+            node: self.node,
+            rng: self.rng.clone(),
+            class_rr: self.class_rr,
+            source: self.source.clone(),
+            alloc: self.alloc,
+            ni_free: self.ni_free.clone(),
+            ni_credits: self.ni_credits.clone(),
+            ni_disabled: self.ni_disabled.clone(),
+            eject: self.eject.clone(),
+            eject_next: self.eject_next,
+            injected: self.injected,
+            ejected: self.ejected,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Nic) {
+        self.node = src.node;
+        self.rng = src.rng.clone();
+        self.class_rr = src.class_rr;
+        self.source.clone_from(&src.source);
+        self.alloc = src.alloc;
+        self.ni_free.clone_from(&src.ni_free);
+        self.ni_credits.clone_from(&src.ni_credits);
+        self.ni_disabled.clone_from(&src.ni_disabled);
+        self.eject.clone_from(&src.eject);
+        self.eject_next = src.eject_next;
+        self.injected = src.injected;
+        self.ejected = src.ejected;
+    }
 }
 
 impl Nic {
@@ -219,15 +255,16 @@ impl Nic {
     }
 
     /// Drains up to `ejection_rate` flits round-robin across the ejection
-    /// VCs; returns the ejected flits plus the credits to hand back to the
-    /// router's local *output* port.
+    /// VCs, appending the ejected flits and the credits to hand back to
+    /// the router's local *output* port onto the caller's (reused)
+    /// buffers.
     pub fn eject_step(
         &mut self,
         cfg: &NocConfig,
         cycle: Cycle,
-    ) -> (Vec<EjectEvent>, Vec<CreditMsg>) {
-        let mut events = Vec::new();
-        let mut credits = Vec::new();
+        events: &mut Vec<EjectEvent>,
+        credits: &mut Vec<CreditMsg>,
+    ) {
         let v = cfg.vcs_per_port;
         for _ in 0..cfg.ejection_rate {
             // Round-robin scan for a non-empty ejection VC.
@@ -256,7 +293,6 @@ impl Nic {
                 flit,
             });
         }
-        (events, credits)
     }
 }
 
@@ -368,16 +404,22 @@ mod tests {
         nic.eject_push(1, flits[1]);
         nic.eject_push(0, flits[2]);
         // rate = 1: one flit per step, alternating VCs.
-        let (e1, c1) = nic.eject_step(&cfg, 10);
+        let step = |nic: &mut Nic, cy: Cycle| {
+            let mut events = Vec::new();
+            let mut credits = Vec::new();
+            nic.eject_step(&cfg, cy, &mut events, &mut credits);
+            (events, credits)
+        };
+        let (e1, c1) = step(&mut nic, 10);
         assert_eq!(e1.len(), 1);
         assert_eq!(c1.len(), 1);
         assert_eq!(c1[0].vc, 0);
-        let (e2, c2) = nic.eject_step(&cfg, 11);
+        let (e2, c2) = step(&mut nic, 11);
         assert_eq!(c2[0].vc, 1);
-        let (e3, _c3) = nic.eject_step(&cfg, 12);
+        let (e3, _c3) = step(&mut nic, 12);
         assert_eq!(e3[0].flit.uid, flits[2].uid);
         assert_eq!(nic.ejected, 3);
-        let (e4, c4) = nic.eject_step(&cfg, 13);
+        let (e4, c4) = step(&mut nic, 13);
         assert!(e4.is_empty() && c4.is_empty());
         let _ = (e1, e2);
     }

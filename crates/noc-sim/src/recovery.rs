@@ -40,6 +40,15 @@ pub struct RecoveryPolicy {
     /// Alert count at which the VC is inferred permanently faulty and
     /// quarantined.
     pub disable_threshold: u32,
+    /// Worm-age ceiling of the per-VC progress monitor: a buffered worm
+    /// whose head flit has not moved for this many consecutive cycles is
+    /// escalated exactly as if a checker had fired on its VC. This closes
+    /// the alert-silent stall escape (a duty-cycled intermittent on
+    /// `BufEmpty` can wedge a worm without raising further alerts —
+    /// DESIGN.md §11). Must comfortably exceed any legitimate
+    /// head-of-line blocking at the configured load; `Cycle::MAX`
+    /// effectively disables the monitor.
+    pub stall_age: Cycle,
 }
 
 impl RecoveryPolicy {
@@ -49,10 +58,14 @@ impl RecoveryPolicy {
     /// also destroys the evidence), so the disable threshold must be small
     /// enough that sustained-but-infrequent alerts still reach quarantine
     /// before the ARQ sender exhausts its retries.
+    /// The stall-age default (1,000 cycles) is an order of magnitude above
+    /// the worst head-of-line residency seen at the canonical campaign
+    /// loads, so fault-free runs never trip it.
     pub fn default_policy() -> RecoveryPolicy {
         RecoveryPolicy {
             reset_threshold: 2,
             disable_threshold: 3,
+            stall_age: 1_000,
         }
     }
 
@@ -72,6 +85,11 @@ impl RecoveryPolicy {
         if self.reset_threshold > self.disable_threshold {
             return Err(noc_types::SimError::ArqInvalid {
                 reason: "reset threshold must not exceed disable threshold",
+            });
+        }
+        if self.stall_age == 0 {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "stall age must be non-zero",
             });
         }
         Ok(())
@@ -182,6 +200,7 @@ mod tests {
         let policy = RecoveryPolicy {
             reset_threshold: 3,
             disable_threshold: 5,
+            ..RecoveryPolicy::default_policy()
         };
         let mut c = RecoveryController::new();
         assert_eq!(c.note_alert(&policy, 1, 0), Some(ContainmentLevel::Squash));
@@ -203,12 +222,19 @@ mod tests {
         let zero = RecoveryPolicy {
             reset_threshold: 0,
             disable_threshold: 5,
+            ..RecoveryPolicy::default_policy()
         };
         assert!(zero.validate().is_err());
         let inverted = RecoveryPolicy {
             reset_threshold: 6,
             disable_threshold: 5,
+            ..RecoveryPolicy::default_policy()
         };
         assert!(inverted.validate().is_err());
+        let ageless = RecoveryPolicy {
+            stall_age: 0,
+            ..RecoveryPolicy::default_policy()
+        };
+        assert!(ageless.validate().is_err());
     }
 }

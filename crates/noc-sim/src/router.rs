@@ -69,7 +69,7 @@ pub struct CreditMsg {
 
 /// One router: five input ports × V VCs, five output ports, the arbiters,
 /// the SA→ST latches and the link-side registers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Router {
     id: u16,
     coord: Coord,
@@ -105,6 +105,67 @@ pub struct Router {
     /// Stale link-data registers per input port (spurious writes replay
     /// these).
     last_arrival: Vec<Option<LinkFlit>>,
+    /// Per-input-port bitmask of quarantined VCs. A disabled input VC is
+    /// skipped by every pipeline stage — its wires are never read, so a
+    /// fault armed on them can no longer activate and replay stale state.
+    input_disabled: [u64; P],
+}
+
+// Manual impl so `clone_from` (the arena reset path) reuses every nested
+// allocation — per-VC buffers, output-port bookkeeping, link registers —
+// instead of rebuilding the router from scratch each campaign run.
+impl Clone for Router {
+    fn clone(&self) -> Router {
+        Router {
+            id: self.id,
+            coord: self.coord,
+            live: self.live,
+            avoid: self.avoid,
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            rc_rr: self.rc_rr.clone(),
+            va1: self.va1.clone(),
+            sa1: self.sa1.clone(),
+            va2: self.va2.clone(),
+            sa2: self.sa2.clone(),
+            st_read: self.st_read,
+            st_grant: self.st_grant,
+            rc_bus: self.rc_bus.clone(),
+            va_bus: self.va_bus.clone(),
+            va2_bus: self.va2_bus.clone(),
+            incoming: self.incoming.clone(),
+            incoming_credits: self.incoming_credits.clone(),
+            out_flits: self.out_flits.clone(),
+            out_credits: self.out_credits.clone(),
+            last_arrival: self.last_arrival.clone(),
+            input_disabled: self.input_disabled,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Router) {
+        self.id = src.id;
+        self.coord = src.coord;
+        self.live = src.live;
+        self.avoid = src.avoid;
+        self.inputs.clone_from(&src.inputs);
+        self.outputs.clone_from(&src.outputs);
+        self.rc_rr.clone_from(&src.rc_rr);
+        self.va1.clone_from(&src.va1);
+        self.sa1.clone_from(&src.sa1);
+        self.va2.clone_from(&src.va2);
+        self.sa2.clone_from(&src.sa2);
+        self.st_read = src.st_read;
+        self.st_grant = src.st_grant;
+        self.rc_bus.clone_from(&src.rc_bus);
+        self.va_bus.clone_from(&src.va_bus);
+        self.va2_bus.clone_from(&src.va2_bus);
+        self.incoming.clone_from(&src.incoming);
+        self.incoming_credits.clone_from(&src.incoming_credits);
+        self.out_flits.clone_from(&src.out_flits);
+        self.out_credits.clone_from(&src.out_credits);
+        self.last_arrival.clone_from(&src.last_arrival);
+        self.input_disabled = src.input_disabled;
+    }
 }
 
 /// Per-cycle scratch shared across stages; lives in the network and is
@@ -118,11 +179,27 @@ pub struct RouterScratch {
     va_result: [[Option<u64>; 16]; P],
     state_snap: [[u64; 16]; P],
     row_flit: [Option<(Flit, u8)>; P],
+    /// Deferred wormhole teardowns queued by the ST stage (reused so the
+    /// hot loop never allocates).
+    tail_release: Vec<(u8, u8)>,
 }
 
 impl RouterScratch {
-    fn reset(&mut self) {
-        *self = RouterScratch::default();
+    /// Clears only the `0..vcs` rows each stage may have written: entries
+    /// at or beyond `vcs` are never touched by any stage, so a partial
+    /// clear leaves the arrays exactly as a full default would.
+    fn reset(&mut self, vcs: u8) {
+        let v = vcs as usize;
+        for p in 0..P {
+            self.ev_rc[p][..v].fill(false);
+            self.ev_va[p][..v].fill(false);
+            self.ev_sa[p][..v].fill(false);
+            self.rc_result[p][..v].fill(None);
+            self.va_result[p][..v].fill(None);
+            self.state_snap[p][..v].fill(0);
+        }
+        self.row_flit = [None; P];
+        self.tail_release.clear();
     }
 }
 
@@ -167,6 +244,7 @@ impl Router {
             out_flits: vec![None; P],
             out_credits: Vec::new(),
             last_arrival: vec![None; P],
+            input_disabled: [0; P],
         }
     }
 
@@ -210,6 +288,39 @@ impl Router {
             && self.incoming.iter().all(Option::is_none)
             && self.out_flits.iter().all(Option::is_none)
             && self.st_read.iter().all(|&m| m == 0)
+    }
+
+    /// True when this cycle's control step is provably a no-op: no credit
+    /// or flit pending on any link, no latched switch read/grant, and
+    /// every input VC idle with an empty buffer. Arbiters do not rotate on
+    /// zero requests and the state table only writes on events, so the
+    /// network may skip [`Router::step`] entirely for such a router (as
+    /// long as no fault is armed on it) and the outcome — state *and*
+    /// emitted record — is bit-identical.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.incoming_credits.is_empty()
+            && self.st_read.iter().all(|&m| m == 0)
+            && self.st_grant.iter().all(|&m| m == 0)
+            && self.incoming.iter().all(Option::is_none)
+            && self.out_flits.iter().all(Option::is_none)
+            && self
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter())
+                .all(|vc| vc.state == state::IDLE && vc.buffer.is_empty())
+    }
+
+    /// The uid of the flit at the head of input VC `(port, vc)`, or `None`
+    /// when the buffer is empty (or the address is out of range). The
+    /// recovery layer's worm-age monitor samples this each cycle: an
+    /// unchanged head uid means the worm has made no forward progress.
+    pub(crate) fn input_head_uid(&self, port: u8, vc: u8) -> Option<u64> {
+        let (p, v) = (port as usize, vc as usize);
+        self.inputs
+            .get(p)
+            .and_then(|vcs| vcs.get(v))
+            .and_then(|slot| slot.buffer.peek())
+            .map(|f| f.uid)
     }
 
     // --- Recovery-controller containment primitives (DESIGN.md §11) ---
@@ -300,6 +411,25 @@ impl Router {
         }
     }
 
+    /// L3 quarantine of *input* VC `(port, vc)`: every pipeline stage skips
+    /// the VC from now on. Disabling the upstream output VC alone is not
+    /// enough — the read side here would keep sampling the (possibly still
+    /// faulty) buffer-status wires of the drained VC, and an intermittent
+    /// `BufEmpty` flip on an empty quarantined buffer replays stale flits
+    /// as zombie worms. Callers drain the VC first (`hard_reset_input_vc`).
+    pub(crate) fn disable_input_vc(&mut self, port: u8, vc: u8) {
+        let (p, v) = (port as usize, vc as usize);
+        if p < P && v < self.inputs[p].len() {
+            self.input_disabled[p] |= 1 << v;
+        }
+    }
+
+    /// True when input VC `(port, vc)` has been quarantined.
+    #[inline]
+    pub(crate) fn input_vc_disabled(&self, port: u8, vc: u8) -> bool {
+        (self.input_disabled[port as usize] >> vc) & 1 == 1
+    }
+
     /// True when every downstream VC of output `port` is quarantined.
     /// True when every VC of output `port` in the half-open range
     /// `lo..hi` is disabled — a message class starved of paths through
@@ -377,8 +507,8 @@ impl Router {
         scratch: &mut RouterScratch,
         rec: &mut CycleRecord,
     ) {
-        scratch.reset();
         let vcs = cfg.vcs_per_port;
+        scratch.reset(vcs);
 
         self.apply_credits(cfg, cy);
         self.stage_st(cfg, cy, pl, scratch, rec);
@@ -399,12 +529,17 @@ impl Router {
         self.state_table_update(cfg, cy, pl, scratch, rec);
     }
 
-    /// Applies credits that arrived on the reverse links.
+    /// Applies credits that arrived on the reverse links. Drained in place
+    /// (disjoint-field borrow) so the queue keeps its capacity.
     fn apply_credits(&mut self, cfg: &NocConfig, _cy: Cycle) {
         let atomic = cfg.buffer_policy == BufferPolicy::Atomic;
-        let credits = std::mem::take(&mut self.incoming_credits);
-        for c in credits {
-            let op = &mut self.outputs[c.port as usize];
+        let Router {
+            incoming_credits,
+            outputs,
+            ..
+        } = self;
+        for c in incoming_credits.drain(..) {
+            let op = &mut outputs[c.port as usize];
             op.return_credit(c.vc as u64, cfg.buffer_depth);
             if c.tail && atomic {
                 op.release(c.vc as u64);
@@ -431,13 +566,15 @@ impl Router {
         // teardown is deferred until after crossbar traversal: the VC state
         // table's outputs (out_port / out_vc) are still driving the switch
         // during this cycle.
-        let mut tail_release: Vec<(u8, u8)> = Vec::new();
         for p in 0..P as u8 {
             if !self.live[p as usize] {
                 continue;
             }
             let mut mux: Option<(Flit, u8)> = None;
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 let mut enabled = (read_latch[p as usize] >> v) & 1 == 1;
                 if enabled && cfg.speculative {
                     // Speculative switch allocation: the bid was made while
@@ -495,7 +632,7 @@ impl Router {
                     tail: flit.is_tail(),
                 });
                 if flit.is_tail() {
-                    tail_release.push((p, v));
+                    scratch.tail_release.push((p, v));
                 }
                 // Port output mux: the lowest-indexed read wins; any other
                 // concurrently popped flit is physically lost at the mux
@@ -571,7 +708,7 @@ impl Router {
         }
 
         // Deferred wormhole teardown at the input side.
-        for (p, v) in tail_release {
+        for &(p, v) in &scratch.tail_release {
             let vcref = &mut self.inputs[p as usize][v as usize];
             vcref.release();
             if let Some(next) = vcref.buffer.peek() {
@@ -618,6 +755,9 @@ impl Router {
             let mut credit_mask = 0u64;
             let mut any_interest = false;
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 let st = self.state_wire(pl, cy, p, v);
                 let empty = pl.xf_bool(
                     cy,
@@ -784,6 +924,9 @@ impl Router {
             }
             let mut req = 0u64;
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 if self.state_wire(pl, cy, p, v) == state::VA_PENDING {
                     req |= 1 << v;
                 }
@@ -918,6 +1061,9 @@ impl Router {
             }
             let mut pending = 0u64;
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 if self.state_wire(pl, cy, p, v) == state::ROUTING {
                     pending |= 1 << v;
                 }
@@ -994,6 +1140,9 @@ impl Router {
                 self.last_arrival[p as usize] = Some(lf);
             }
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 let addressed = arrival.map(|lf| lf.vc == v).unwrap_or(false);
                 let wr = pl.xf_bool(cy, self.id, p, v, SignalKind::BufWrite, addressed);
                 if !wr {
@@ -1071,6 +1220,9 @@ impl Router {
                 continue;
             }
             for v in 0..vcs {
+                if self.input_vc_disabled(p, v) {
+                    continue;
+                }
                 let pi = p as usize;
                 let vi = v as usize;
                 let ev_rc = pl.xf_bool(

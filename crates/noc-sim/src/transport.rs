@@ -25,7 +25,7 @@ use crate::network::{Network, Observer};
 use noc_types::record::EjectEvent;
 use noc_types::{Cycle, Flit, NocConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Retransmission policy of the end-to-end transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +40,15 @@ pub struct ArqConfig {
     /// Retransmissions per message before the sender gives up (a give-up
     /// is a delivery failure the oracle reports).
     pub max_retries: u32,
+    /// Receiver-side state retention, in cycles. Per-packet registry,
+    /// assembly and dedup/re-ACK state older than this is retired, which
+    /// bounds transport memory at O(packets offered per horizon) instead
+    /// of O(packets ever offered). Must comfortably exceed the longest
+    /// possible in-flight lifetime of a packet copy (all retransmission
+    /// timeouts included) or a straggler could evade deduplication; the
+    /// default leaves an order of magnitude of headroom over the
+    /// worst-case backed-off retry schedule on the canonical meshes.
+    pub retire_horizon: Cycle,
 }
 
 impl ArqConfig {
@@ -54,6 +63,7 @@ impl ArqConfig {
             backoff_factor: 2,
             backoff_cap: 3,
             max_retries: 8,
+            retire_horizon: 500_000,
         }
     }
 
@@ -74,6 +84,11 @@ impl ArqConfig {
         if self.backoff_factor == 0 {
             return Err(noc_types::SimError::ArqInvalid {
                 reason: "backoff factor must be non-zero",
+            });
+        }
+        if self.retire_horizon < self.ack_timeout {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "retire horizon must be at least the ack timeout",
             });
         }
         Ok(())
@@ -122,12 +137,109 @@ struct Pending {
     deadline: Cycle,
 }
 
-/// Receiver-side assembly of one on-wire packet.
-#[derive(Debug, Clone, Default, PartialEq)]
-struct RxState {
-    seqs: BTreeSet<u16>,
+/// Live tracking state of one on-wire packet — registry entry, receiver
+/// assembly and (for an application message's original data packet) the
+/// delivery mark receiver dedup keys on. One slot of [`PacketWindow`].
+#[derive(Debug, Clone, PartialEq)]
+struct PacketSlot {
+    meta: WireMeta,
+    /// Seen-seq bitmask for seqs below 128 (canonical lengths fit here).
+    seq_mask: u128,
+    /// Seen seqs ≥ 128, sorted and deduplicated; empty — and therefore
+    /// unallocated — at canonical packet lengths.
+    seq_spill: Vec<u16>,
     corrupted: bool,
     done: bool,
+    /// Set on the slot whose pid *is* the application message id once the
+    /// receiver delivered that message: the dedup / re-ACK mark that used
+    /// to live in a grow-forever `delivered` set.
+    app_delivered: bool,
+}
+
+impl PacketSlot {
+    fn new(meta: WireMeta) -> PacketSlot {
+        PacketSlot {
+            meta,
+            seq_mask: 0,
+            seq_spill: Vec::new(),
+            corrupted: false,
+            done: false,
+            app_delivered: false,
+        }
+    }
+
+    fn note_seq(&mut self, seq: u16) {
+        if seq < 128 {
+            self.seq_mask |= 1u128 << seq;
+        } else if let Err(i) = self.seq_spill.binary_search(&seq) {
+            self.seq_spill.insert(i, seq);
+        }
+    }
+
+    /// True when every seq in `0..len` has been seen.
+    fn all_seqs_seen(&self, len: u16) -> bool {
+        let low = len.min(128);
+        let need = if low == 128 {
+            u128::MAX
+        } else {
+            (1u128 << low) - 1
+        };
+        self.seq_mask & need == need && (128..len).all(|s| self.seq_spill.binary_search(&s).is_ok())
+    }
+}
+
+/// Dense, index-keyed per-packet state with front retirement.
+///
+/// On-wire packet ids are monotone, so the live id range is a window
+/// `[base, base + slots.len())` and lookup is a subtraction plus a bounds
+/// check — no hashing, no tree walk. [`PacketWindow::retire`] pops slots
+/// older than the configured horizon off the front; that is what bounds
+/// the transport's memory at O(packets offered within one horizon)
+/// instead of O(packets ever offered). A flit of a retired packet counts
+/// as a stray, exactly like a flit that never had a registry entry.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct PacketWindow {
+    base: u64,
+    /// `(created_at, state)` per id; `None` marks ids never registered
+    /// (they only appear as padding when ids arrive out of order).
+    slots: VecDeque<(Cycle, Option<PacketSlot>)>,
+}
+
+impl PacketWindow {
+    fn get(&self, pid: u64) -> Option<&PacketSlot> {
+        let i = pid.checked_sub(self.base)? as usize;
+        self.slots.get(i)?.1.as_ref()
+    }
+
+    fn get_mut(&mut self, pid: u64) -> Option<&mut PacketSlot> {
+        let i = pid.checked_sub(self.base)? as usize;
+        self.slots.get_mut(i)?.1.as_mut()
+    }
+
+    fn insert(&mut self, pid: u64, at: Cycle, slot: PacketSlot) {
+        let Some(i) = pid.checked_sub(self.base) else {
+            return; // Older than the window: already retired.
+        };
+        let i = i as usize;
+        while self.slots.len() <= i {
+            self.slots.push_back((at, None));
+        }
+        self.slots[i] = (at, Some(slot));
+    }
+
+    fn retire(&mut self, cy: Cycle, horizon: Cycle) {
+        while let Some(&(created, _)) = self.slots.front() {
+            if cy.saturating_sub(created) < horizon {
+                break;
+            }
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 /// A control message queued for fabrication at the next `post_step`.
@@ -197,15 +309,18 @@ pub struct TransportStats {
 pub struct Transport {
     arq: ArqConfig,
     packet_lengths: Vec<u16>,
-    registry: BTreeMap<u64, WireMeta>,
+    /// Registry + receiver assembly + dedup marks, windowed by packet id.
+    window: PacketWindow,
+    /// Unacknowledged messages — O(in-flight) by construction, and the
+    /// timeout scan wants ordered iteration, so it stays a tree.
     pending: BTreeMap<u64, Pending>,
-    delivered: BTreeSet<u64>,
-    rx: BTreeMap<u64, RxState>,
     outbox: Vec<Outbox>,
     records: Vec<DeliveryRecord>,
     failed: Vec<u64>,
     stats: TransportStats,
     cycle_seen: Cycle,
+    /// Reused timeout-scan scratch.
+    due_scratch: Vec<u64>,
 }
 
 impl Transport {
@@ -214,15 +329,14 @@ impl Transport {
         Transport {
             arq,
             packet_lengths: cfg.packet_lengths.clone(),
-            registry: BTreeMap::new(),
+            window: PacketWindow::default(),
             pending: BTreeMap::new(),
-            delivered: BTreeSet::new(),
-            rx: BTreeMap::new(),
             outbox: Vec::new(),
             records: Vec::new(),
             failed: Vec::new(),
             stats: TransportStats::default(),
             cycle_seen: 0,
+            due_scratch: Vec::new(),
         }
     }
 
@@ -246,6 +360,12 @@ impl Transport {
         self.pending.len()
     }
 
+    /// On-wire packets currently held in the tracking window (live plus
+    /// not-yet-retired). The memory-bound tests watch this.
+    pub fn tracked_packets(&self) -> usize {
+        self.window.len()
+    }
+
     /// True when no message awaits acknowledgement and no control packet
     /// awaits fabrication — the transport's drain criterion.
     pub fn quiescent(&self) -> bool {
@@ -260,26 +380,24 @@ impl Transport {
     }
 
     fn complete(&self, pid: u64) -> bool {
-        let (Some(meta), Some(rx)) = (self.registry.get(&pid), self.rx.get(&pid)) else {
+        let Some(slot) = self.window.get(pid) else {
             return false;
         };
-        !rx.done
-            && rx.seqs.len() >= meta.len as usize
-            && (0..meta.len).all(|s| rx.seqs.contains(&s))
+        !slot.done && slot.all_seqs_seen(slot.meta.len)
     }
 
     /// Dispatches one fully assembled packet.
     fn on_complete(&mut self, pid: u64, at: Cycle) {
-        let Some(meta) = self.registry.get(&pid).copied() else {
+        let Some(slot) = self.window.get_mut(pid) else {
             return;
         };
-        if let Some(rx) = self.rx.get_mut(&pid) {
-            rx.done = true;
-        }
-        let corrupted = self.rx.get(&pid).map(|r| r.corrupted).unwrap_or(false);
+        let meta = slot.meta;
+        slot.done = true;
+        let corrupted = slot.corrupted;
         match meta.kind {
             WireKind::Data => {
-                if self.delivered.contains(&meta.app) {
+                let already = self.window.get(meta.app).is_some_and(|s| s.app_delivered);
+                if already {
                     // Late duplicate (retransmit raced the ACK): suppress,
                     // but re-acknowledge so the sender stops.
                     self.stats.duplicates_suppressed += 1;
@@ -288,7 +406,9 @@ impl Transport {
                     self.stats.corrupted_arrivals += 1;
                     self.queue_ctl(WireKind::Nack, meta);
                 } else {
-                    self.delivered.insert(meta.app);
+                    if let Some(s) = self.window.get_mut(meta.app) {
+                        s.app_delivered = true;
+                    }
                     self.stats.delivered += 1;
                     if let Some(p) = self.pending.get(&meta.app) {
                         self.records.push(DeliveryRecord {
@@ -336,21 +456,22 @@ impl Transport {
     pub fn post_step(&mut self, net: &mut Network) {
         let cy = net.cycle();
         // 1. Control packets decided during the observation phase.
-        let outbox = std::mem::take(&mut self.outbox);
-        for msg in outbox {
+        for i in 0..self.outbox.len() {
+            let msg = self.outbox[i];
             let Some(pid) = net.enqueue_packet(msg.from, msg.to, msg.class, msg.len) else {
                 continue;
             };
-            self.registry.insert(
+            self.window.insert(
                 pid.0,
-                WireMeta {
+                cy,
+                PacketSlot::new(WireMeta {
                     kind: msg.kind,
                     app: msg.app,
                     src: msg.from,
                     dest: msg.to,
                     class: msg.class,
                     len: msg.len,
-                },
+                }),
             );
             match msg.kind {
                 WireKind::Ack => self.stats.acks_sent += 1,
@@ -358,20 +479,23 @@ impl Transport {
                 WireKind::Data => {}
             }
         }
+        self.outbox.clear();
         // 2. Timeouts.
-        let due: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| cy >= p.deadline)
-            .map(|(&app, _)| app)
-            .collect();
-        for app in due {
+        self.due_scratch.clear();
+        for (&app, p) in &self.pending {
+            if cy >= p.deadline {
+                self.due_scratch.push(app);
+            }
+        }
+        for i in 0..self.due_scratch.len() {
+            let app = self.due_scratch[i];
             let Some(p) = self.pending.get(&app).copied() else {
                 continue;
             };
             if p.attempts >= self.arq.max_retries {
                 self.pending.remove(&app);
-                if !self.delivered.contains(&app) {
+                let delivered = self.window.get(app).is_some_and(|s| s.app_delivered);
+                if !delivered {
                     self.failed.push(app);
                     self.stats.gave_up += 1;
                 }
@@ -380,16 +504,17 @@ impl Transport {
             let Some(pid) = net.enqueue_packet(p.src, p.dest, p.class, p.len) else {
                 continue;
             };
-            self.registry.insert(
+            self.window.insert(
                 pid.0,
-                WireMeta {
+                cy,
+                PacketSlot::new(WireMeta {
                     kind: WireKind::Data,
                     app,
                     src: p.src,
                     dest: p.dest,
                     class: p.class,
                     len: p.len,
-                },
+                }),
             );
             if let Some(p) = self.pending.get_mut(&app) {
                 p.attempts += 1;
@@ -397,6 +522,8 @@ impl Transport {
             }
             self.stats.retransmits += 1;
         }
+        // 3. Retire per-packet state past the retention horizon.
+        self.window.retire(cy, self.arq.retire_horizon);
     }
 }
 
@@ -407,7 +534,7 @@ impl Observer for Transport {
             return;
         }
         let pid = flit.packet.0;
-        if let Some(meta) = self.registry.get(&pid).copied() {
+        if let Some(meta) = self.window.get(pid).map(|s| s.meta) {
             // A transport-fabricated packet entered the wire; (re)start the
             // sender timer for data packets now that it is actually moving.
             if meta.kind == WireKind::Data {
@@ -424,16 +551,17 @@ impl Observer for Transport {
         }
         // Unknown head flit: ordinary NIC-generated application traffic.
         let len = self.class_len(flit.class);
-        self.registry.insert(
+        self.window.insert(
             pid,
-            WireMeta {
+            cycle,
+            PacketSlot::new(WireMeta {
                 kind: WireKind::Data,
                 app: pid,
                 src: flit.src.0,
                 dest: flit.dest.0,
                 class: flit.class,
                 len,
-            },
+            }),
         );
         self.pending.insert(
             pid,
@@ -453,25 +581,23 @@ impl Observer for Transport {
     fn on_eject(&mut self, ev: &EjectEvent) {
         let flit = ev.flit;
         let pid = flit.packet.0;
-        let Some(meta) = self.registry.get(&pid).copied() else {
+        let Some(slot) = self.window.get_mut(pid) else {
+            // Never registered, or already retired past the horizon.
             self.stats.stray_flits += 1;
             return;
         };
-        if ev.node.0 != meta.dest {
+        if ev.node.0 != slot.meta.dest {
             self.stats.misrouted_flits += 1;
             return;
         }
-        {
-            let rx = self.rx.entry(pid).or_default();
-            if rx.done {
-                self.stats.stray_flits += 1;
-                return;
-            }
-            if flit.corrupted || flit.origin == noc_types::flit::FlitOrigin::StaleReplay {
-                rx.corrupted = true;
-            }
-            rx.seqs.insert(flit.seq);
+        if slot.done {
+            self.stats.stray_flits += 1;
+            return;
         }
+        if flit.corrupted || flit.origin == noc_types::flit::FlitOrigin::StaleReplay {
+            slot.corrupted = true;
+        }
+        slot.note_seq(flit.seq);
         if self.complete(pid) {
             self.on_complete(pid, ev.cycle);
         }
@@ -536,6 +662,48 @@ mod tests {
         // ACK overhead: one ACK per delivery (no losses, no duplicates).
         assert_eq!(s.acks_sent, s.delivered);
         assert_eq!(s.retransmits, 0, "nothing times out fault-free");
+    }
+
+    #[test]
+    fn receiver_state_is_bounded_by_the_retirement_horizon() {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.10;
+        let arq = ArqConfig {
+            ack_timeout: 400,
+            retire_horizon: 1_200,
+            ..ArqConfig::default_policy()
+        };
+        let mut net = Network::new(cfg.clone());
+        let mut t = Transport::new(&cfg, arq);
+        let mut max_window = 0usize;
+        for _ in 0..15_000 {
+            net.step_observed(&mut t);
+            t.post_step(&mut net);
+            max_window = max_window.max(t.tracked_packets());
+        }
+        net.set_injection_enabled(false);
+        drive(&mut net, &mut t, 4_000);
+        let s = t.stats();
+        // Enough traffic that an O(delivered) tracker would visibly grow:
+        // data + one ACK per delivery means > 2 * offered ids ever seen.
+        assert!(s.offered > 1_500, "too little traffic: {}", s.offered);
+        // The window never holds more than ~one horizon's worth of ids
+        // (offered + control at < 1/cycle on this mesh), far below the
+        // full campaign total.
+        assert!(
+            max_window < 3_000,
+            "window grew past the horizon bound: {max_window}"
+        );
+        assert!(
+            (max_window as u64) < 2 * s.offered,
+            "window {} tracks every packet ever offered ({})",
+            max_window,
+            s.offered
+        );
+        // Retirement must not cost exactly-once delivery.
+        assert_eq!(s.delivered, s.offered);
+        assert_eq!(s.gave_up, 0);
+        assert_eq!(t.records().len() as u64, s.offered);
     }
 
     #[test]

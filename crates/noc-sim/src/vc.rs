@@ -23,7 +23,7 @@ pub mod state {
 }
 
 /// One virtual channel of an input port.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct VirtualChannel {
     /// The flit FIFO.
     pub buffer: VcBuffer,
@@ -38,6 +38,30 @@ pub struct VirtualChannel {
     /// Whether the previously written flit was a tail (for invariance 27);
     /// starts `true` so the first flit into a fresh VC must be a header.
     pub prev_written_was_tail: bool,
+}
+
+// Manual impl so `clone_from` (the arena reset path) reuses the buffer's
+// ring allocation.
+impl Clone for VirtualChannel {
+    fn clone(&self) -> VirtualChannel {
+        VirtualChannel {
+            buffer: self.buffer.clone(),
+            state: self.state,
+            out_port: self.out_port,
+            out_vc: self.out_vc,
+            arrived: self.arrived,
+            prev_written_was_tail: self.prev_written_was_tail,
+        }
+    }
+
+    fn clone_from(&mut self, src: &VirtualChannel) {
+        self.buffer.clone_from(&src.buffer);
+        self.state = src.state;
+        self.out_port = src.out_port;
+        self.out_vc = src.out_vc;
+        self.arrived = src.arrived;
+        self.prev_written_was_tail = src.prev_written_was_tail;
+    }
 }
 
 impl VirtualChannel {
@@ -81,7 +105,7 @@ impl VirtualChannel {
 
 /// Downstream bookkeeping of one output port: which downstream VCs are
 /// allocatable and how many buffer slots (credits) each has left.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct OutputPort {
     /// False for off-mesh (edge/corner) ports: no neighbour exists.
     pub live: bool,
@@ -95,6 +119,28 @@ pub struct OutputPort {
     /// Per downstream VC: quarantined by the recovery controller after a
     /// permanent-fault inference. A disabled VC is never free again.
     pub disabled: Vec<bool>,
+}
+
+// Manual impl so `clone_from` (the arena reset path) reuses the four
+// per-VC bookkeeping vectors.
+impl Clone for OutputPort {
+    fn clone(&self) -> OutputPort {
+        OutputPort {
+            live: self.live,
+            free: self.free.clone(),
+            credits: self.credits.clone(),
+            owner: self.owner.clone(),
+            disabled: self.disabled.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &OutputPort) {
+        self.live = src.live;
+        self.free.clone_from(&src.free);
+        self.credits.clone_from(&src.credits);
+        self.owner.clone_from(&src.owner);
+        self.disabled.clone_from(&src.disabled);
+    }
 }
 
 impl OutputPort {

@@ -11,7 +11,9 @@ use fault::{FaultSpec, Watchdog};
 use golden::{
     containment_covered, DeliveryVerdict, RecoveryHarness, RecoveryOptions, RecoveryOutcome,
 };
-use noc_types::{NocConfig, SiteRef};
+use noc_sim::{ContainmentLevel, RecoveryPolicy};
+use noc_types::site::SignalKind;
+use noc_types::{Cycle, NocConfig, SiteRef};
 
 fn recovery_cfg() -> NocConfig {
     let mut cfg = NocConfig::small_test();
@@ -97,4 +99,105 @@ fn containment_actually_fires_under_a_persistent_fault() {
         run.recovery
     );
     assert_eq!(run.verdict, DeliveryVerdict::ExactlyOnce);
+}
+
+fn buf_empty_site(cfg: &NocConfig, router: u16, port: u8, vc: u8) -> SiteRef {
+    fault::enumerate_sites(cfg)
+        .into_iter()
+        .find(|s| {
+            s.router == router && s.port == port && s.vc == vc && s.signal == SignalKind::BufEmpty
+        })
+        .expect("BufEmpty site exists at the pinned coordinates")
+}
+
+#[test]
+fn duty_cycled_intermittent_buf_empty_delivers_and_quarantines() {
+    // DESIGN.md §11's former known limit: a duty-cycled intermittent on
+    // `BufEmpty` used to wedge the mesh — containment quarantined only the
+    // upstream output side, so the faulty input VC kept replaying stale
+    // flits as zombie worms, and each mid-worm reset orphaned the worm's
+    // downstream fragment with its allocations held forever. Pin the exact
+    // site and duty cycle that reproduced the hang: the run must now end
+    // quiescent with the faulty VC quarantined and every message delivered
+    // exactly once.
+    let cfg = recovery_cfg();
+    let site = buf_empty_site(&cfg, 2, 0, 1);
+    let h = RecoveryHarness::try_new(cfg, quick_opts()).expect("valid options");
+    let run = h.run_isolated(Some(&FaultSpec::intermittent(site, 50, 10, 900)));
+    assert!(run.fault_hits > 0, "fault never touched a live wire");
+    assert!(
+        matches!(run.outcome, RecoveryOutcome::Quiescent),
+        "network never recovered: {:?} / {:?}",
+        run.outcome,
+        run.recovery
+    );
+    assert_eq!(
+        run.verdict,
+        DeliveryVerdict::ExactlyOnce,
+        "delivery violated: {:?} / {:?}",
+        run.recovery,
+        run.transport
+    );
+    assert!(
+        run.trace.iter().any(|ev| ev.router == site.router
+            && ev.port == site.port
+            && ev.vc == site.vc
+            && ev.level == ContainmentLevel::Disable),
+        "faulty VC never quarantined: {:?}",
+        run.trace
+    );
+}
+
+#[test]
+fn alert_silent_buf_empty_freeze_needs_the_worm_age_monitor() {
+    // A single long `BufEmpty` burst that begins while a worm is ACTIVE
+    // freezes it with flits still buffered: reads are skipped, no pipeline
+    // events fire, and no invariance is violated — the stall is genuinely
+    // alert-silent, so only the per-VC worm-age monitor can see it.
+    let cfg = recovery_cfg();
+    let site = buf_empty_site(&cfg, 7, 3, 0);
+    let spec = FaultSpec::intermittent(site, 119_000, 118_999, 1_100);
+
+    // Monitor disabled: the frozen worm wedges the drain phase forever.
+    // This arm pins that the scenario still exercises the silent stall
+    // (otherwise the recovering arm below proves nothing).
+    let blind = RecoveryOptions {
+        policy: RecoveryPolicy {
+            stall_age: Cycle::MAX,
+            ..RecoveryPolicy::default_policy()
+        },
+        ..quick_opts()
+    };
+    let h = RecoveryHarness::try_new(cfg.clone(), blind).expect("valid options");
+    let run = h.run_isolated(Some(&spec));
+    assert!(
+        matches!(run.outcome, RecoveryOutcome::Hung(_)),
+        "scenario no longer reproduces the alert-silent freeze: {:?}",
+        run.outcome
+    );
+
+    // Monitor at defaults: the stalled worm ages out, containment drains
+    // it, and the run ends quiescent with exactly-once delivery.
+    let h = RecoveryHarness::try_new(cfg, quick_opts()).expect("valid options");
+    let run = h.run_isolated(Some(&spec));
+    assert!(
+        matches!(run.outcome, RecoveryOutcome::Quiescent),
+        "monitor failed to clear the frozen worm: {:?} / {:?}",
+        run.outcome,
+        run.recovery
+    );
+    assert_eq!(
+        run.verdict,
+        DeliveryVerdict::ExactlyOnce,
+        "delivery violated: {:?} / {:?}",
+        run.recovery,
+        run.transport
+    );
+    assert!(
+        run.trace
+            .iter()
+            .any(|ev| ev.router == site.router && ev.port == site.port && ev.vc == site.vc),
+        "monitor never escalated the frozen VC: {:?}",
+        run.trace
+    );
 }
