@@ -16,6 +16,9 @@ cargo run -q --release -p nocalert-analysis --bin noc-lint
 echo "== recovery smoke (one fault per class, 100% delivery) =="
 cargo run -q --release -p nocalert-bench --bin recovery -- --smoke
 
+echo "== aging smoke (accumulating faults to an honest partition) =="
+cargo run -q --release -p nocalert-bench --bin aging -- --smoke
+
 echo "== perf smoke (>15% cycles/sec regression gate) =="
 cargo run -q --release -p nocalert-bench --bin perf -- --smoke
 

@@ -67,6 +67,7 @@ struct ClassSummary {
     exactly_once: u64,
     hung: u64,
     crashed: u64,
+    partitioned: u64,
     offered: u64,
     delivered: u64,
     retransmits: u64,
@@ -75,6 +76,11 @@ struct ClassSummary {
     containment_latency: Vec<u64>,
     /// Offer → delivery latency of messages that needed a retransmit.
     retransmit_delivery_latency: Vec<u64>,
+    /// Fault-region growth across the class's rollouts (FaultRegion
+    /// routing only; zero under plain XY/WestFirst).
+    regions_formed: u64,
+    routers_absorbed: u64,
+    reroutes_taken: u64,
 }
 
 impl ClassSummary {
@@ -86,6 +92,7 @@ impl ClassSummary {
         match run.outcome {
             golden::RecoveryOutcome::Hung(_) => self.hung += 1,
             golden::RecoveryOutcome::Crashed(_) => self.crashed += 1,
+            golden::RecoveryOutcome::Partitioned { .. } => self.partitioned += 1,
             golden::RecoveryOutcome::Quiescent => {}
         }
         self.offered += run.transport.offered;
@@ -102,6 +109,9 @@ impl ClassSummary {
                     .push(rec.delivered_at.saturating_sub(rec.offered_at));
             }
         }
+        self.regions_formed += run.recovery.regions_formed;
+        self.routers_absorbed += run.recovery.routers_absorbed;
+        self.reroutes_taken += run.recovery.reroutes_taken;
     }
 
     fn ratio(&self) -> f64 {
@@ -263,12 +273,21 @@ fn sweep(args: &Args) -> i32 {
 
     for (name, s) in &mut classes {
         println!("\n-- {name} --");
-        row("rollouts (exactly-once / hung / crashed)", {
+        row("rollouts (exactly-once / hung / partitioned / crashed)", {
             format!(
-                "{} ({} / {} / {})",
-                s.runs, s.exactly_once, s.hung, s.crashed
+                "{} ({} / {} / {} / {})",
+                s.runs, s.exactly_once, s.hung, s.partitioned, s.crashed
             )
         });
+        if s.regions_formed + s.routers_absorbed + s.reroutes_taken > 0 {
+            row(
+                "fault regions (formed / absorbed / reroutes)",
+                format!(
+                    "{} / {} / {}",
+                    s.regions_formed, s.routers_absorbed, s.reroutes_taken
+                ),
+            );
+        }
         row(
             "delivered-packet ratio",
             format!("{:.6} ({}/{})", s.ratio(), s.delivered, s.offered),

@@ -34,11 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aging;
 pub mod campaign;
 pub mod oracle;
 pub mod recovery;
 pub mod stats;
 
+pub use aging::{
+    verdict_of, AgingError, AgingHarness, AgingOptions, AgingOutcome, AgingReport, EpochFault,
+    EpochReport,
+};
 pub use campaign::{
     outcome, Campaign, CampaignArena, CampaignConfig, CampaignError, CampaignReport, Checkpoint,
     Detector, DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult,

@@ -88,6 +88,14 @@ pub enum RecoveryOutcome {
     Quiescent,
     /// A watchdog tripped first.
     Hung(Hang),
+    /// The fault-region map reports a true network partition: the live
+    /// graph split into this many components. Cross-partition traffic is
+    /// unreachable by construction, so this is a terminal topology state
+    /// — reported explicitly, never as a hang.
+    Partitioned {
+        /// Live components remaining.
+        components: u32,
+    },
     /// The rollout panicked (only produced by [`RecoveryHarness::run_isolated`]).
     Crashed(String),
 }
@@ -255,12 +263,31 @@ impl RecoveryHarness {
     /// baseline), feed every alert to containment, retransmit end to end,
     /// and drain until the transport is quiescent or a watchdog trips.
     pub fn run(&self, spec: Option<&FaultSpec>) -> RecoveryRun {
+        self.run_prepared(spec, |_| {})
+    }
+
+    /// [`RecoveryHarness::run`] with a pre-damaged topology: `prepare`
+    /// runs before the first cycle and may sever links or quarantine
+    /// routers outright — how the partition-classification tests build a
+    /// mesh that is already split when traffic starts.
+    pub fn run_prepared(
+        &self,
+        spec: Option<&FaultSpec>,
+        prepare: impl FnOnce(&mut Network),
+    ) -> RecoveryRun {
         let mut net = Network::new(self.cfg.clone());
         net.enable_recovery(self.opts.policy);
+        prepare(&mut net);
         let mut bank = AlertBank::new(&self.cfg);
         // Degraded routing around fenced ports legitimately violates the
         // turn model; the watchdog backs the deadlock risk instead.
         bank.disable(CheckerId(1));
+        // Fault-region (up*/down*) detours are non-minimal by design, so
+        // the minimal-progress checker would feed false alerts straight
+        // into containment.
+        if self.cfg.routing == noc_types::RoutingAlgorithm::FaultRegion {
+            bank.disable(CheckerId(3));
+        }
         let mut transport = Transport::new(&self.cfg, self.opts.arq);
         if let Some(s) = spec {
             net.arm_fault(s.site, s.kind, s.start);
@@ -322,9 +349,18 @@ impl RecoveryHarness {
         }
 
         let verdict = verify_delivery(&transport);
-        let outcome = match hang {
-            Some(h) => RecoveryOutcome::Hung(h),
-            None => RecoveryOutcome::Quiescent,
+        // Partition classification outranks the watchdog: a mesh split in
+        // two genuinely cannot deliver cross-partition traffic, and
+        // reporting that as `Hung` would blame the routing for a topology
+        // fact.
+        let partition = net
+            .fault_region_map()
+            .filter(|m| m.partitioned())
+            .map(|m| m.live_components());
+        let outcome = match (partition, hang) {
+            (Some(components), _) => RecoveryOutcome::Partitioned { components },
+            (None, Some(h)) => RecoveryOutcome::Hung(h),
+            (None, None) => RecoveryOutcome::Quiescent,
         };
         RecoveryRun {
             spec: spec.copied(),

@@ -26,13 +26,19 @@ pub struct ArmedFault {
 
 /// The injection surface threaded through every router.
 ///
-/// At most one fault is armed at a time, matching the paper's single-fault
-/// model; `hits` counts how many times the armed bit actually flipped a
-/// live wire (used by coverage tests and the campaign driver to discard
-/// vacuous injections).
+/// The detection campaigns arm at most one fault at a time, matching the
+/// paper's single-fault model; the aging campaign accumulates a growing
+/// population of permanents via [`FaultPlane::arm_additional`]. `hits`
+/// counts how many times any armed bit actually flipped a live wire (used
+/// by coverage tests and the campaign driver to discard vacuous
+/// injections). The hot path (no fault, or no fault on this router) stays
+/// a couple of compares.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlane {
-    armed: Option<ArmedFault>,
+    faults: Vec<ArmedFault>,
+    /// Sorted, deduplicated router ids carrying at least one fault — the
+    /// quiescent-router fast path in the network probes this.
+    routers: Vec<u16>,
     hits: u64,
 }
 
@@ -42,34 +48,71 @@ impl FaultPlane {
         FaultPlane::default()
     }
 
-    /// Arms `fault`, replacing any previous one and resetting the hit count.
+    /// Arms `fault`, replacing any previous ones and resetting the hit
+    /// count (the single-fault campaign entry point).
     pub fn arm(&mut self, fault: ArmedFault) {
-        self.armed = Some(fault);
+        self.faults.clear();
+        self.routers.clear();
         self.hits = 0;
+        self.arm_additional(fault);
     }
 
-    /// Disarms the plane.
+    /// Arms `fault` on top of whatever is already armed, preserving the
+    /// hit count — the accumulating-permanent-fault entry point of the
+    /// aging campaign.
+    pub fn arm_additional(&mut self, fault: ArmedFault) {
+        self.faults.push(fault);
+        if let Err(i) = self.routers.binary_search(&fault.site.router) {
+            self.routers.insert(i, fault.site.router);
+        }
+    }
+
+    /// Disarms the plane entirely.
     pub fn disarm(&mut self) {
-        self.armed = None;
+        self.faults.clear();
+        self.routers.clear();
     }
 
-    /// The armed fault, if any.
+    /// The first armed fault, if any (the single-fault campaigns arm
+    /// exactly one, so this is *the* fault for them).
     pub fn armed(&self) -> Option<&ArmedFault> {
-        self.armed.as_ref()
+        self.faults.first()
     }
 
-    /// How many times the armed bit has been flipped on a live wire.
+    /// Every armed fault, in arming order.
+    pub fn armed_all(&self) -> &[ArmedFault] {
+        &self.faults
+    }
+
+    /// Number of armed faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether any armed fault targets `router` — the network's
+    /// quiescent-router fast path.
+    #[inline]
+    pub fn router_armed(&self, router: u16) -> bool {
+        match self.routers.len() {
+            0 => false,
+            1 => self.routers[0] == router,
+            _ => self.routers.binary_search(&router).is_ok(),
+        }
+    }
+
+    /// How many times an armed bit has been flipped on a live wire.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// If the armed fault is a **transient on a state register**, and
-    /// `cycle` is its injection instant, returns the site so the owner can
-    /// flip the stored bit in place (a single-event upset persists until
-    /// the register is rewritten). Such faults are *not* applied by
-    /// [`FaultPlane::xf`].
-    pub fn register_upset_due(&self, cycle: Cycle) -> Option<SiteRef> {
-        match &self.armed {
+    /// If the armed fault at `index` is a **transient on a state
+    /// register**, and `cycle` is its injection instant, returns the site
+    /// so the owner can flip the stored bit in place (a single-event
+    /// upset persists until the register is rewritten). Such faults are
+    /// *not* applied by [`FaultPlane::xf`]. Index past the fault list
+    /// returns `None`, so callers may iterate `0..fault_count()`.
+    pub fn register_upset_due_at(&self, index: usize, cycle: Cycle) -> Option<SiteRef> {
+        match self.faults.get(index) {
             Some(f)
                 if f.kind == FaultKind::Transient
                     && f.site.signal.is_register()
@@ -79,6 +122,11 @@ impl FaultPlane {
             }
             _ => None,
         }
+    }
+
+    /// [`FaultPlane::register_upset_due_at`] for the single-fault case.
+    pub fn register_upset_due(&self, cycle: Cycle) -> Option<SiteRef> {
+        self.register_upset_due_at(0, cycle)
     }
 
     /// Records an out-of-band hit (used when a register upset is applied
@@ -102,41 +150,43 @@ impl FaultPlane {
         signal: SignalKind,
         value: u64,
     ) -> u64 {
-        match &self.armed {
-            None => value,
-            Some(f) => {
-                if f.kind == FaultKind::Transient && f.site.signal.is_register() {
-                    // Register SEUs are applied to the stored value once,
-                    // not to every read of it.
-                    return value;
+        if self.faults.is_empty() {
+            return value;
+        }
+        let mut value = value;
+        let mut hits = 0u64;
+        for f in &self.faults {
+            if f.kind == FaultKind::Transient && f.site.signal.is_register() {
+                // Register SEUs are applied to the stored value once,
+                // not to every read of it.
+                continue;
+            }
+            let s = &f.site;
+            if s.router == router
+                && s.signal == signal
+                && s.port == port
+                && s.vc == vc
+                && cycle >= f.start
+                && f.kind.active_at(cycle - f.start)
+            {
+                let bit = 1u64 << s.bit;
+                let faulted = match f.kind {
+                    // Stuck-at defects force the wire to a level; a hit
+                    // is only counted when the level actually differs
+                    // from the fault-free value (otherwise the defect is
+                    // invisible this cycle).
+                    FaultKind::StuckAt0 => value & !bit,
+                    FaultKind::StuckAt1 => value | bit,
+                    _ => value ^ bit,
+                };
+                if faulted != value {
+                    hits += 1;
                 }
-                let s = &f.site;
-                if s.router == router
-                    && s.signal == signal
-                    && s.port == port
-                    && s.vc == vc
-                    && cycle >= f.start
-                    && f.kind.active_at(cycle - f.start)
-                {
-                    let bit = 1u64 << s.bit;
-                    let faulted = match f.kind {
-                        // Stuck-at defects force the wire to a level; a hit
-                        // is only counted when the level actually differs
-                        // from the fault-free value (otherwise the defect is
-                        // invisible this cycle).
-                        FaultKind::StuckAt0 => value & !bit,
-                        FaultKind::StuckAt1 => value | bit,
-                        _ => value ^ bit,
-                    };
-                    if faulted != value {
-                        self.hits += 1;
-                    }
-                    faulted
-                } else {
-                    value
-                }
+                value = faulted;
             }
         }
+        self.hits += hits;
+        value
     }
 
     /// Boolean-wire convenience wrapper around [`FaultPlane::xf`].
@@ -265,6 +315,39 @@ mod tests {
         assert_eq!(p.hits(), 0);
         assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0b111), 0b101);
         assert_eq!(p.hits(), 1);
+    }
+
+    #[test]
+    fn additional_faults_accumulate_independently() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::StuckAt1,
+            start: 0,
+        });
+        let mut s2 = site();
+        s2.router = 7;
+        s2.bit = 2;
+        p.arm_additional(ArmedFault {
+            site: s2,
+            kind: FaultKind::StuckAt1,
+            start: 0,
+        });
+        assert_eq!(p.fault_count(), 2);
+        assert!(p.router_armed(3));
+        assert!(p.router_armed(7));
+        assert!(!p.router_armed(5));
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0), 0b010);
+        assert_eq!(p.xf(1, 7, 1, 2, SignalKind::RcOutDir, 0), 0b100);
+        assert_eq!(p.hits(), 2);
+        // arm() replaces the whole population again.
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Transient,
+            start: 0,
+        });
+        assert_eq!(p.fault_count(), 1);
+        assert!(!p.router_armed(7));
     }
 
     #[test]

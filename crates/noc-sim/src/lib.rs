@@ -34,6 +34,7 @@
 pub mod arbiter;
 pub mod buffer;
 pub mod fault_plane;
+pub mod fault_region;
 pub mod network;
 pub mod nic;
 pub mod recovery;
@@ -47,6 +48,7 @@ pub mod transport;
 pub mod vc;
 
 pub use fault_plane::{ArmedFault, FaultPlane};
+pub use fault_region::{FaultRegionMap, RegionGrowth};
 pub use network::{NetStats, Network, NullObserver, Observer};
 pub use recovery::{
     ContainmentEvent, ContainmentLevel, RecoveryController, RecoveryPolicy, RecoveryStats,
@@ -55,4 +57,4 @@ pub use router::{CreditMsg, LinkFlit, Router};
 pub use signals::{enumerate_all_sites, enumerate_router_sites, live_bits, signal_width};
 pub use stats::{LatencyStats, StatsCollector};
 pub use trace::TraceObserver;
-pub use transport::{ArqConfig, DeliveryRecord, Transport, TransportStats};
+pub use transport::{ArqConfig, DeliveryRecord, FailureRecord, Transport, TransportStats};

@@ -18,12 +18,13 @@
 //! makes the paper-scale sweep tractable.
 
 use crate::fault_plane::{ArmedFault, FaultPlane};
+use crate::fault_region::FaultRegionMap;
 use crate::nic::Nic;
 use crate::recovery::{
     ContainmentEvent, ContainmentLevel, RecoveryController, RecoveryPolicy, RecoveryStats,
 };
 use crate::router::{CreditMsg, Router, RouterScratch, P};
-use noc_types::config::NocConfig;
+use noc_types::config::{NocConfig, RoutingAlgorithm};
 use noc_types::flit::make_packet;
 use noc_types::geometry::{Direction, NodeId};
 use noc_types::record::{CycleRecord, EjectEvent};
@@ -171,6 +172,14 @@ pub struct Network {
     injection_enabled: bool,
     stats: NetStats,
     recovery: Option<RecoveryState>,
+    /// The fault-region map, present iff `RoutingAlgorithm::FaultRegion`
+    /// is configured. Containment escalation feeds dead links into it;
+    /// `sync_region` pushes its routing tables down into the routers and
+    /// its reachability gates into the NIs.
+    region: Option<FaultRegionMap>,
+    /// Set when containment damaged the region map this cycle; cleared by
+    /// the resync at the end of `apply_recovery`.
+    region_dirty: bool,
     /// Reused per-cycle transport scratch (ejection events/credits and
     /// credit forwarding) so the steady-state step loop never allocates.
     eject_events: Vec<EjectEvent>,
@@ -197,6 +206,8 @@ impl Clone for Network {
             injection_enabled: self.injection_enabled,
             stats: self.stats,
             recovery: self.recovery.clone(),
+            region: self.region.clone(),
+            region_dirty: self.region_dirty,
             eject_events: self.eject_events.clone(),
             eject_credits: self.eject_credits.clone(),
             credit_scratch: self.credit_scratch.clone(),
@@ -216,6 +227,8 @@ impl Clone for Network {
         self.injection_enabled = src.injection_enabled;
         self.stats = src.stats;
         self.recovery.clone_from(&src.recovery);
+        self.region.clone_from(&src.region);
+        self.region_dirty = src.region_dirty;
         self.eject_events.clone_from(&src.eject_events);
         self.eject_credits.clone_from(&src.eject_credits);
         self.credit_scratch.clone_from(&src.credit_scratch);
@@ -258,6 +271,9 @@ impl Network {
             injection_enabled: true,
             stats: NetStats::default(),
             recovery: None,
+            region: (cfg.routing == RoutingAlgorithm::FaultRegion)
+                .then(|| FaultRegionMap::new(cfg.mesh)),
+            region_dirty: false,
             eject_events: Vec::new(),
             eject_credits: Vec::new(),
             credit_scratch: Vec::new(),
@@ -302,6 +318,61 @@ impl Network {
     /// Arms a single-bit fault (replacing any armed one).
     pub fn arm_fault(&mut self, site: SiteRef, kind: FaultKind, start: Cycle) {
         self.plane.arm(ArmedFault { site, kind, start });
+    }
+
+    /// Arms a single-bit fault *on top of* the existing population —
+    /// the aging campaign's accumulating-permanent entry point.
+    pub fn arm_extra_fault(&mut self, site: SiteRef, kind: FaultKind, start: Cycle) {
+        self.plane.arm_additional(ArmedFault { site, kind, start });
+    }
+
+    /// Number of faults currently armed on the plane.
+    pub fn armed_fault_count(&self) -> usize {
+        self.plane.fault_count()
+    }
+
+    /// The fault-region map, when `RoutingAlgorithm::FaultRegion` is
+    /// configured (read-only; the network owns all mutation).
+    pub fn fault_region_map(&self) -> Option<&FaultRegionMap> {
+        self.region.as_ref()
+    }
+
+    /// Reports `router` faulty to the fault-region map (all traffic is
+    /// steered around it, its NI stops generating) and resynchronizes
+    /// routing state. No-op unless `RoutingAlgorithm::FaultRegion` is
+    /// configured.
+    pub fn quarantine_router(&mut self, router: u16) {
+        let newly = self
+            .region
+            .as_mut()
+            .is_some_and(|m| m.mark_router_faulty(NodeId(router)));
+        if newly {
+            self.sync_region();
+        }
+    }
+
+    /// Administratively severs the mesh link at `router` toward `dir`:
+    /// fences the facing output ports on both sides and records the dead
+    /// link in the fault-region map (when active), resynchronizing the
+    /// routing tables. Returns `false` when there is no such link. Used by
+    /// survivability tests and the aging campaign's targeted-cut epochs.
+    pub fn sever_link(&mut self, router: u16, dir: Direction) -> bool {
+        if router as usize >= self.routers.len() {
+            return false;
+        }
+        let Some(nb) = self.cfg.mesh.neighbor(NodeId(router), dir) else {
+            return false;
+        };
+        self.routers[router as usize].set_avoid(dir.index() as u8, true);
+        self.routers[nb.index()].set_avoid(dir.opposite().index() as u8, true);
+        let newly = self
+            .region
+            .as_mut()
+            .is_some_and(|m| m.kill_link(NodeId(router), dir));
+        if newly {
+            self.sync_region();
+        }
+        true
     }
 
     /// Disarms the fault plane.
@@ -405,9 +476,18 @@ impl Network {
             .unwrap_or(&[])
     }
 
-    /// Aggregate containment counters (zeros when recovery is disabled).
+    /// Aggregate containment counters (zeros when recovery is disabled),
+    /// merged with the fault-region growth counters and the reroute count
+    /// when the region map is active.
     pub fn recovery_stats(&self) -> RecoveryStats {
-        self.recovery.as_ref().map(|r| r.stats).unwrap_or_default()
+        let mut s = self.recovery.as_ref().map(|r| r.stats).unwrap_or_default();
+        if let Some(map) = &self.region {
+            let g = map.growth();
+            s.regions_formed = g.regions_formed;
+            s.routers_absorbed = g.routers_absorbed;
+            s.reroutes_taken = self.routers.iter().map(Router::region_reroutes).sum();
+        }
+        s
     }
 
     /// Fabricates a packet at `node`'s NI source queue, destined for
@@ -519,6 +599,14 @@ impl Network {
             let already = self.routers[u].avoid_mask() & (1 << up_out) != 0;
             if !already && self.routers[u].output_class_starved(up_out, lo, hi) {
                 self.routers[u].set_avoid(up_out, true);
+                // Under fault-region routing the fenced port is also a dead
+                // link of the region map; the resync at the end of this
+                // containment pass recomputes regions and tables.
+                if let Some(map) = self.region.as_mut() {
+                    if map.kill_link(up, Direction::ALL[up_out as usize]) {
+                        self.region_dirty = true;
+                    }
+                }
                 true
             } else {
                 false
@@ -580,6 +668,40 @@ impl Network {
             rs.pending.clear();
         }
         self.recovery = Some(rs);
+        if self.region_dirty {
+            self.region_dirty = false;
+            self.sync_region();
+        }
+    }
+
+    /// Rebuilds the fault-region map and pushes the result everywhere it
+    /// is consumed: next-hop rows and arrival-phase masks into every
+    /// router, generation/destination gates into every NI. Disengaged maps
+    /// clear all of it, restoring baseline behaviour bit-identically.
+    fn sync_region(&mut self) {
+        if let Some(map) = self.region.as_mut() {
+            map.rebuild();
+        }
+        let Some(map) = self.region.as_ref() else {
+            return;
+        };
+        let n = self.cfg.mesh.len();
+        if map.engaged() {
+            for i in 0..n {
+                let node = NodeId(i as u16);
+                let (up, down) = map.router_rows(node);
+                self.routers[i].install_region_rows(up, down, map.down_in(node));
+                self.nics[i].set_region_gate(
+                    !map.absorbed(node),
+                    (0..n).map(|d| !map.reachable(node, NodeId(d as u16))),
+                );
+            }
+        } else {
+            for i in 0..n {
+                self.routers[i].install_region_rows(&[], &[], [false; P]);
+                self.nics[i].set_region_gate(true, std::iter::empty());
+            }
+        }
     }
 
     /// The per-VC worm-age progress monitor (DESIGN.md §11): samples every
@@ -658,7 +780,10 @@ impl Network {
         let cfg = &self.cfg;
 
         // ---- Phase 0: single-event upsets on state registers ----
-        if let Some(site) = self.plane.register_upset_due(cy) {
+        for i in 0..self.plane.fault_count() {
+            let Some(site) = self.plane.register_upset_due_at(i, cy) else {
+                continue;
+            };
             if self
                 .routers
                 .get_mut(site.router as usize)
@@ -674,13 +799,12 @@ impl Network {
         // performs no state change and emits an empty record (arbiters do
         // not rotate on zero requests, result buses only latch on grants,
         // the state table only writes on events). Skipping its step is
-        // bit-identical — unless the armed fault targets this router, in
+        // bit-identical — unless an armed fault targets this router, in
         // which case `FaultPlane::xf` could flip its wires (and must count
         // hits), so the full step always runs there.
-        let armed_router = self.plane.armed().map(|f| f.site.router);
         for r in &mut self.routers {
             self.record.reset(r.id());
-            if armed_router != Some(r.id()) && r.is_quiescent() {
+            if !self.plane.router_armed(r.id()) && r.is_quiescent() {
                 obs.on_cycle_record(cy, &self.record);
                 continue;
             }
@@ -932,6 +1056,42 @@ mod tests {
         for ev in &log.ejected {
             assert_eq!(ev.flit.dest, ev.node);
         }
+    }
+
+    #[test]
+    fn fault_region_routing_matches_xy_on_a_healthy_mesh() {
+        // A disengaged region map installs no tables, so the FaultRegion
+        // algorithm must be bit-identical to the XY baseline.
+        let mut cfg = NocConfig::small_test();
+        cfg.routing = noc_types::RoutingAlgorithm::FaultRegion;
+        let a = run_and_drain(cfg, 2_000);
+        let b = run_and_drain(NocConfig::small_test(), 2_000);
+        let ea: Vec<_> = a.ejected.iter().map(|e| (e.cycle, e.flit.uid)).collect();
+        let eb: Vec<_> = b.ejected.iter().map(|e| (e.cycle, e.flit.uid)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn quarantined_router_is_routed_around() {
+        let mut cfg = NocConfig::small_test();
+        cfg.routing = noc_types::RoutingAlgorithm::FaultRegion;
+        let mut net = Network::new(cfg);
+        net.quarantine_router(5);
+        let mut log = Log::default();
+        for _ in 0..2_000 {
+            net.step_observed(&mut log);
+        }
+        assert!(net.drain(&mut log, 20_000), "region-routed network drains");
+        assert!(!log.injected.is_empty(), "traffic must flow");
+        assert_eq!(log.injected.len(), log.ejected.len());
+        for ev in &log.ejected {
+            assert_eq!(ev.flit.dest, ev.node);
+            assert_ne!(ev.node.0, 5, "nothing delivered to the absorbed router");
+        }
+        let stats = net.recovery_stats();
+        assert_eq!(stats.regions_formed, 1);
+        assert_eq!(stats.routers_absorbed, 1);
+        assert!(stats.reroutes_taken > 0, "detours must be counted");
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub struct Nic {
     /// Per-VC ejection buffers (filled by the router's local output port).
     eject: Vec<VecDeque<Flit>>,
     eject_next: u8,
+    /// Generation gate set by the fault-region map: a node absorbed into
+    /// a region stops offering traffic (its router is out of service).
+    /// The RNG keeps advancing, so the stream suffix stays aligned.
+    gen_enabled: bool,
+    /// Destinations currently unreachable from this node per the
+    /// fault-region map (absorbed or partitioned off); a drawn packet to
+    /// one is skipped instead of offered, again without touching the RNG
+    /// stream. Empty while the map is disengaged.
+    blocked_dests: Vec<bool>,
     /// Flits handed to the router so far.
     pub injected: u64,
     /// Flits delivered to this NI so far.
@@ -60,6 +69,8 @@ impl Clone for Nic {
             ni_disabled: self.ni_disabled.clone(),
             eject: self.eject.clone(),
             eject_next: self.eject_next,
+            gen_enabled: self.gen_enabled,
+            blocked_dests: self.blocked_dests.clone(),
             injected: self.injected,
             ejected: self.ejected,
         }
@@ -76,6 +87,8 @@ impl Clone for Nic {
         self.ni_disabled.clone_from(&src.ni_disabled);
         self.eject.clone_from(&src.eject);
         self.eject_next = src.eject_next;
+        self.gen_enabled = src.gen_enabled;
+        self.blocked_dests.clone_from(&src.blocked_dests);
         self.injected = src.injected;
         self.ejected = src.ejected;
     }
@@ -99,9 +112,20 @@ impl Nic {
             ni_disabled: vec![false; v],
             eject: vec![VecDeque::new(); v],
             eject_next: 0,
+            gen_enabled: true,
+            blocked_dests: Vec::new(),
             injected: 0,
             ejected: 0,
         }
+    }
+
+    /// Fault-region gating: disables/enables generation wholesale and
+    /// replaces the blocked-destination filter (see the field docs). The
+    /// network resyncs this after every region-map rebuild.
+    pub(crate) fn set_region_gate(&mut self, enabled: bool, blocked: impl Iterator<Item = bool>) {
+        self.gen_enabled = enabled;
+        self.blocked_dests.clear();
+        self.blocked_dests.extend(blocked);
     }
 
     /// The node this NI serves.
@@ -148,10 +172,18 @@ impl Nic {
             cfg.hotspot_fraction,
             &mut self.rng,
         );
-        if !enabled {
+        if !enabled || !self.gen_enabled {
             return;
         }
         let Some(dest) = dest else { return };
+        if self
+            .blocked_dests
+            .get(dest.index())
+            .copied()
+            .unwrap_or(false)
+        {
+            return;
+        }
         let len = cfg.packet_len(class);
         let pkt = PacketId(*next_packet);
         *next_packet += 1;

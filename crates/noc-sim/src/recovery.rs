@@ -139,6 +139,15 @@ pub struct RecoveryStats {
     pub ports_fenced: u64,
     /// Flits destroyed by containment actions in total.
     pub flits_dropped: u64,
+    /// Fault-region rectangles formed by the region map (cumulative; each
+    /// region shape counts once — 0 unless `RoutingAlgorithm::FaultRegion`
+    /// is active).
+    pub regions_formed: u64,
+    /// Routers absorbed into fault regions (cumulative).
+    pub routers_absorbed: u64,
+    /// RC decisions where the fault-region tables overrode the baseline
+    /// route (reroutes taken around regions).
+    pub reroutes_taken: u64,
 }
 
 /// Per-router escalation state: alert counts and quarantine flags per

@@ -109,6 +109,20 @@ pub struct Router {
     /// skipped by every pipeline stage — its wires are never read, so a
     /// fault armed on them can no longer activate and replay stale state.
     input_disabled: [u64; P],
+    /// Fault-region next-hop row for the free (may-still-go-up) phase,
+    /// indexed by destination node id: direction bits, or the sentinel 7
+    /// (no route → eject locally). Empty while the region map is
+    /// disengaged — the RC stage then falls through to the baseline
+    /// algorithm, keeping fault-free behaviour bit-identical.
+    region_next_up: Vec<u8>,
+    /// Fault-region next-hop row once committed downward.
+    region_next_down: Vec<u8>,
+    /// Per arrival port: `true` when the hop *into* this router over that
+    /// port was a down hop (the packet is committed; consult
+    /// `region_next_down`).
+    region_down_in: [bool; P],
+    /// RC decisions where the region tables overrode the baseline route.
+    region_reroutes: u64,
 }
 
 // Manual impl so `clone_from` (the arena reset path) reuses every nested
@@ -139,6 +153,10 @@ impl Clone for Router {
             out_credits: self.out_credits.clone(),
             last_arrival: self.last_arrival.clone(),
             input_disabled: self.input_disabled,
+            region_next_up: self.region_next_up.clone(),
+            region_next_down: self.region_next_down.clone(),
+            region_down_in: self.region_down_in,
+            region_reroutes: self.region_reroutes,
         }
     }
 
@@ -165,6 +183,10 @@ impl Clone for Router {
         self.out_credits.clone_from(&src.out_credits);
         self.last_arrival.clone_from(&src.last_arrival);
         self.input_disabled = src.input_disabled;
+        self.region_next_up.clone_from(&src.region_next_up);
+        self.region_next_down.clone_from(&src.region_next_down);
+        self.region_down_in = src.region_down_in;
+        self.region_reroutes = src.region_reroutes;
     }
 }
 
@@ -245,6 +267,10 @@ impl Router {
             out_credits: Vec::new(),
             last_arrival: vec![None; P],
             input_disabled: [0; P],
+            region_next_up: Vec::new(),
+            region_next_down: Vec::new(),
+            region_down_in: [false; P],
+            region_reroutes: 0,
         }
     }
 
@@ -447,6 +473,24 @@ impl Router {
         if (port as usize) < P {
             self.avoid[port as usize] = fenced;
         }
+    }
+
+    /// Installs (or clears, with empty slices) the fault-region
+    /// next-hop rows and arrival-phase flags for this router. The network
+    /// pushes fresh rows after every region-map rebuild; buffers are
+    /// reused so resyncs never allocate once sized.
+    pub(crate) fn install_region_rows(&mut self, up: &[u8], down: &[u8], down_in: [bool; P]) {
+        self.region_next_up.clear();
+        self.region_next_up.extend_from_slice(up);
+        self.region_next_down.clear();
+        self.region_next_down.extend_from_slice(down);
+        self.region_down_in = down_in;
+    }
+
+    /// RC decisions where the fault-region tables overrode the baseline
+    /// route (cumulative).
+    pub fn region_reroutes(&self) -> u64 {
+        self.region_reroutes
     }
 
     /// Bitmask of output directions currently fenced for degraded routing.
@@ -1093,7 +1137,38 @@ impl Router {
                 (dx as u8).min(cfg.mesh.width().saturating_sub(1).max(dx as u8)),
                 (dy as u8).min(cfg.mesh.height().saturating_sub(1).max(dy as u8)),
             );
-            let dir = if self.avoid.iter().any(|&a| a) {
+            let region_dir = if self.region_next_up.is_empty() {
+                None
+            } else {
+                // Fault-region tables installed: phase is derived from the
+                // arrival port (a down-hop arrival commits the packet),
+                // with injections always free. The destination index is
+                // clamp-guarded — a fault-corrupted dest wire decodes to
+                // the no-route sentinel, never out of bounds.
+                let di = dest_c.y as usize * cfg.mesh.width() as usize + dest_c.x as usize;
+                let committed =
+                    p != Direction::Local.index() as u8 && self.region_down_in[p as usize];
+                let row = if committed {
+                    &self.region_next_down
+                } else {
+                    &self.region_next_up
+                };
+                let bits = row
+                    .get(di)
+                    .copied()
+                    .unwrap_or(crate::fault_region::NO_ROUTE);
+                // The sentinel decodes to None → eject locally: the flit
+                // is unroutable (destination absorbed or partitioned off)
+                // and black-holing it at the ingress hands the loss to the
+                // ARQ transport instead of wedging a region boundary.
+                Some(Direction::from_bits(bits as u64).unwrap_or(Direction::Local))
+            };
+            let dir = if let Some(d) = region_dir {
+                if d != route(cfg.routing, self.coord, dest_c) {
+                    self.region_reroutes += 1;
+                }
+                d
+            } else if self.avoid.iter().any(|&a| a) {
                 crate::routing::route_avoiding(
                     cfg.routing,
                     cfg.mesh,

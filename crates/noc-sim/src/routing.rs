@@ -54,6 +54,12 @@ pub fn route(alg: RoutingAlgorithm, cur: Coord, dest: Coord) -> Direction {
                 Direction::Local
             }
         }
+        // On a healthy mesh the fault-region map installs no tables and
+        // the RC unit falls through to this function: identical to XY by
+        // definition (DESIGN.md §13). With regions present the router
+        // consults its per-destination up*/down* tables *before* calling
+        // here, so this arm only ever runs region-free.
+        RoutingAlgorithm::FaultRegion => route(RoutingAlgorithm::XY, cur, dest),
     }
 }
 
@@ -88,7 +94,23 @@ pub fn route_avoiding(
             return d;
         }
     }
-    // Every productive direction is fenced: emit the preferred one anyway
+    // Every productive direction is fenced. A fenced port is quarantined
+    // hardware — re-selecting it would park the worm against the fence
+    // until the watchdog fires — so take a *non-minimal* unfenced detour
+    // instead: the neighbouring router's fence set differs, giving the
+    // packet a live path around the quarantine. North-first keeps the
+    // choice deterministic.
+    for d in [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ] {
+        if !fenced(d) && cur.step(d, mesh.width(), mesh.height()).is_some() {
+            return d;
+        }
+    }
+    // Every on-mesh direction is fenced: emit the preferred one anyway
     // (the packet blocks and the watchdog reports the loss of liveness —
     // the site is beyond VC/port-granular containment).
     preferred
@@ -119,6 +141,13 @@ pub fn turn_legal(alg: RoutingAlgorithm, in_port: Direction, out: Direction) -> 
             // flit arrives on the East port.
             !(out == Direction::West && in_port != Direction::East)
         }
+        // The static turn model of up*/down* routing is permissive: the
+        // real forbidden transition (down→up in the spanning-tree rank
+        // order) depends on the live region map, which the per-checker
+        // wiring cannot see. The u-turn prohibition above is the
+        // region-independent residue — the full property is proven per
+        // region set by `noc-lint` (NL215/NL216) instead.
+        RoutingAlgorithm::FaultRegion => true,
     }
 }
 
@@ -194,7 +223,7 @@ mod tests {
 
     #[test]
     fn u_turns_are_illegal() {
-        for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::WestFirst] {
+        for alg in RoutingAlgorithm::ALL {
             for d in Direction::ALL {
                 if d.is_cardinal() {
                     assert!(!turn_legal(alg, d, d), "{alg:?} {d} u-turn");
@@ -230,15 +259,54 @@ mod tests {
             Direction::North
         );
         // Destination straight East and East fenced: no productive
-        // alternative exists; the preferred direction is emitted anyway.
+        // alternative exists, but the fenced port must NOT be re-selected
+        // while an unfenced detour exists — the non-minimal North escape
+        // is taken instead (the old fallback parked the worm against the
+        // fence; this pins the fix).
         assert_eq!(
             route_avoiding(alg, mesh, Coord::new(1, 1), Coord::new(4, 1), &avoid),
+            Direction::North
+        );
+    }
+
+    #[test]
+    fn route_avoiding_never_reselects_a_fenced_port_with_an_escape_left() {
+        let mesh = MESH();
+        // Fence every direction except South: the only unfenced direction
+        // is non-minimal for an eastbound packet, and it must still win
+        // over the fenced preferred port.
+        let mut avoid = [false; 5];
+        for d in [Direction::East, Direction::West, Direction::North] {
+            avoid[d.index()] = true;
+        }
+        assert_eq!(
+            route_avoiding(
+                RoutingAlgorithm::XY,
+                mesh,
+                Coord::new(2, 4),
+                Coord::new(6, 4),
+                &avoid
+            ),
+            Direction::South
+        );
+        // All four cardinals fenced: only now may the preferred (fenced)
+        // direction come back — the site is beyond port-granular
+        // containment and the watchdog owns it.
+        avoid[Direction::South.index()] = true;
+        assert_eq!(
+            route_avoiding(
+                RoutingAlgorithm::XY,
+                mesh,
+                Coord::new(2, 4),
+                Coord::new(6, 4),
+                &avoid
+            ),
             Direction::East
         );
     }
 
     #[test]
-    fn route_avoiding_stays_minimal_everywhere() {
+    fn route_avoiding_never_emits_the_single_fenced_port() {
         let mesh = MESH();
         let mut avoid = [false; 5];
         avoid[Direction::East.index()] = true;
@@ -249,12 +317,39 @@ mod tests {
                         let cur = Coord::new(sx, sy);
                         let dest = Coord::new(dx, dy);
                         let out = route_avoiding(RoutingAlgorithm::XY, mesh, cur, dest, &avoid);
-                        if out != Direction::East {
+                        // With a single fence an unfenced on-mesh escape
+                        // always exists, so the fenced port never comes
+                        // back out.
+                        assert_ne!(out, Direction::East, "fenced port re-selected at {cur}");
+                        // And whenever an unfenced *productive* direction
+                        // exists, the detour stays minimal.
+                        let minimal_exists = Direction::ALL
+                            .iter()
+                            .any(|&d| d != Direction::East && productive(mesh, cur, dest, d));
+                        if minimal_exists {
                             assert!(
                                 productive(mesh, cur, dest, out),
                                 "unproductive detour {out} at {cur} toward {dest}"
                             );
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_region_is_xy_without_regions() {
+        for sx in 0u8..8 {
+            for sy in 0u8..8 {
+                for dx in 0u8..8 {
+                    for dy in 0u8..8 {
+                        let cur = Coord::new(sx, sy);
+                        let dest = Coord::new(dx, dy);
+                        assert_eq!(
+                            route(RoutingAlgorithm::FaultRegion, cur, dest),
+                            route(RoutingAlgorithm::XY, cur, dest),
+                        );
                     }
                 }
             }
@@ -278,7 +373,10 @@ mod tests {
     // replaces (the environment is offline, so no proptest).
     #[test]
     fn prop_routes_are_minimal_and_legal() {
-        for alg in [RoutingAlgorithm::XY, RoutingAlgorithm::WestFirst] {
+        // FaultRegion is included: region-free it must be bit-identical
+        // to XY, which this walk (minimality, legality, convergence)
+        // subsumes.
+        for alg in RoutingAlgorithm::ALL {
             for sx in 0u8..8 {
                 for sy in 0u8..8 {
                     for dx in 0u8..8 {

@@ -270,6 +270,21 @@ pub struct DeliveryRecord {
     pub attempts: u32,
 }
 
+/// One abandoned message: the sender exhausted `max_retries` without an
+/// acknowledgement. The endpoints are recorded so fault-survival
+/// campaigns can classify the failure — a give-up whose source or
+/// destination was absorbed into a fault region (or split across a
+/// partition) is an expected *orphan*, not a delivery violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Application message id.
+    pub app: u64,
+    /// Source node.
+    pub src: u16,
+    /// Destination node.
+    pub dest: u16,
+}
+
 /// Aggregate transport counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransportStats {
@@ -316,7 +331,7 @@ pub struct Transport {
     pending: BTreeMap<u64, Pending>,
     outbox: Vec<Outbox>,
     records: Vec<DeliveryRecord>,
-    failed: Vec<u64>,
+    failed: Vec<FailureRecord>,
     stats: TransportStats,
     cycle_seen: Cycle,
     /// Reused timeout-scan scratch.
@@ -350,8 +365,9 @@ impl Transport {
         self.records.as_slice()
     }
 
-    /// Application ids the sender gave up on (delivery failures).
-    pub fn failed(&self) -> &[u64] {
+    /// Messages the sender gave up on (delivery failures), with their
+    /// endpoints.
+    pub fn failed(&self) -> &[FailureRecord] {
         self.failed.as_slice()
     }
 
@@ -496,7 +512,11 @@ impl Transport {
                 self.pending.remove(&app);
                 let delivered = self.window.get(app).is_some_and(|s| s.app_delivered);
                 if !delivered {
-                    self.failed.push(app);
+                    self.failed.push(FailureRecord {
+                        app,
+                        src: p.src,
+                        dest: p.dest,
+                    });
                     self.stats.gave_up += 1;
                 }
                 continue;

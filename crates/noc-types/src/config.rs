@@ -24,6 +24,28 @@ pub enum RoutingAlgorithm {
     /// the *legal set* is larger, which relaxes invariances 1/3 exactly as
     /// Section 4.4 discusses).
     WestFirst,
+    /// Fault-region routing: table-driven up*/down* routing around
+    /// rectangular fault regions maintained online by the containment
+    /// layer (DESIGN.md §13). On a healthy mesh no region exists and the
+    /// routers fall back to XY bit-identically; once links die, each
+    /// router follows per-destination next-hop tables derived from a
+    /// spanning-tree rank order, whose single forbidden transition
+    /// (down→up) makes any route set deadlock-free by construction. The
+    /// static turn model is therefore permissive (only u-turns are
+    /// illegal); the full guarantee is region-dependent and is proven
+    /// exhaustively by `noc-lint`.
+    FaultRegion,
+}
+
+impl RoutingAlgorithm {
+    /// Every routing algorithm, in declaration order. The `noc-lint`
+    /// prover-coverage check (NL218) walks this list, so adding a variant
+    /// without extending the prover fails static verification.
+    pub const ALL: [RoutingAlgorithm; 3] = [
+        RoutingAlgorithm::XY,
+        RoutingAlgorithm::WestFirst,
+        RoutingAlgorithm::FaultRegion,
+    ];
 }
 
 /// Atomic vs. non-atomic VC buffers (Section 3.1 / 4.4).

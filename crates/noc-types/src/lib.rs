@@ -42,6 +42,7 @@ pub mod error;
 pub mod flit;
 pub mod geometry;
 pub mod record;
+pub mod region;
 pub mod site;
 
 pub use config::{BufferPolicy, NocConfig, RoutingAlgorithm, TrafficPattern};
@@ -49,6 +50,7 @@ pub use error::SimError;
 pub use flit::{Flit, FlitKind, FlitOrigin, PacketId};
 pub use geometry::{Coord, Direction, Mesh, NodeId};
 pub use record::{CycleRecord, EjectEvent};
+pub use region::FaultRect;
 pub use site::{FaultKind, ModuleClass, SignalDir, SignalKind, SiteRef};
 
 /// A simulation cycle number.

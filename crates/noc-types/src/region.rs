@@ -1,0 +1,124 @@
+//! Rectangular fault regions (DESIGN.md §13).
+//!
+//! The containment layer aggregates dead links and quarantined routers
+//! into axis-aligned rectangles, following the FASHION convention
+//! (arXiv:1702.02313): a rectangle is the bounding box of a connected
+//! cluster of faulty routers, and every router inside it — healthy or
+//! not — is taken out of service so the region boundary stays convex.
+//! Convex boundaries are what lets a single spanning-tree turn model
+//! route around *any* set of regions deadlock-free.
+//!
+//! This crate only holds the geometry; the map that forms regions and
+//! derives routing tables lives in `noc-sim::fault_region`.
+
+use crate::geometry::Coord;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangular fault region, bounds inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultRect {
+    /// West edge (minimum x), inclusive.
+    pub x0: u8,
+    /// South edge (minimum y), inclusive.
+    pub y0: u8,
+    /// East edge (maximum x), inclusive.
+    pub x1: u8,
+    /// North edge (maximum y), inclusive.
+    pub y1: u8,
+}
+
+impl FaultRect {
+    /// A single-router region.
+    pub fn point(c: Coord) -> FaultRect {
+        FaultRect {
+            x0: c.x,
+            y0: c.y,
+            x1: c.x,
+            y1: c.y,
+        }
+    }
+
+    /// Whether the region contains `c` (bounds inclusive).
+    pub fn contains(&self, c: Coord) -> bool {
+        self.x0 <= c.x && c.x <= self.x1 && self.y0 <= c.y && c.y <= self.y1
+    }
+
+    /// Grows the region to cover `c`.
+    pub fn absorb(&mut self, c: Coord) {
+        self.x0 = self.x0.min(c.x);
+        self.y0 = self.y0.min(c.y);
+        self.x1 = self.x1.max(c.x);
+        self.y1 = self.y1.max(c.y);
+    }
+
+    /// Routers covered by the region.
+    pub fn area(&self) -> u32 {
+        let w = (self.x1 - self.x0) as u32 + 1;
+        let h = (self.y1 - self.y0) as u32 + 1;
+        w * h
+    }
+
+    /// Whether two regions touch or overlap when each is inflated by one
+    /// router in every direction — the criterion for merging clusters so
+    /// adjacent (even diagonally adjacent) regions coalesce into one
+    /// rectangle instead of leaving an unroutable one-router gap.
+    pub fn adjacent(&self, other: &FaultRect) -> bool {
+        let x_gap = self
+            .x0
+            .saturating_sub(other.x1)
+            .max(other.x0.saturating_sub(self.x1));
+        let y_gap = self
+            .y0
+            .saturating_sub(other.y1)
+            .max(other.y0.saturating_sub(self.y1));
+        x_gap <= 1 && y_gap <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_area() {
+        let r = FaultRect {
+            x0: 2,
+            y0: 3,
+            x1: 4,
+            y1: 5,
+        };
+        assert!(r.contains(Coord::new(2, 3)));
+        assert!(r.contains(Coord::new(4, 5)));
+        assert!(r.contains(Coord::new(3, 4)));
+        assert!(!r.contains(Coord::new(1, 4)));
+        assert!(!r.contains(Coord::new(3, 6)));
+        assert_eq!(r.area(), 9);
+        assert_eq!(FaultRect::point(Coord::new(7, 0)).area(), 1);
+    }
+
+    #[test]
+    fn absorb_grows_bounds() {
+        let mut r = FaultRect::point(Coord::new(3, 3));
+        r.absorb(Coord::new(5, 1));
+        assert_eq!(
+            r,
+            FaultRect {
+                x0: 3,
+                y0: 1,
+                x1: 5,
+                y1: 3
+            }
+        );
+        assert!(r.contains(Coord::new(4, 2)));
+    }
+
+    #[test]
+    fn adjacency_includes_diagonal_touch() {
+        let a = FaultRect::point(Coord::new(2, 2));
+        let diag = FaultRect::point(Coord::new(3, 3));
+        let gap = FaultRect::point(Coord::new(4, 4));
+        assert!(a.adjacent(&diag), "8-neighbourhood merges");
+        assert!(!a.adjacent(&gap), "two-apart stays separate");
+        assert!(a.adjacent(&a));
+    }
+}
