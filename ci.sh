@@ -11,7 +11,11 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== noc-lint (static verification) =="
-cargo run -q --release -p nocalert-analysis --bin noc-lint
+# Fan the heavier passes out across the runner's cores (stdout is
+# byte-identical for every --jobs value) and report per-pass wall-clock
+# timing on stderr.
+JOBS="$(nproc 2>/dev/null || echo 2)"
+cargo run -q --release -p nocalert-analysis --bin noc-lint -- --jobs "$JOBS" --timings
 
 echo "== recovery smoke (one fault per class, 100% delivery) =="
 cargo run -q --release -p nocalert-bench --bin recovery -- --smoke

@@ -2,24 +2,31 @@
 //!
 //! ```text
 //! noc-lint [--json] [--mesh WxH] [--vcs N] [--nonatomic] [--speculative]
-//!          [--pass coverage|prove|lint[,...]] [--root DIR] [--allowlist FILE]
+//!          [--pass coverage|prove|detect|model|lint[,...]] [--jobs N]
+//!          [--timings] [--root DIR] [--allowlist FILE]
 //! ```
 //!
-//! Runs the three static passes (checker-coverage, exhaustive proving,
-//! source lints) on the canonical configuration (8×8 mesh, 2 VCs) or the
-//! one described by the flags, and prints a human report or a stable JSON
-//! document. Exits 1 if any error-level diagnostic was produced, 2 on
-//! usage errors.
+//! Runs the five static passes (checker-coverage, exhaustive proving,
+//! static fault detectability, recovery-plane model checking, source
+//! lints) on the canonical configuration (8×8 mesh, 2 VCs) or the one
+//! described by the flags, and prints a human report or a stable JSON
+//! document. `--jobs` fans the heavier passes out across worker threads;
+//! stdout is byte-identical for every value. `--timings` prints per-pass
+//! wall-clock durations on stderr (kept off stdout for the same reason).
+//! Exits 1 if any error-level diagnostic was produced, 2 on usage errors.
 
 use noc_types::config::{BufferPolicy, NocConfig};
 use nocalert_analysis::{canonical_config, find_repo_root, run, PassSelection};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     json: bool,
     cfg: NocConfig,
     passes: PassSelection,
+    jobs: usize,
+    timings: bool,
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
 }
@@ -28,7 +35,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("noc-lint: {err}");
     eprintln!(
         "usage: noc-lint [--json] [--mesh WxH] [--vcs N] [--nonatomic] [--speculative]\n\
-         \x20               [--pass coverage|prove|lint[,...]] [--root DIR] [--allowlist FILE]"
+         \x20               [--pass coverage|prove|detect|model|lint[,...]] [--jobs N]\n\
+         \x20               [--timings] [--root DIR] [--allowlist FILE]"
     );
     ExitCode::from(2)
 }
@@ -38,6 +46,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         cfg: canonical_config(),
         passes: PassSelection::default(),
+        jobs: 1,
+        timings: false,
         root: None,
         allowlist: None,
     };
@@ -48,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         };
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--timings" => opts.timings = true,
             "--nonatomic" => opts.cfg.buffer_policy = BufferPolicy::NonAtomic,
             "--speculative" => opts.cfg.speculative = true,
             "--mesh" => {
@@ -68,17 +79,29 @@ fn parse_args() -> Result<Options, String> {
                 let v = value("--vcs")?;
                 opts.cfg.vcs_per_port = v.parse().map_err(|e| format!("--vcs: {e}"))?;
             }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = n;
+            }
             "--pass" => {
                 let v = value("--pass")?;
                 let mut sel = PassSelection {
                     coverage: false,
                     prove: false,
+                    detect: false,
+                    model: false,
                     lint: false,
                 };
                 for p in v.split(',') {
                     match p {
                         "coverage" => sel.coverage = true,
                         "prove" => sel.prove = true,
+                        "detect" => sel.detect = true,
+                        "model" => sel.model = true,
                         "lint" => sel.lint = true,
                         other => return Err(format!("unknown pass `{other}`")),
                     }
@@ -112,7 +135,20 @@ fn main() -> ExitCode {
         .allowlist
         .unwrap_or_else(|| root.join("noc-lint.allow"));
 
-    let report = run(&opts.cfg, &root, &allowlist, opts.passes);
+    let mut timings: Vec<(&'static str, Duration)> = Vec::new();
+    let report = run(
+        &opts.cfg,
+        &root,
+        &allowlist,
+        opts.passes,
+        opts.jobs,
+        opts.timings.then_some(&mut timings),
+    );
+    if opts.timings {
+        for (pass, d) in &timings {
+            eprintln!("noc-lint: pass {pass:<8} {:>8.1} ms", d.as_secs_f64() * 1e3);
+        }
+    }
 
     // Build the whole report in memory and write it once, tolerating a
     // closed pipe (`noc-lint --json | head` must not abort).
@@ -149,6 +185,65 @@ fn main() -> ExitCode {
                 p.violations,
                 if p.violations == 0 { " (proved)" } else { "" }
             );
+        }
+        if let Some(d) = &report.detect {
+            let _ = writeln!(
+                out,
+                "detect: {} sites × 3 fault models = {} cases — {} detected, {} masked, \
+                 {} blind ({} states, {} benign reroutes)",
+                d.sites,
+                d.fault_cases,
+                d.detected_cases,
+                d.masked_cases,
+                d.blind_cases,
+                d.states_evaluated,
+                d.benign_reroutes
+            );
+            let _ = writeln!(
+                out,
+                "detect: worst checker latency {} step(s); stall-monitor bound {} cycle(s)",
+                d.worst_latency_steps, d.stall_monitor_bound
+            );
+            // The slowest sites, for a quick read on where the latency
+            // bound comes from (full table in --json).
+            let mut slow: Vec<_> = d
+                .per_site
+                .iter()
+                .filter_map(|s| s.worst_latency_steps.map(|l| (l, s)))
+                .collect();
+            slow.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.site.cmp(&b.1.site)));
+            for (lat, s) in slow.iter().take(3) {
+                let _ = writeln!(
+                    out,
+                    "detect:   {} ({}): latency {} step(s) via {}",
+                    s.site,
+                    s.fault,
+                    lat,
+                    s.detectors.join(",")
+                );
+            }
+        }
+        if let Some(m) = &report.model {
+            let _ = writeln!(
+                out,
+                "model: {} states, {} transitions ({} ladder), {} terminal — {} violation(s); \
+                 horizon {}t vs worst schedule {}t ({})",
+                m.states_explored,
+                m.transitions,
+                m.ladder_transitions,
+                m.terminal_states,
+                m.violations,
+                m.horizon_ticks,
+                m.worst_schedule_ticks,
+                if m.mark_permanent {
+                    "mark permanent"
+                } else {
+                    "MARK CAN EXPIRE"
+                }
+            );
+            for trace in &m.counterexamples {
+                let _ = writeln!(out, "{trace}");
+            }
         }
         if let Some(l) = &report.lint {
             let _ = writeln!(

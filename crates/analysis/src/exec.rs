@@ -1,0 +1,72 @@
+//! Deterministic fan-out for the heavier passes.
+//!
+//! [`run_tasks`] runs a vector of closures on up to `jobs` scoped worker
+//! threads and returns the results **in task order**, so callers that
+//! concatenate per-task diagnostics get byte-identical output regardless
+//! of the `--jobs` setting. A `None` slot means the task could not be
+//! executed or its result could not be stored (a poisoned lock after a
+//! worker panic); callers surface that as an internal-error diagnostic
+//! instead of crashing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `tasks` on at most `jobs` threads, returning results in task
+/// order. `jobs <= 1` degrades to a plain sequential loop on the calling
+/// thread (no spawn cost, identical results).
+pub(crate) fn run_tasks<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<Option<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|f| Some(f())).collect();
+    }
+    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = queue[i].lock().ok().and_then(|mut g| g.take());
+                if let Some(f) = task {
+                    let out = f();
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(out);
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().ok().flatten())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_task_order_across_thread_counts() {
+        let make = || (0..64).map(|i| move || i * 3).collect::<Vec<_>>();
+        let seq = run_tasks(1, make());
+        for jobs in [2, 4, 9] {
+            assert_eq!(run_tasks(jobs, make()), seq);
+        }
+        assert_eq!(seq[5], Some(15));
+    }
+
+    #[test]
+    fn empty_and_single_task_vectors_work() {
+        let empty: Vec<Option<u32>> = run_tasks::<u32, fn() -> u32>(4, Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(run_tasks(4, vec![|| 7u32]), vec![Some(7)]);
+    }
+}

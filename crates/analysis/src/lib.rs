@@ -13,30 +13,55 @@
 //!    function, VC-state transitions) the checker invariants are proved by
 //!    exhaustive input enumeration, over the *same* predicate functions
 //!    the runtime checkers execute.
-//! 3. [`lint`] — source-level repo lints: no abort points in hot-path
+//! 3. [`detect`] — static fault detectability ("static ATPG"): for every
+//!    containment-covered fault site, every reachable local state and
+//!    every fault model, prove the fault is *detected* by a checker within
+//!    a bounded number of steps or *provably masked* — and that no
+//!    checker in the expected cohort is semantically dead.
+//! 4. [`mc`] — explicit-state model checking of the recovery plane: the
+//!    escalation ladder × ARQ product space, explored exhaustively under
+//!    an adversarial environment, executing the *same* transition code
+//!    the simulator runs.
+//! 5. [`lint`] — source-level repo lints: no abort points in hot-path
 //!    crates outside tests, and the hand-maintained signal catalogues stay
 //!    consistent with the compiled `SignalKind` enum.
 //!
-//! The `noc-lint` binary drives all three and renders a human report or a
+//! The `noc-lint` binary drives all five and renders a human report or a
 //! stable JSON document (`--json`); CI treats any error-level diagnostic
-//! as a failure.
+//! as a failure. The heavier passes fan out across `--jobs` worker
+//! threads with deterministic (byte-identical) output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod detect;
 pub mod diag;
+mod exec;
 pub mod lint;
+pub mod mc;
 pub mod prove;
 
 pub use coverage::{analyze, site_covered, CheckerModel, CoverageStats};
+pub use detect::{detect_all, DetectStats};
 pub use diag::{Diagnostic, Pass, Severity};
 pub use lint::{run_lint, LintStats};
+pub use mc::{model_check, McStats};
 pub use prove::{prove_all, ConeProof};
 
 use noc_types::config::NocConfig;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Version of the JSON report layout emitted by `--json` (and pinned by
+/// the committed snapshot). Bumped whenever a field is added, removed or
+/// changes meaning:
+///
+/// * 1 — coverage / proofs / lint.
+/// * 2 — `schema_version` itself, the `detect` (static detectability)
+///   and `model` (recovery-plane model checking) passes, `--jobs`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The canonical configuration the acceptance criteria pin: the paper's
 /// 8×8 mesh with 2 VCs per port (the smallest point of the paper's 2–8 VC
@@ -89,6 +114,8 @@ pub struct SeverityCounts {
 /// Everything one `noc-lint` invocation produced.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
+    /// JSON layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// The analysed configuration.
     pub config: ConfigSummary,
     /// Pass-1 statistics (present unless the pass was skipped).
@@ -96,6 +123,10 @@ pub struct Report {
     /// Pass-2 proofs (empty if the pass was skipped).
     pub proofs: Vec<ConeProof>,
     /// Pass-3 statistics (present unless the pass was skipped).
+    pub detect: Option<DetectStats>,
+    /// Pass-4 statistics (present unless the pass was skipped).
+    pub model: Option<McStats>,
+    /// Pass-5 statistics (present unless the pass was skipped).
     pub lint: Option<LintStats>,
     /// Diagnostic counts by severity.
     pub counts: SeverityCounts,
@@ -110,7 +141,11 @@ pub struct PassSelection {
     pub coverage: bool,
     /// Run pass 2 (prove).
     pub prove: bool,
-    /// Run pass 3 (lint).
+    /// Run pass 3 (static fault detectability).
+    pub detect: bool,
+    /// Run pass 4 (recovery-plane model checking).
+    pub model: bool,
+    /// Run pass 5 (lint).
     pub lint: bool,
 }
 
@@ -119,6 +154,8 @@ impl Default for PassSelection {
         PassSelection {
             coverage: true,
             prove: true,
+            detect: true,
+            model: true,
             lint: true,
         }
     }
@@ -144,10 +181,25 @@ impl Report {
             .filter(|d| d.severity == Severity::Error)
             .map(ToString::to_string)
             .collect();
+        // The detectability aggregates are pinned, but the per-site table
+        // (thousands of entries whose only churn is volume) is not — like
+        // the lint's file counts, it is `--json`-only.
+        let detect = match self.detect.to_value() {
+            Value::Object(pairs) => {
+                Value::Object(pairs.into_iter().filter(|(k, _)| k != "per_site").collect())
+            }
+            v => v,
+        };
         Value::Object(vec![
+            (
+                "schema_version".into(),
+                Value::U64(self.schema_version as u64),
+            ),
             ("config".into(), self.config.to_value()),
             ("coverage".into(), self.coverage.to_value()),
             ("proofs".into(), self.proofs.to_value()),
+            ("detect".into(), detect),
+            ("model".into(), self.model.to_value()),
             ("errors".into(), Value::U64(self.counts.error as u64)),
             ("error_diagnostics".into(), errors.to_value()),
         ])
@@ -155,25 +207,70 @@ impl Report {
 }
 
 /// Runs the selected passes and assembles the report.
-pub fn run(cfg: &NocConfig, root: &Path, allowlist: &Path, passes: PassSelection) -> Report {
+///
+/// `jobs` bounds the worker threads the heavier passes (`prove`,
+/// `detect`) fan out across; the output is byte-identical for every
+/// value. When `timings` is given, each executed pass appends its
+/// wall-clock duration (rendered by the binary on stderr so stdout stays
+/// identical across `--jobs` settings).
+pub fn run(
+    cfg: &NocConfig,
+    root: &Path,
+    allowlist: &Path,
+    passes: PassSelection,
+    jobs: usize,
+    mut timings: Option<&mut Vec<(&'static str, Duration)>>,
+) -> Report {
     let mut diagnostics = Vec::new();
+    let timed = |name: &'static str, t0: Instant, timings: &mut Option<&mut Vec<_>>| {
+        if let Some(v) = timings.as_deref_mut() {
+            v.push((name, t0.elapsed()));
+        }
+    };
     let coverage = if passes.coverage {
+        let t0 = Instant::now();
         let a = coverage::analyze(cfg, &CheckerModel::from_table1());
         diagnostics.extend(a.diagnostics);
+        timed("coverage", t0, &mut timings);
         Some(a.stats)
     } else {
         None
     };
     let proofs = if passes.prove {
-        let (d, p) = prove::prove_all(cfg);
+        let t0 = Instant::now();
+        let (d, p) = prove::prove_all(cfg, jobs);
         diagnostics.extend(d);
+        timed("prove", t0, &mut timings);
         p
     } else {
         Vec::new()
     };
+    let detect = if passes.detect {
+        let t0 = Instant::now();
+        let (s, d) = detect::detect_all(cfg, jobs);
+        diagnostics.extend(d);
+        timed("detect", t0, &mut timings);
+        Some(s)
+    } else {
+        None
+    };
+    let model = if passes.model {
+        let t0 = Instant::now();
+        let r = mc::model_check(
+            &noc_sim::ArqConfig::default_policy(),
+            &noc_sim::RecoveryPolicy::default_policy(),
+        );
+        diagnostics.extend(r.diagnostics);
+        timed("model", t0, &mut timings);
+        Some(r.stats)
+    } else {
+        None
+    };
     let lint = if passes.lint {
+        let t0 = Instant::now();
         let (d, s) = lint::run_lint(root, allowlist);
         diagnostics.extend(d);
+        timed("lint", t0, &mut timings);
         Some(s)
     } else {
         None
@@ -187,9 +284,12 @@ pub fn run(cfg: &NocConfig, root: &Path, allowlist: &Path, passes: PassSelection
         }
     }
     Report {
+        schema_version: SCHEMA_VERSION,
         config: ConfigSummary::of(cfg),
         coverage,
         proofs,
+        detect,
+        model,
         lint,
         counts,
         diagnostics,
@@ -232,13 +332,20 @@ mod tests {
             PassSelection {
                 coverage: true,
                 prove: false,
+                detect: false,
+                model: false,
                 lint: false,
             },
+            1,
+            None,
         );
         assert!(r.coverage.is_some());
         assert!(r.proofs.is_empty());
+        assert!(r.detect.is_none());
+        assert!(r.model.is_none());
         assert!(r.lint.is_none());
         assert!(r.clean(), "{:#?}", r.diagnostics);
+        assert_eq!(r.schema_version, SCHEMA_VERSION);
     }
 
     #[test]
@@ -249,9 +356,39 @@ mod tests {
             Path::new("/nonexistent"),
             Path::new("/nonexistent/noc-lint.allow"),
             PassSelection::default(),
+            1,
+            None,
         );
         let s = serde_json::to_string(&r.snapshot()).unwrap_or_default();
         assert!(s.contains("\"config\""));
+        assert!(s.contains("\"schema_version\""));
         assert!(!s.contains("files_scanned"), "{s}");
+        // Quoted: `min_constrainers_per_site` legitimately contains the
+        // substring; only the per-site *table key* must be absent.
+        assert!(!s.contains("\"per_site\""), "{s}");
+    }
+
+    #[test]
+    fn run_records_per_pass_timings() {
+        let cfg = NocConfig::small_test();
+        let mut timings = Vec::new();
+        let r = run(
+            &cfg,
+            Path::new("/nonexistent"),
+            Path::new("/nonexistent/noc-lint.allow"),
+            PassSelection {
+                coverage: true,
+                prove: false,
+                detect: true,
+                model: true,
+                lint: false,
+            },
+            2,
+            Some(&mut timings),
+        );
+        assert!(r.detect.is_some());
+        assert!(r.model.is_some());
+        let names: Vec<&str> = timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["coverage", "detect", "model"]);
     }
 }

@@ -434,6 +434,22 @@ pub fn run_lint(root: &Path, allowlist_path: &Path) -> (Vec<Diagnostic>, LintSta
         }
     }
     for a in &allows {
+        // A vanished file is its own staleness class: the generic
+        // budget-shrink advice of NL303 would be misleading when the
+        // right fix is deleting the whole line.
+        if !root.join(&a.file).is_file() {
+            diags.push(Diagnostic::new(
+                Pass::Lint,
+                "NL305",
+                Severity::Warning,
+                format!(
+                    "allowlist entry for a file that no longer exists: {} {} budget {} — \
+                     delete the entry",
+                    a.file, a.token, a.budget
+                ),
+            ));
+            continue;
+        }
         let used = hits
             .get(&(a.file.clone(), a.token.clone()))
             .map_or(0, Vec::len);
@@ -599,5 +615,49 @@ fn live2() {}
         assert_eq!(line_of("a\nb\nc", 0), 1);
         assert_eq!(line_of("a\nb\nc", 2), 2);
         assert_eq!(line_of("a\nb\nc", 4), 3);
+    }
+
+    #[test]
+    fn vanished_allowlist_file_is_flagged_nl305_not_nl303() {
+        let root = std::env::temp_dir().join(format!("noc-lint-nl305-{}", std::process::id()));
+        let src_dir = root.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).expect("temp tree");
+        std::fs::write(
+            src_dir.join("present.rs"),
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .expect("source file");
+        let allow = root.join("noc-lint.allow");
+        std::fs::write(
+            &allow,
+            "crates/core/src/present.rs unwrap 1\ncrates/core/src/ghost.rs unwrap 1\n",
+        )
+        .expect("allowlist");
+
+        let (diags, stats) = run_lint(&root, &allow);
+        let _ = std::fs::remove_dir_all(&root);
+
+        let nl305: Vec<_> = diags.iter().filter(|d| d.code == "NL305").collect();
+        assert_eq!(nl305.len(), 1, "{diags:#?}");
+        assert_eq!(nl305[0].severity, Severity::Warning);
+        assert!(
+            nl305[0].message.contains("ghost.rs"),
+            "{}",
+            nl305[0].message
+        );
+        // The vanished entry must not double-report as a generic stale
+        // budget, and the live entry must not be flagged at all.
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.code == "NL303")
+                .all(|d| !d.message.contains("ghost.rs")),
+            "{diags:#?}"
+        );
+        assert!(diags
+            .iter()
+            .all(|d| !(d.code == "NL305" && d.message.contains("present.rs"))));
+        assert_eq!(stats.allowlisted_hits, 1);
+        assert_eq!(stats.forbidden_hits, 0);
     }
 }

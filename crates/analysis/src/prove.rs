@@ -678,15 +678,42 @@ pub fn check_prover_coverage(proofs: &[ConeProof], diags: &mut Vec<Diagnostic>) 
 /// Runs all provers for one configuration (every routing algorithm is
 /// proved regardless of which one `cfg` selects), then cross-checks that
 /// no `RoutingAlgorithm` variant escaped prover coverage (NL218).
-pub fn prove_all(cfg: &NocConfig) -> (Vec<Diagnostic>, Vec<ConeProof>) {
-    let mut diags = Vec::new();
-    let proofs = vec![
-        prove_arbiter(cfg, &mut diags),
-        prove_routing(cfg, RoutingAlgorithm::XY, &mut diags),
-        prove_routing(cfg, RoutingAlgorithm::WestFirst, &mut diags),
-        prove_fault_region(cfg, &mut diags),
-        prove_vc_state(&mut diags),
+///
+/// The cones are independent, so they fan out across up to `jobs` worker
+/// threads; results are merged in cone order, making the diagnostics —
+/// and therefore the whole report — byte-identical for every `jobs`
+/// value. A worker that produces no result (NL290) still surfaces as a
+/// hard error rather than a silently missing proof.
+pub fn prove_all(cfg: &NocConfig, jobs: usize) -> (Vec<Diagnostic>, Vec<ConeProof>) {
+    type ConeTask<'a> = Box<dyn FnOnce() -> (Vec<Diagnostic>, ConeProof) + Send + 'a>;
+    fn task<'a>(f: impl FnOnce(&mut Vec<Diagnostic>) -> ConeProof + Send + 'a) -> ConeTask<'a> {
+        Box::new(move || {
+            let mut d = Vec::new();
+            let p = f(&mut d);
+            (d, p)
+        })
+    }
+    let tasks: Vec<ConeTask> = vec![
+        task(|d| prove_arbiter(cfg, d)),
+        task(|d| prove_routing(cfg, RoutingAlgorithm::XY, d)),
+        task(|d| prove_routing(cfg, RoutingAlgorithm::WestFirst, d)),
+        task(|d| prove_fault_region(cfg, d)),
+        task(prove_vc_state),
     ];
+    let mut diags = Vec::new();
+    let mut proofs = Vec::new();
+    for (i, slot) in crate::exec::run_tasks(jobs, tasks).into_iter().enumerate() {
+        match slot {
+            Some((d, p)) => {
+                diags.extend(d);
+                proofs.push(p);
+            }
+            None => diags.push(violation(
+                "NL290",
+                format!("internal: prover cone task #{i} produced no result"),
+            )),
+        }
+    }
     check_prover_coverage(&proofs, &mut diags);
     (diags, proofs)
 }
@@ -698,11 +725,22 @@ mod tests {
     #[test]
     fn all_cones_prove_clean_on_baseline() {
         let cfg = NocConfig::paper_baseline();
-        let (diags, proofs) = prove_all(&cfg);
+        let (diags, proofs) = prove_all(&cfg, 1);
         assert!(diags.is_empty(), "{diags:#?}");
         for p in &proofs {
             assert_eq!(p.violations, 0, "{p:?}");
             assert!(p.cases > 0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn prove_all_is_jobs_invariant() {
+        let cfg = NocConfig::small_test();
+        let (d1, p1) = prove_all(&cfg, 1);
+        for jobs in [2, 8] {
+            let (dj, pj) = prove_all(&cfg, jobs);
+            assert_eq!(dj, d1);
+            assert_eq!(pj, p1);
         }
     }
 
@@ -777,7 +815,7 @@ mod tests {
         assert_eq!(diags.len(), RoutingAlgorithm::ALL.len());
         assert!(diags.iter().all(|d| d.code == "NL218"));
         // A full prove_all leaves no NL218 behind.
-        let (diags, proofs) = prove_all(&NocConfig::small_test());
+        let (diags, proofs) = prove_all(&NocConfig::small_test(), 2);
         assert!(diags.iter().all(|d| d.code != "NL218"), "{diags:#?}");
         assert_eq!(proofs.len(), 5);
     }

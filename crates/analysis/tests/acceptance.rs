@@ -79,7 +79,7 @@ fn prover_holds_on_canonical_and_section_4_4_variations() {
 
     for cfg in &variations {
         assert!(cfg.validate().is_ok());
-        let (diags, proofs) = prove_all(cfg);
+        let (diags, proofs) = prove_all(cfg, 1);
         assert!(diags.is_empty(), "{cfg:?}: {diags:#?}");
         assert_eq!(proofs.len(), 5);
         for p in &proofs {

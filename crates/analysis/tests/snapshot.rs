@@ -11,7 +11,7 @@
 //! NOC_LINT_BLESS=1 cargo test -p nocalert-analysis --test snapshot
 //! ```
 
-use nocalert_analysis::{canonical_config, find_repo_root, run, PassSelection};
+use nocalert_analysis::{canonical_config, find_repo_root, run, PassSelection, SCHEMA_VERSION};
 use std::path::Path;
 
 #[test]
@@ -26,11 +26,21 @@ fn canonical_json_report_matches_committed_snapshot() {
         &root,
         &root.join("noc-lint.allow"),
         PassSelection::default(),
+        1,
+        None,
     );
     assert!(report.clean(), "{:#?}", report.diagnostics);
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+
+    let snapshot = report.snapshot();
+    assert_eq!(
+        snapshot.get("schema_version").and_then(|v| v.as_u64()),
+        Some(SCHEMA_VERSION as u64),
+        "the snapshot must carry the schema version"
+    );
 
     let mut actual = String::new();
-    report.snapshot().write_json_pretty(&mut actual);
+    snapshot.write_json_pretty(&mut actual);
     actual.push('\n');
 
     let snap_path = manifest.join("tests/snapshots/canonical.json");

@@ -220,15 +220,10 @@ pub fn verify_delivery(transport: &Transport) -> DeliveryVerdict {
 /// are unchanged); they are just not guaranteed survivable, and the
 /// recovery campaign reports their delivered ratio separately.
 pub fn containment_covered(signal: noc_types::site::SignalKind) -> bool {
-    use noc_types::site::SignalKind;
-    matches!(
-        signal,
-        SignalKind::BufEmpty
-            | SignalKind::BufFull
-            | SignalKind::RcHeadValid
-            | SignalKind::RcOutDir
-            | SignalKind::VcEvSaWon
-    )
+    // The canonical set lives in `noc-types` so the static detectability
+    // prover (`noc-lint --pass detect`) and this harness agree by
+    // construction.
+    noc_types::site::containment_covered(signal)
 }
 
 /// The closed-loop harness: one instance, many rollouts.

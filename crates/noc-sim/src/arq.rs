@@ -1,0 +1,219 @@
+//! Pure ARQ decision functions — the transport's control plane as data.
+//!
+//! Every control decision the NIC-level ARQ makes (DESIGN.md §11) is
+//! factored here as a **pure function** over explicit inputs. The
+//! simulator's [`crate::transport::Transport`] calls these functions to
+//! decide; the model checker (`nocalert-analysis`' `mc` pass) calls the
+//! *same* functions to explore the recovery-plane state space. There is no
+//! parallel reimplementation to drift: a behaviour change here changes
+//! both the simulation and the proof obligation at once, and the
+//! `arq_equivalence` test pins the transport to this module against
+//! recorded traces.
+//!
+//! The three decision points:
+//!
+//! * **Receiver, assembled data packet** — deliver/ack, suppress/re-ack a
+//!   duplicate, or NACK a corrupted copy ([`receiver_data_action`]).
+//! * **Sender, returned control packet** — an ACK completes the message, a
+//!   NACK schedules an immediate retransmit ([`sender_control_action`]).
+//! * **Sender, expired retransmission timer** — retransmit with
+//!   exponential backoff, or give up after the retry budget, recording a
+//!   failure only if the message is not known delivered
+//!   ([`sender_timeout_action`]).
+
+use crate::transport::ArqConfig;
+use noc_types::Cycle;
+
+/// What the receiver does with a fully assembled **data** packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverAction {
+    /// First clean arrival: hand to the application, mark the dedup
+    /// window, and send an ACK.
+    DeliverAndAck,
+    /// Late duplicate (a retransmit raced the ACK): suppress the payload
+    /// but re-acknowledge so the sender stops.
+    SuppressAndReAck,
+    /// The copy arrived damaged: NACK to trigger an immediate resend.
+    Nack,
+}
+
+/// Receiver-side decision for an assembled data packet.
+///
+/// `already_delivered` is the dedup-window mark for the application
+/// message; `corrupted` is the EDC verdict on this wire copy. Note the
+/// precedence: a *corrupted duplicate* is still re-ACKed — the payload
+/// already reached the application, so identity is all that matters.
+#[inline]
+pub fn receiver_data_action(already_delivered: bool, corrupted: bool) -> ReceiverAction {
+    if already_delivered {
+        ReceiverAction::SuppressAndReAck
+    } else if corrupted {
+        ReceiverAction::Nack
+    } else {
+        ReceiverAction::DeliverAndAck
+    }
+}
+
+/// What the data sender does with a returned control packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderControlAction {
+    /// ACK: the message is done; drop the pending entry and stop the
+    /// timer. A corrupted ACK still completes — its identity carries the
+    /// information; real hardware would checksum-drop it and the next
+    /// retransmission round would absorb the loss identically.
+    Complete,
+    /// NACK: the path demonstrably delivers, the copy was just damaged —
+    /// expire the timer now and retransmit immediately.
+    RetransmitNow,
+}
+
+/// Sender-side decision for an arrived control packet (`nack` selects
+/// between the two control kinds).
+#[inline]
+pub fn sender_control_action(nack: bool) -> SenderControlAction {
+    if nack {
+        SenderControlAction::RetransmitNow
+    } else {
+        SenderControlAction::Complete
+    }
+}
+
+/// What the data sender does when a retransmission timer expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderTimeoutAction {
+    /// Retry budget left: send another wire copy.
+    Retransmit {
+        /// The attempt counter after this retransmission.
+        next_attempts: u32,
+        /// Timer distance for the new attempt (exponential backoff,
+        /// capped — `ArqConfig::timeout_after(next_attempts)`).
+        backoff: Cycle,
+    },
+    /// Budget exhausted: stop retrying. `record_failure` is set when the
+    /// message is not known delivered — a delivered message whose ACKs
+    /// all died is simply closed without a failure record (the
+    /// exactly-once oracle counts deliveries, not ACK luck).
+    GiveUp {
+        /// Whether a [`crate::transport::FailureRecord`] must be emitted.
+        record_failure: bool,
+    },
+}
+
+/// Sender-side decision at timer expiry: `attempts` wire copies beyond the
+/// first have been sent, `delivered` is the receiver-side dedup mark as
+/// visible to the (co-located, in-simulation) transport model.
+#[inline]
+pub fn sender_timeout_action(
+    arq: &ArqConfig,
+    attempts: u32,
+    delivered: bool,
+) -> SenderTimeoutAction {
+    if attempts >= arq.max_retries {
+        SenderTimeoutAction::GiveUp {
+            record_failure: !delivered,
+        }
+    } else {
+        let next_attempts = attempts + 1;
+        SenderTimeoutAction::Retransmit {
+            next_attempts,
+            backoff: arq.timeout_after(next_attempts),
+        }
+    }
+}
+
+/// One logged ARQ decision with the exact inputs it was made from —
+/// recorded by the transport when the decision log is enabled, and
+/// replayed by the `arq_equivalence` test to pin the simulator to the
+/// pure functions above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArqDecision {
+    /// A receiver decision on an assembled data packet.
+    Data {
+        /// Dedup-window mark at decision time.
+        already_delivered: bool,
+        /// EDC verdict on the wire copy.
+        corrupted: bool,
+        /// The action taken.
+        action: ReceiverAction,
+    },
+    /// A sender decision on a returned control packet.
+    Control {
+        /// True for NACK, false for ACK.
+        nack: bool,
+        /// The action taken.
+        action: SenderControlAction,
+    },
+    /// A sender decision at timer expiry.
+    Timeout {
+        /// Attempt counter at decision time.
+        attempts: u32,
+        /// Receiver-side dedup mark at decision time.
+        delivered: bool,
+        /// The action taken.
+        action: SenderTimeoutAction,
+        /// Whether a `Retransmit` was actually carried out (injection can
+        /// be refused under backpressure; the timer then re-fires with
+        /// unchanged state on a later cycle).
+        applied: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_precedence_duplicate_beats_corruption() {
+        assert_eq!(
+            receiver_data_action(true, true),
+            ReceiverAction::SuppressAndReAck
+        );
+        assert_eq!(receiver_data_action(false, true), ReceiverAction::Nack);
+        assert_eq!(
+            receiver_data_action(false, false),
+            ReceiverAction::DeliverAndAck
+        );
+    }
+
+    #[test]
+    fn timeout_gives_up_exactly_at_budget() {
+        let arq = ArqConfig::default_policy();
+        match sender_timeout_action(&arq, arq.max_retries - 1, false) {
+            SenderTimeoutAction::Retransmit {
+                next_attempts,
+                backoff,
+            } => {
+                assert_eq!(next_attempts, arq.max_retries);
+                assert_eq!(backoff, arq.timeout_after(arq.max_retries));
+            }
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+        assert_eq!(
+            sender_timeout_action(&arq, arq.max_retries, false),
+            SenderTimeoutAction::GiveUp {
+                record_failure: true
+            }
+        );
+        assert_eq!(
+            sender_timeout_action(&arq, arq.max_retries, true),
+            SenderTimeoutAction::GiveUp {
+                record_failure: false
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let arq = ArqConfig::default_policy();
+        let mut prev = 0;
+        for a in 1..=arq.max_retries {
+            if let SenderTimeoutAction::Retransmit { backoff, .. } =
+                sender_timeout_action(&arq, a - 1, false)
+            {
+                assert!(backoff >= prev, "backoff must be monotone");
+                assert!(backoff <= arq.timeout_after(arq.backoff_cap + 1));
+                prev = backoff;
+            }
+        }
+    }
+}

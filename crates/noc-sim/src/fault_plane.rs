@@ -169,16 +169,10 @@ impl FaultPlane {
                 && cycle >= f.start
                 && f.kind.active_at(cycle - f.start)
             {
-                let bit = 1u64 << s.bit;
-                let faulted = match f.kind {
-                    // Stuck-at defects force the wire to a level; a hit
-                    // is only counted when the level actually differs
-                    // from the fault-free value (otherwise the defect is
-                    // invisible this cycle).
-                    FaultKind::StuckAt0 => value & !bit,
-                    FaultKind::StuckAt1 => value | bit,
-                    _ => value ^ bit,
-                };
+                // A hit is only counted when the corrupted level actually
+                // differs from the fault-free value (a stuck-at matching
+                // the wire is invisible this cycle).
+                let faulted = f.kind.apply(value, s.bit);
                 if faulted != value {
                     hits += 1;
                 }

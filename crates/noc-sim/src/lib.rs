@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod arq;
 pub mod buffer;
 pub mod fault_plane;
 pub mod fault_region;

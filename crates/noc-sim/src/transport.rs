@@ -21,6 +21,7 @@
 //! because invariance 28 fixes the flit count per class. Retransmission
 //! overhead is therefore measured honestly, full-length packets included.
 
+use crate::arq;
 use crate::network::{Network, Observer};
 use noc_types::record::EjectEvent;
 use noc_types::{Cycle, Flit, NocConfig};
@@ -336,6 +337,10 @@ pub struct Transport {
     cycle_seen: Cycle,
     /// Reused timeout-scan scratch.
     due_scratch: Vec<u64>,
+    /// When enabled, every ARQ decision is recorded with its inputs so
+    /// the `arq_equivalence` test can replay the pure transition
+    /// functions ([`crate::arq`]) against what the transport actually did.
+    decision_log: Option<Vec<arq::ArqDecision>>,
 }
 
 impl Transport {
@@ -352,6 +357,26 @@ impl Transport {
             stats: TransportStats::default(),
             cycle_seen: 0,
             due_scratch: Vec::new(),
+            decision_log: None,
+        }
+    }
+
+    /// Starts recording every ARQ decision with its inputs (off by
+    /// default: the log grows unboundedly and is a test/diagnosis tool).
+    pub fn enable_decision_log(&mut self) {
+        self.decision_log = Some(Vec::new());
+    }
+
+    /// The recorded decisions since [`Transport::enable_decision_log`]
+    /// (empty when logging was never enabled).
+    pub fn decision_log(&self) -> &[arq::ArqDecision] {
+        self.decision_log.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn log_decision(&mut self, d: arq::ArqDecision) {
+        if let Some(log) = self.decision_log.as_mut() {
+            log.push(d);
         }
     }
 
@@ -413,44 +438,58 @@ impl Transport {
         match meta.kind {
             WireKind::Data => {
                 let already = self.window.get(meta.app).is_some_and(|s| s.app_delivered);
-                if already {
-                    // Late duplicate (retransmit raced the ACK): suppress,
-                    // but re-acknowledge so the sender stops.
-                    self.stats.duplicates_suppressed += 1;
-                    self.queue_ctl(WireKind::Ack, meta);
-                } else if corrupted {
-                    self.stats.corrupted_arrivals += 1;
-                    self.queue_ctl(WireKind::Nack, meta);
-                } else {
-                    if let Some(s) = self.window.get_mut(meta.app) {
-                        s.app_delivered = true;
+                let action = arq::receiver_data_action(already, corrupted);
+                self.log_decision(arq::ArqDecision::Data {
+                    already_delivered: already,
+                    corrupted,
+                    action,
+                });
+                match action {
+                    arq::ReceiverAction::SuppressAndReAck => {
+                        self.stats.duplicates_suppressed += 1;
+                        self.queue_ctl(WireKind::Ack, meta);
                     }
-                    self.stats.delivered += 1;
-                    if let Some(p) = self.pending.get(&meta.app) {
-                        self.records.push(DeliveryRecord {
-                            app: meta.app,
-                            src: meta.src,
-                            dest: meta.dest,
-                            offered_at: p.offered_at,
-                            delivered_at: at,
-                            attempts: p.attempts,
-                        });
+                    arq::ReceiverAction::Nack => {
+                        self.stats.corrupted_arrivals += 1;
+                        self.queue_ctl(WireKind::Nack, meta);
                     }
-                    self.queue_ctl(WireKind::Ack, meta);
+                    arq::ReceiverAction::DeliverAndAck => {
+                        if let Some(s) = self.window.get_mut(meta.app) {
+                            s.app_delivered = true;
+                        }
+                        self.stats.delivered += 1;
+                        if let Some(p) = self.pending.get(&meta.app) {
+                            self.records.push(DeliveryRecord {
+                                app: meta.app,
+                                src: meta.src,
+                                dest: meta.dest,
+                                offered_at: p.offered_at,
+                                delivered_at: at,
+                                attempts: p.attempts,
+                            });
+                        }
+                        self.queue_ctl(WireKind::Ack, meta);
+                    }
                 }
             }
-            WireKind::Ack => {
-                // Arrived back at the data sender: the message is done.
-                // A corrupted ACK still acknowledges (its identity is the
-                // information); real hardware would checksum-drop it, which
-                // the next retransmission round would absorb identically.
-                self.pending.remove(&meta.app);
-            }
-            WireKind::Nack => {
-                if let Some(p) = self.pending.get_mut(&meta.app) {
-                    // Retransmit immediately: the receiver has proven the
-                    // path delivers, the copy was just damaged.
-                    p.deadline = at;
+            WireKind::Ack | WireKind::Nack => {
+                let nack = meta.kind == WireKind::Nack;
+                let action = arq::sender_control_action(nack);
+                self.log_decision(arq::ArqDecision::Control { nack, action });
+                match action {
+                    arq::SenderControlAction::Complete => {
+                        // Arrived back at the data sender: the message is
+                        // done (a corrupted ACK still acknowledges — its
+                        // identity is the information).
+                        self.pending.remove(&meta.app);
+                    }
+                    arq::SenderControlAction::RetransmitNow => {
+                        if let Some(p) = self.pending.get_mut(&meta.app) {
+                            // The receiver has proven the path delivers,
+                            // the copy was just damaged.
+                            p.deadline = at;
+                        }
+                    }
                 }
             }
         }
@@ -508,39 +547,61 @@ impl Transport {
             let Some(p) = self.pending.get(&app).copied() else {
                 continue;
             };
-            if p.attempts >= self.arq.max_retries {
-                self.pending.remove(&app);
-                let delivered = self.window.get(app).is_some_and(|s| s.app_delivered);
-                if !delivered {
-                    self.failed.push(FailureRecord {
-                        app,
-                        src: p.src,
-                        dest: p.dest,
+            let delivered = self.window.get(app).is_some_and(|s| s.app_delivered);
+            let action = arq::sender_timeout_action(&self.arq, p.attempts, delivered);
+            match action {
+                arq::SenderTimeoutAction::GiveUp { record_failure } => {
+                    self.pending.remove(&app);
+                    if record_failure {
+                        self.failed.push(FailureRecord {
+                            app,
+                            src: p.src,
+                            dest: p.dest,
+                        });
+                        self.stats.gave_up += 1;
+                    }
+                    self.log_decision(arq::ArqDecision::Timeout {
+                        attempts: p.attempts,
+                        delivered,
+                        action,
+                        applied: true,
                     });
-                    self.stats.gave_up += 1;
                 }
-                continue;
+                arq::SenderTimeoutAction::Retransmit {
+                    next_attempts,
+                    backoff,
+                } => {
+                    let injected = net.enqueue_packet(p.src, p.dest, p.class, p.len);
+                    self.log_decision(arq::ArqDecision::Timeout {
+                        attempts: p.attempts,
+                        delivered,
+                        action,
+                        applied: injected.is_some(),
+                    });
+                    let Some(pid) = injected else {
+                        // Injection refused under backpressure: state is
+                        // untouched and the timer re-fires next cycle.
+                        continue;
+                    };
+                    self.window.insert(
+                        pid.0,
+                        cy,
+                        PacketSlot::new(WireMeta {
+                            kind: WireKind::Data,
+                            app,
+                            src: p.src,
+                            dest: p.dest,
+                            class: p.class,
+                            len: p.len,
+                        }),
+                    );
+                    if let Some(p) = self.pending.get_mut(&app) {
+                        p.attempts = next_attempts;
+                        p.deadline = cy.saturating_add(backoff);
+                    }
+                    self.stats.retransmits += 1;
+                }
             }
-            let Some(pid) = net.enqueue_packet(p.src, p.dest, p.class, p.len) else {
-                continue;
-            };
-            self.window.insert(
-                pid.0,
-                cy,
-                PacketSlot::new(WireMeta {
-                    kind: WireKind::Data,
-                    app,
-                    src: p.src,
-                    dest: p.dest,
-                    class: p.class,
-                    len: p.len,
-                }),
-            );
-            if let Some(p) = self.pending.get_mut(&app) {
-                p.attempts += 1;
-                p.deadline = cy.saturating_add(self.arq.timeout_after(p.attempts));
-            }
-            self.stats.retransmits += 1;
         }
         // 3. Retire per-packet state past the retention horizon.
         self.window.retire(cy, self.arq.retire_horizon);

@@ -1,0 +1,217 @@
+//! Model ↔ simulator equivalence: the transitions `noc-lint`'s model
+//! checker explores are the *same code* the simulator executes.
+//!
+//! Two pins:
+//!
+//! * Every ARQ decision the live [`Transport`] makes during an
+//!   adversarial end-to-end run (recorded with the decision log, inputs
+//!   included) replays exactly through the pure [`noc_sim::arq`]
+//!   functions — the functions the model checker's transition relation
+//!   calls. Decision-derived counters must also reconcile with
+//!   [`TransportStats`], so the log is known to be complete, not a
+//!   subset.
+//! * Every containment action in a live network's recovery trace replays
+//!   exactly through a fresh [`RecoveryController`] — the controller the
+//!   model checker's ladder replay instantiates.
+
+use noc_sim::arq::{self, ArqDecision, ReceiverAction, SenderTimeoutAction};
+use noc_sim::{
+    ArqConfig, ContainmentLevel, Network, RecoveryController, RecoveryPolicy, Transport,
+};
+use noc_types::{Direction, NocConfig, RoutingAlgorithm};
+
+/// 4×4 fault-region mesh with manual-injection-only traffic.
+fn region_cfg() -> NocConfig {
+    let mut cfg = NocConfig::small_test();
+    cfg.routing = RoutingAlgorithm::FaultRegion;
+    cfg.vcs_per_port = 1;
+    cfg.message_classes = 1;
+    cfg.packet_lengths = vec![5];
+    cfg.injection_rate = 0.0;
+    cfg
+}
+
+/// Steps the closed net+transport loop until both are quiet or `budget`
+/// cycles pass; returns true when quiescent.
+fn settle(net: &mut Network, t: &mut Transport, budget: u64) -> bool {
+    for _ in 0..budget {
+        if t.quiescent() && net.is_drained() {
+            return true;
+        }
+        net.step_observed(t);
+        t.post_step(net);
+    }
+    t.quiescent() && net.is_drained()
+}
+
+#[test]
+fn recorded_arq_decisions_replay_through_the_pure_functions() {
+    let cfg = region_cfg();
+    let arq = ArqConfig::default_policy();
+    let mut net = Network::new(cfg.clone());
+    let mut t = Transport::new(&cfg, arq);
+    t.enable_decision_log();
+
+    let nodes = cfg.mesh.len() as u16;
+    for src in 0..nodes {
+        for dest in 0..nodes {
+            if src != dest {
+                net.enqueue_packet(src, dest, 0, 5).expect("valid pair");
+            }
+        }
+    }
+    // Let traffic fill the mesh, then sever a central link: worms caught
+    // on the dead link are lost, forcing timeouts, retransmissions and
+    // (once the region map reroutes) eventual delivery.
+    for _ in 0..150 {
+        net.step_observed(&mut t);
+        t.post_step(&mut net);
+    }
+    assert!(net.sever_link(5, Direction::East));
+    assert!(settle(&mut net, &mut t, 200_000), "{:?}", t.stats());
+
+    let log = t.decision_log();
+    assert!(!log.is_empty());
+    let mut timeouts = 0u64;
+    for d in log {
+        match *d {
+            ArqDecision::Data {
+                already_delivered,
+                corrupted,
+                action,
+            } => assert_eq!(
+                arq::receiver_data_action(already_delivered, corrupted),
+                action
+            ),
+            ArqDecision::Control { nack, action } => {
+                assert_eq!(arq::sender_control_action(nack), action);
+            }
+            ArqDecision::Timeout {
+                attempts,
+                delivered,
+                action,
+                ..
+            } => {
+                assert_eq!(
+                    arq::sender_timeout_action(&arq, attempts, delivered),
+                    action
+                );
+                timeouts += 1;
+            }
+        }
+    }
+    assert!(
+        timeouts > 0,
+        "the severed link must force at least one timeout"
+    );
+
+    // The log is complete: decision-derived counters reconcile with the
+    // transport's own statistics.
+    let stats = t.stats();
+    let count = |pred: &dyn Fn(&ArqDecision) -> bool| log.iter().filter(|d| pred(d)).count() as u64;
+    assert_eq!(
+        count(&|d| matches!(
+            d,
+            ArqDecision::Data {
+                action: ReceiverAction::DeliverAndAck,
+                ..
+            }
+        )),
+        stats.delivered
+    );
+    assert_eq!(
+        count(&|d| matches!(
+            d,
+            ArqDecision::Data {
+                action: ReceiverAction::SuppressAndReAck,
+                ..
+            }
+        )),
+        stats.duplicates_suppressed
+    );
+    assert_eq!(
+        count(&|d| matches!(
+            d,
+            ArqDecision::Data {
+                action: ReceiverAction::Nack,
+                ..
+            }
+        )),
+        stats.nacks_sent
+    );
+    assert_eq!(
+        count(&|d| matches!(
+            d,
+            ArqDecision::Timeout {
+                action: SenderTimeoutAction::Retransmit { .. },
+                applied: true,
+                ..
+            }
+        )),
+        stats.retransmits
+    );
+    assert_eq!(
+        count(&|d| matches!(
+            d,
+            ArqDecision::Timeout {
+                action: SenderTimeoutAction::GiveUp { .. },
+                ..
+            }
+        )),
+        stats.gave_up
+    );
+}
+
+#[test]
+fn recovery_trace_replays_through_a_fresh_controller() {
+    let cfg = region_cfg();
+    let policy = RecoveryPolicy::default_policy();
+    let mut net = Network::new(cfg);
+    net.enable_recovery(policy);
+
+    // Drive two suspect VCs well past quarantine, one alert-cycle at a
+    // time (alerts within a cycle collapse; escalation counts cycles).
+    for _ in 0..policy.disable_threshold + 3 {
+        net.notify_alert(5, 1, 0, false);
+        net.notify_alert(9, 2, 0, false);
+        net.run(1);
+    }
+    net.run(1);
+
+    let trace = net.recovery_trace();
+    assert!(!trace.is_empty());
+
+    // Replay: a fresh controller fed the same alert sequence reproduces
+    // every recorded level — the exact replay the model checker performs.
+    use std::collections::BTreeMap;
+    let mut replays: BTreeMap<(u16, u8, u8), RecoveryController> = BTreeMap::new();
+    let mut last_level: BTreeMap<(u16, u8, u8), ContainmentLevel> = BTreeMap::new();
+    for ev in trace {
+        let key = (ev.router, ev.port, ev.vc);
+        let c = replays.entry(key).or_default();
+        assert_eq!(
+            c.note_alert(&policy, ev.port, ev.vc),
+            Some(ev.level),
+            "{ev:?}"
+        );
+        // Live monotonicity, the property NL501 proves statically.
+        if let Some(prev) = last_level.get(&key) {
+            assert!(ev.level >= *prev, "{ev:?} regressed below {prev:?}");
+        }
+        last_level.insert(key, ev.level);
+    }
+
+    // Both ladders climbed Squash → Reset → Disable exactly once, and
+    // post-quarantine alerts were consumed without further action.
+    let s = net.recovery_stats();
+    assert_eq!(s.squashes, 2);
+    assert_eq!(s.resets, 2);
+    assert_eq!(s.disables, 2);
+    assert_eq!(
+        s.alerts_consumed,
+        2 * u64::from(policy.disable_threshold + 3)
+    );
+    for c in replays.values() {
+        assert!(c.is_quarantined(1, 0) || c.is_quarantined(2, 0));
+    }
+}

@@ -350,6 +350,41 @@ impl FaultKind {
             FaultKind::Permanent | FaultKind::StuckAt0 | FaultKind::StuckAt1
         )
     }
+
+    /// The value semantics of the fault on an **active** cycle: how the
+    /// fault-free wire `value` is corrupted at bit position `bit`.
+    ///
+    /// Stuck-at defects force the addressed bit to a level; every other
+    /// kind flips it. This is *the* definition used by both the dynamic
+    /// fault plane (`noc-sim`'s `FaultPlane::xf`) and the static
+    /// detectability prover (`nocalert-analysis`' detect pass), so the
+    /// two planes can never drift apart.
+    #[inline]
+    pub fn apply(self, value: u64, bit: u8) -> u64 {
+        let mask = 1u64 << bit;
+        match self {
+            FaultKind::StuckAt0 => value & !mask,
+            FaultKind::StuckAt1 => value | mask,
+            _ => value ^ mask,
+        }
+    }
+}
+
+/// The signal set the recovery plane promises to survive faults on
+/// (DESIGN.md §11): an alert attributable to one of these wires drives the
+/// containment ladder all the way to exactly-once delivery. The set was
+/// derived empirically by the recovery campaign and is consumed by the
+/// golden harness (alert filtering) and by the static detectability prover
+/// (which must show detect-or-masked for *every* single fault on it).
+pub fn containment_covered(signal: SignalKind) -> bool {
+    matches!(
+        signal,
+        SignalKind::BufEmpty
+            | SignalKind::BufFull
+            | SignalKind::RcHeadValid
+            | SignalKind::RcOutDir
+            | SignalKind::VcEvSaWon
+    )
 }
 
 #[cfg(test)]
