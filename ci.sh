@@ -23,7 +23,7 @@ cargo run -q --release -p nocalert-bench --bin recovery -- --smoke
 echo "== aging smoke (accumulating faults to an honest partition) =="
 cargo run -q --release -p nocalert-bench --bin aging -- --smoke
 
-echo "== perf smoke (>15% cycles/sec regression gate) =="
+echo "== perf smoke (>15% cycles/sec + campaign runs/sec regression gate) =="
 cargo run -q --release -p nocalert-bench --bin perf -- --smoke
 
 echo "== cargo test =="

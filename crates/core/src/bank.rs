@@ -8,6 +8,7 @@
 //! never influences the simulation (checkers "never interfere with — or
 //! interrupt — the operation of the NoC").
 
+use crate::batched::{ArbiterPack, ArbiterPackResult, VcOrderPack};
 use crate::predicates::{check_arbiter_wires, vc_order_violated};
 use crate::table::{info, CheckerId, Risk, TABLE1};
 use noc_sim::routing::{productive, turn_legal};
@@ -50,7 +51,7 @@ impl fmt::Display for AssertionEvent {
 }
 
 /// Per-packet end-to-end tracking state at the destination NIs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct E2eEntry {
     node: Option<NodeId>,
     next_seq: u16,
@@ -205,6 +206,22 @@ impl AlertBank {
         &self.first_cycle_checkers
     }
 
+    /// Structural equality of the accumulated detection state: events,
+    /// per-checker counts, first-detection bookkeeping and the end-to-end
+    /// tracking slab. The configuration, enable mask and reused scratch
+    /// are excluded — two banks attached to the same campaign share those
+    /// by construction. Equality here means the banks are
+    /// indistinguishable through every public accessor and will react
+    /// identically to identical future records.
+    pub fn state_eq(&self, other: &AlertBank) -> bool {
+        self.counts == other.counts
+            && self.first_cycle == other.first_cycle
+            && self.first_cycle_normal_risk == other.first_cycle_normal_risk
+            && self.first_cycle_checkers == other.first_cycle_checkers
+            && self.events == other.events
+            && self.e2e == other.e2e
+    }
+
     /// The set of distinct checkers that asserted at least once.
     pub fn asserted_set(&self) -> Vec<CheckerId> {
         CheckerId::all()
@@ -242,10 +259,26 @@ impl AlertBank {
         kind == 0 || kind == 3 // Head or HeadTail encodings
     }
 
-    fn check_arbiter(&mut self, cycle: Cycle, router: u16, port: u8, req: u64, grant: u64) {
-        // One definition of the arbiter invariances, shared with the static
-        // prover (see `crate::predicates`).
-        let check = check_arbiter_wires(req, grant);
+    /// Raises invariances 4/5/6 for the arbiter event at pack position
+    /// `idx`, consuming the position. The verdict comes from the wide
+    /// bit-lane evaluation when the event was packed; otherwise the same
+    /// scalar predicate is applied to the raw `(req, grant)` wires — one
+    /// definition of the arbiter invariances either way, shared with the
+    /// static prover (see `crate::predicates` and `crate::batched`).
+    fn raise_arbiter_at(
+        &mut self,
+        res: &ArbiterPackResult,
+        idx: &mut usize,
+        cycle: Cycle,
+        router: u16,
+        port: u8,
+        wires: (u64, u64),
+    ) {
+        let check = match res.lane(*idx) {
+            Some(c) => c,
+            None => check_arbiter_wires(wires.0, wires.1),
+        };
+        *idx += 1;
         if check.grant_without_request {
             self.raise(CheckerId(4), cycle, router, port, 0);
         }
@@ -303,11 +336,33 @@ impl Observer for AlertBank {
         }
 
         // ---- Local arbiters: 4, 5, 6 (+7 on SA1 credits) ----
+        // Every arbiter event in this record — VA1, SA1, VA2 and SA2 —
+        // is packed into bit-lanes and invariances 4/5/6 evaluated for
+        // all of them in one wide pass; `raise_arbiter_at` then hands
+        // each event its lane verdict back in push order, falling back
+        // to the scalar predicate for any event that could not be
+        // packed (see `crate::batched`). Assertion order is untouched:
+        // verdicts are consumed exactly where the per-event calls were.
+        let mut pack = ArbiterPack::new();
         for e in &rec.va1 {
-            self.check_arbiter(cycle, router, e.port, e.req, e.grant);
+            pack.push(e.req, e.grant);
         }
         for e in &rec.sa1 {
-            self.check_arbiter(cycle, router, e.port, e.req, e.grant);
+            pack.push(e.req, e.grant);
+        }
+        for e in &rec.va2 {
+            pack.push(e.req, e.grant);
+        }
+        for e in &rec.sa2 {
+            pack.push(e.req, e.grant);
+        }
+        let arb = pack.evaluate();
+        let mut arb_idx = 0usize;
+        for e in &rec.va1 {
+            self.raise_arbiter_at(&arb, &mut arb_idx, cycle, router, e.port, (e.req, e.grant));
+        }
+        for e in &rec.sa1 {
+            self.raise_arbiter_at(&arb, &mut arb_idx, cycle, router, e.port, (e.req, e.grant));
             if e.grant & !e.credit_ok != 0 {
                 self.raise(CheckerId(7), cycle, router, e.port, 0);
             }
@@ -323,7 +378,14 @@ impl Observer for AlertBank {
         }
         self.va2_granted.clear();
         for e in &rec.va2 {
-            self.check_arbiter(cycle, router, e.out_port, e.req, e.grant);
+            self.raise_arbiter_at(
+                &arb,
+                &mut arb_idx,
+                cycle,
+                router,
+                e.out_port,
+                (e.req, e.grant),
+            );
             if e.grant != 0 {
                 // Grant to an occupied downstream VC (invariance 7).
                 if (e.free_mask >> e.out_vc) & 1 == 0 {
@@ -366,7 +428,14 @@ impl Observer for AlertBank {
         // ---- SA2: 4, 5, 6, 7, 9, 11, 13 ----
         let mut port_grants = [0u32; 8];
         for e in &rec.sa2 {
-            self.check_arbiter(cycle, router, e.out_port, e.req, e.grant);
+            self.raise_arbiter_at(
+                &arb,
+                &mut arb_idx,
+                cycle,
+                router,
+                e.out_port,
+                (e.req, e.grant),
+            );
             for p in 0..8u8 {
                 if (e.grant >> p) & 1 == 1 {
                     port_grants[p as usize] += 1;
@@ -408,21 +477,32 @@ impl Observer for AlertBank {
         }
 
         // ---- VC state: 17, 22, 23 + continuous register monitoring ----
+        // Pipeline order: RC completes from Routing(1), VA from
+        // VaPending(2), SA fires only on Active(3).
+        // In the speculative design of Section 4.4, SA may legally
+        // succeed while VA is still pending — invariance 17 is altered
+        // "so as not to raise an assertion if SA succeeds before VA is
+        // done". The predicate is shared with the static prover; all of
+        // the record's VC events are evaluated in one bit-lane pass
+        // (scalar fallback for any event past the lane capacity).
+        let mut vpack = VcOrderPack::new();
         for e in &rec.vc {
+            vpack.push(e.state_before, e.ev_rc_done, e.ev_va_done, e.ev_sa_won);
+        }
+        let vres = vpack.evaluate(self.cfg.speculative);
+        for (vi, e) in rec.vc.iter().enumerate() {
             let s = e.state_before;
-            // Pipeline order: RC completes from Routing(1), VA from
-            // VaPending(2), SA fires only on Active(3).
-            // In the speculative design of Section 4.4, SA may legally
-            // succeed while VA is still pending — invariance 17 is altered
-            // "so as not to raise an assertion if SA succeeds before VA is
-            // done". The predicate is shared with the static prover.
-            if vc_order_violated(
-                s,
-                e.ev_rc_done,
-                e.ev_va_done,
-                e.ev_sa_won,
-                self.cfg.speculative,
-            ) {
+            let order_violated = match vres.lane(vi) {
+                Some(f) => f,
+                None => vc_order_violated(
+                    s,
+                    e.ev_rc_done,
+                    e.ev_va_done,
+                    e.ev_sa_won,
+                    self.cfg.speculative,
+                ),
+            };
+            if order_violated {
                 self.raise(CheckerId(17), cycle, router, e.port, e.vc);
             }
             if e.ev_va_done {
@@ -500,6 +580,14 @@ impl Observer for AlertBank {
                 self.raise(CheckerId(30), cycle, router, p as u8, 0);
             }
         }
+    }
+
+    fn on_quiescent_cycles(&self, _cycle: Cycle, _n: u64) -> bool {
+        // The bank is memoryless across cycles: an empty record trips no
+        // checker (all event vectors empty, the crossbar matrix zero) and
+        // quiescent cycles deliver no ejections, so skipping them never
+        // changes any accumulator.
+        true
     }
 
     fn on_eject(&mut self, ev: &EjectEvent) {

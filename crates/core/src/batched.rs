@@ -1,0 +1,371 @@
+//! Lane-parallel (bit-plane) forms of the checker predicates.
+//!
+//! The scalar predicates in [`crate::predicates`] stay the single source
+//! of truth — the static prover and the diagnosis pass keep calling them
+//! directly. This module adds *batched* evaluations that compute the same
+//! predicate for up to [`LANES`] wire instances in one pass over
+//! bit-transposed [`SignalPlane`]s: each scalar AND/OR/XOR over wire bits
+//! becomes the same operation over whole `u64` planes, so one record's
+//! worth of arbiter events (or VC-state events) costs a handful of wide
+//! ops instead of a per-event function call.
+//!
+//! Equivalence is not assumed: `noc-lint`'s pass-2 prover enumerates the
+//! full single-lane input space of every batched predicate against its
+//! scalar original (see `prove_batched_lanes` in `nocalert-analysis`),
+//! and the packers below return `None` for any instance that cannot be
+//! packed (value wider than the plane, more instances than lanes), in
+//! which case the checker bank evaluates that instance with the scalar
+//! predicate — the batched path is an optimisation, never a semantic
+//! fork.
+
+use crate::predicates::ArbiterCheck;
+use noc_types::bitlanes::{BitLanes, SignalPlane, LANES};
+
+/// Width of the widest arbiter request/grant vector that can be packed
+/// into lanes. Physical arbiters in the five-port router have at most 8
+/// requesters (`ports + vcs` ≤ 8 in every supported configuration), so
+/// wires always fit; wider (fault-impossible) values fall back to the
+/// scalar predicate via the packer's `None`.
+pub const ARB_WIDTH: usize = 8;
+
+/// Per-lane results of the three arbiter invariances (Table 1: 4, 5, 6)
+/// evaluated over all lanes at once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterLaneCheck {
+    /// Lanes where a grant bit is set outside the request vector (inv 4).
+    pub grant_without_request: BitLanes,
+    /// Lanes with requests pending but no grant issued (inv 5).
+    pub grant_to_nobody: BitLanes,
+    /// Lanes with more than one grant bit set (inv 6).
+    pub multiple_grants: BitLanes,
+}
+
+impl ArbiterLaneCheck {
+    /// Gathers lane `l` back into the scalar result struct.
+    #[inline]
+    pub fn lane(&self, l: usize) -> ArbiterCheck {
+        ArbiterCheck {
+            grant_without_request: self.grant_without_request.get(l),
+            grant_to_nobody: self.grant_to_nobody.get(l),
+            multiple_grants: self.multiple_grants.get(l),
+        }
+    }
+}
+
+/// Evaluates invariances 4/5/6 for up to 64 arbiters in one pass.
+///
+/// Lane-by-lane equivalent to [`crate::predicates::check_arbiter_wires`]:
+/// `grant_without_request` ORs `grant & !req` across the bit-planes,
+/// `grant_to_nobody` is "some request plane set, no grant plane set", and
+/// `multiple_grants` uses a carry-save pair (`seen_one`/`seen_two`) to
+/// detect a second grant bit without per-lane popcounts. Unloaded lanes
+/// read as `req = grant = 0` and are silent, exactly like the scalar
+/// predicate on zero wires.
+#[inline]
+pub fn check_arbiter_lanes(
+    req: &SignalPlane<ARB_WIDTH>,
+    grant: &SignalPlane<ARB_WIDTH>,
+) -> ArbiterLaneCheck {
+    let mut gwr = 0u64;
+    let mut any_req = 0u64;
+    let mut any_grant = 0u64;
+    let mut seen_one = 0u64;
+    let mut seen_two = 0u64;
+    for b in 0..ARB_WIDTH {
+        let r = req.plane(b);
+        let g = grant.plane(b);
+        gwr |= g & !r;
+        any_req |= r;
+        any_grant |= g;
+        seen_two |= seen_one & g;
+        seen_one |= g;
+    }
+    ArbiterLaneCheck {
+        grant_without_request: BitLanes(gwr),
+        grant_to_nobody: BitLanes(any_req & !any_grant),
+        multiple_grants: BitLanes(seen_two),
+    }
+}
+
+/// Evaluates invariance 17 (VC pipeline-event ordering) for up to 64 VCs
+/// in one pass; lane-by-lane equivalent to
+/// [`crate::predicates::vc_order_violated`].
+///
+/// `state` holds each lane's 2-bit state register *before* the events
+/// apply; `ev_*` mark the lanes whose VC saw that pipeline event this
+/// cycle. Returns the lanes where the combination is illegal.
+#[inline]
+pub fn vc_order_violated_lanes(
+    state: &SignalPlane<2>,
+    ev_rc_done: BitLanes,
+    ev_va_done: BitLanes,
+    ev_sa_won: BitLanes,
+    speculative: bool,
+) -> BitLanes {
+    let s0 = state.plane(0);
+    let s1 = state.plane(1);
+    let is1 = s0 & !s1; // state == 1 (ROUTING)
+    let is2 = !s0 & s1; // state == 2 (VA_PENDING)
+    let is3 = s0 & s1; // state == 3 (ACTIVE)
+    let sa_ok = if speculative { is3 | is2 } else { is3 };
+    BitLanes((ev_rc_done.0 & !is1) | (ev_va_done.0 & !is2) | (ev_sa_won.0 & !sa_ok))
+}
+
+/// Packs one cycle record's arbiter `(req, grant)` events into lanes and
+/// evaluates invariances 4/5/6 for all of them with a single
+/// [`check_arbiter_lanes`] pass.
+///
+/// Usage is strictly positional: push every event in record order, call
+/// [`ArbiterPack::evaluate`], then query [`ArbiterPackResult::lane`] with
+/// the same running index while re-walking the events. An event that
+/// could not be packed (wires wider than [`ARB_WIDTH`] bits, or more
+/// events than [`LANES`]) yields `None` and must be evaluated with the
+/// scalar predicate on its raw wires — impossible for physical records
+/// (≤ ~26 arbiter events of ≤ 8 bits each) but kept total so the batched
+/// path never silently diverges from the scalar one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArbiterPack {
+    req: SignalPlane<ARB_WIDTH>,
+    grant: SignalPlane<ARB_WIDTH>,
+    packed: u64,
+    pushed: usize,
+}
+
+impl ArbiterPack {
+    /// An empty pack.
+    #[inline]
+    pub fn new() -> ArbiterPack {
+        ArbiterPack::default()
+    }
+
+    /// Appends the next event's wires (lane = current push index).
+    #[inline]
+    pub fn push(&mut self, req: u64, grant: u64) {
+        let i = self.pushed;
+        self.pushed += 1;
+        if i < LANES && self.req.set_lane(i, req) && self.grant.set_lane(i, grant) {
+            self.packed |= 1u64 << i;
+        }
+    }
+
+    /// Number of events pushed so far (packed or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// True when nothing has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Runs the wide predicate once over every packed lane.
+    #[inline]
+    pub fn evaluate(&self) -> ArbiterPackResult {
+        ArbiterPackResult {
+            wide: check_arbiter_lanes(&self.req, &self.grant),
+            packed: self.packed,
+        }
+    }
+}
+
+/// Result of [`ArbiterPack::evaluate`]: per-event lane verdicts.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterPackResult {
+    wide: ArbiterLaneCheck,
+    packed: u64,
+}
+
+impl ArbiterPackResult {
+    /// The verdict for push #`i`, or `None` when that event was not
+    /// packed and the caller must evaluate the scalar predicate on the
+    /// event's raw wires.
+    #[inline]
+    pub fn lane(&self, i: usize) -> Option<ArbiterCheck> {
+        if i < LANES && (self.packed >> i) & 1 == 1 {
+            Some(self.wide.lane(i))
+        } else {
+            None
+        }
+    }
+}
+
+/// Packs one cycle record's VC-state events and evaluates invariance 17
+/// for all of them with a single [`vc_order_violated_lanes`] pass.
+///
+/// Positional protocol identical to [`ArbiterPack`]. The state register
+/// is 2 bits wide by construction, so packing only fails past 64 events
+/// (ports × vcs can exceed that on large configurations — those events
+/// fall back to the scalar predicate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VcOrderPack {
+    state: SignalPlane<2>,
+    ev_rc: BitLanes,
+    ev_va: BitLanes,
+    ev_sa: BitLanes,
+    packed: u64,
+    pushed: usize,
+}
+
+impl VcOrderPack {
+    /// An empty pack.
+    #[inline]
+    pub fn new() -> VcOrderPack {
+        VcOrderPack::default()
+    }
+
+    /// Appends the next VC event's state and pipeline-event bits.
+    #[inline]
+    pub fn push(&mut self, state: u64, ev_rc_done: bool, ev_va_done: bool, ev_sa_won: bool) {
+        let i = self.pushed;
+        self.pushed += 1;
+        if i < LANES && self.state.set_lane(i, state) {
+            if ev_rc_done {
+                self.ev_rc.set(i);
+            }
+            if ev_va_done {
+                self.ev_va.set(i);
+            }
+            if ev_sa_won {
+                self.ev_sa.set(i);
+            }
+            self.packed |= 1u64 << i;
+        }
+    }
+
+    /// Number of events pushed so far (packed or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// True when nothing has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Runs the wide predicate once over every packed lane.
+    #[inline]
+    pub fn evaluate(&self, speculative: bool) -> VcOrderPackResult {
+        VcOrderPackResult {
+            fired: vc_order_violated_lanes(
+                &self.state,
+                self.ev_rc,
+                self.ev_va,
+                self.ev_sa,
+                speculative,
+            ),
+            packed: self.packed,
+        }
+    }
+}
+
+/// Result of [`VcOrderPack::evaluate`]: per-event lane verdicts.
+#[derive(Debug, Clone, Copy)]
+pub struct VcOrderPackResult {
+    fired: BitLanes,
+    packed: u64,
+}
+
+impl VcOrderPackResult {
+    /// Whether invariance 17 fired for push #`i`, or `None` when that
+    /// event was not packed (caller evaluates the scalar predicate).
+    #[inline]
+    pub fn lane(&self, i: usize) -> Option<bool> {
+        if i < LANES && (self.packed >> i) & 1 == 1 {
+            Some(self.fired.get(i))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::{check_arbiter_wires, vc_order_violated};
+
+    #[test]
+    fn mixed_lane_load_matches_scalar() {
+        let cases: [(u64, u64); 6] = [
+            (0, 0),
+            (0b1010, 0b0010),
+            (0b1010, 0b0100),
+            (0b1010, 0),
+            (0b1111, 0b0110),
+            (0xff, 0x81),
+        ];
+        let mut pack = ArbiterPack::new();
+        for &(r, g) in &cases {
+            pack.push(r, g);
+        }
+        let res = pack.evaluate();
+        for (i, &(r, g)) in cases.iter().enumerate() {
+            assert_eq!(res.lane(i), Some(check_arbiter_wires(r, g)), "case {i}");
+        }
+        // Unpushed lanes read as not-packed.
+        assert!(res.lane(cases.len()).is_none());
+    }
+
+    #[test]
+    fn overwide_event_falls_back_without_corrupting_neighbours() {
+        let mut pack = ArbiterPack::new();
+        pack.push(0b11, 0b01);
+        pack.push(1 << 9, 1 << 9); // 10-bit wires: cannot pack
+        pack.push(0b10, 0b01);
+        let res = pack.evaluate();
+        assert_eq!(res.lane(0), Some(check_arbiter_wires(0b11, 0b01)));
+        assert!(res.lane(1).is_none(), "overwide event must defer to scalar");
+        assert_eq!(res.lane(2), Some(check_arbiter_wires(0b10, 0b01)));
+    }
+
+    #[test]
+    fn pack_overflow_past_64_events_defers_to_scalar() {
+        let mut pack = ArbiterPack::new();
+        for _ in 0..70 {
+            pack.push(0b1, 0b1);
+        }
+        assert_eq!(pack.len(), 70);
+        let res = pack.evaluate();
+        assert_eq!(res.lane(63), Some(check_arbiter_wires(0b1, 0b1)));
+        assert!(res.lane(64).is_none());
+        assert!(res.lane(69).is_none());
+    }
+
+    #[test]
+    fn vc_pack_matches_scalar_for_all_single_events() {
+        for speculative in [false, true] {
+            let mut pack = VcOrderPack::new();
+            let mut expect = Vec::new();
+            for state in 0..4u64 {
+                for ev in 0..8u8 {
+                    let (rc, va, sa) = (ev & 1 != 0, ev & 2 != 0, ev & 4 != 0);
+                    pack.push(state, rc, va, sa);
+                    expect.push(vc_order_violated(state, rc, va, sa, speculative));
+                }
+            }
+            let res = pack.evaluate(speculative);
+            for (i, &want) in expect.iter().enumerate() {
+                assert_eq!(res.lane(i), Some(want), "case {i} spec={speculative}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_predicates_silent_on_empty_planes() {
+        let res = check_arbiter_lanes(&SignalPlane::new(), &SignalPlane::new());
+        assert!(res.grant_without_request.is_empty());
+        assert!(res.grant_to_nobody.is_empty());
+        assert!(res.multiple_grants.is_empty());
+        let fired = vc_order_violated_lanes(
+            &SignalPlane::new(),
+            BitLanes::EMPTY,
+            BitLanes::EMPTY,
+            BitLanes::EMPTY,
+            true,
+        );
+        assert!(fired.is_empty());
+    }
+}

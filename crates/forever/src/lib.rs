@@ -183,6 +183,29 @@ impl Forever {
         &self.counters
     }
 
+    /// Structural equality of the runtime state: counters, epoch
+    /// bookkeeping, in-flight notifications and raised detections. The
+    /// notification heaps are compared as sorted multisets (heap layout is
+    /// an implementation detail of the push/pop history). Equal states
+    /// react identically to identical future traffic.
+    pub fn state_eq(&self, other: &Forever) -> bool {
+        if self.epoch_len != other.epoch_len
+            || self.counters != other.counters
+            || self.reached_zero != other.reached_zero
+            || self.detections != other.detections
+            || self.first != other.first
+            || self.last_cycle != other.last_cycle
+            || self.notifications.len() != other.notifications.len()
+        {
+            return false;
+        }
+        let mut a: Vec<&Notification> = self.notifications.iter().collect();
+        let mut b: Vec<&Notification> = other.notifications.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
     /// Clears all runtime state (counters, pending notifications, alarms).
     pub fn reset(&mut self) {
         let n = self.cfg.mesh.len();
@@ -257,6 +280,18 @@ impl Observer for Forever {
         if bad {
             self.detect(cycle, NodeId(router), Mechanism::AllocationComparator);
         }
+    }
+
+    fn on_quiescent_cycles(&self, _cycle: Cycle, _n: u64) -> bool {
+        // Quiescent cycles only run `tick`: with no notification in
+        // flight, every counter at zero and every epoch flag satisfied,
+        // each tick — including any epoch boundary inside the window — is
+        // provably a no-op, so the cycles may be skipped. Any imbalance
+        // refuses the skip: epoch boundaries inside the window are exactly
+        // where ForEVeR detects lost or misdelivered traffic.
+        self.notifications.is_empty()
+            && self.counters.iter().all(|&c| c == 0)
+            && self.reached_zero.iter().all(|&z| z)
     }
 
     fn on_inject(&mut self, cycle: Cycle, flit: &Flit) {

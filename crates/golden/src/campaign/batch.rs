@@ -1,0 +1,647 @@
+//! The batched bit-plane rollout engine (DESIGN.md §12).
+//!
+//! The scalar campaign steps one cloned network per fault site through
+//! `active_window + drain + coda` cycles — even though a single-event
+//! transient perturbs the machine for exactly one cycle and the vast
+//! majority of rollouts re-converge to the fault-free (golden) trajectory
+//! within a handful of cycles. This module exploits that structure while
+//! producing **bit-identical** [`RunResult`]s:
+//!
+//! * **Golden trajectory cache** ([`GoldenTrajectory`]) — one extra
+//!   golden rollout per campaign records the full injection/ejection
+//!   event streams, the drain end, and a geometric ladder of network
+//!   checkpoints at `injection + {1, 2, 4, …}` cycles (plus the active
+//!   end). Built lazily, shared read-only across worker threads.
+//!
+//! * **Prefix sharing** — a transient armed for a *later* cycle leaves
+//!   the network bit-identical to golden until it fires, so the lane
+//!   starts from the last golden checkpoint at or before its injection
+//!   instant; the skipped prefix is replayed into the lane's observers
+//!   from the cached golden event streams.
+//!
+//! * **Resync ladder + observer replay** — after the fault fires, the
+//!   lane steps (observers attached, so every divergent cycle is really
+//!   observed) and compares against golden checkpoints with
+//!   [`Network::state_eq`]. Once the *network* state matches — detector
+//!   state may differ; detections are history, not dynamics — the rest of
+//!   the run is a pure function of the golden trajectory: the remaining
+//!   cycles are completed without stepping by replaying the cached golden
+//!   eject/inject streams (plus one empty cycle record per cycle, which
+//!   drives the ForEVeR epoch clock) through the lane's own observers.
+//!   This is exact, not approximate: with an inert fault plane and the
+//!   NIC RNG a pure function of the cycle count, equal network states
+//!   produce equal futures, and golden's records provably raise nothing
+//!   (the trajectory build verifies this and disables the engine
+//!   otherwise).
+//!
+//! * **Probe batching** — sustained faults (permanent / stuck-at /
+//!   intermittent) never go inert, so resync does not apply. Instead, up
+//!   to 64 of them are armed as *pass-through probes* on one network
+//!   stepped once along the golden schedule; each lane's would-be flip
+//!   count falls out of the single pass. Lanes with zero hits are vacuous
+//!   — their result is synthesized from the golden trajectory — and only
+//!   lanes that would actually flip a wire pay for a scalar rollout.
+//!
+//! Rollouts the engine cannot prove equivalent fall back to the scalar
+//! path unchanged: recovery-enabled networks (containment mutates state
+//! the equality certificate does not cover), specs starting before the
+//! snapshot, malformed specs, and lanes that never re-converge within the
+//! active window.
+
+use super::{Campaign, CampaignArena, RunResult};
+use crate::oracle::{classify, Verdict};
+use fault::{FaultSpec, Hang, HangKind, Watchdog};
+use noc_sim::{ArmedFault, Network, NullObserver, Observer};
+use noc_types::record::CycleRecord;
+use noc_types::site::FaultKind;
+use noc_types::Cycle;
+
+/// Probe batches pair one stepped network with up to this many
+/// pass-through lanes — one bit-lane per probe, matching the `u64`
+/// router masks the fault plane scans.
+pub(crate) const PROBE_LANES: usize = 64;
+
+/// Cached golden artifacts backing the batched engine. One per
+/// [`Campaign`], built lazily on first batched use.
+#[derive(Debug, Clone)]
+pub(crate) struct GoldenTrajectory {
+    /// Network checkpoints at `injection + {1, 2, 4, …}` and the active
+    /// end, in cycle order. Geometric spacing bounds the overshoot past
+    /// the true re-convergence instant by 2×.
+    ladder: Vec<Network>,
+    /// Warm-up plus full golden rollout event streams (cycle-ordered).
+    log: crate::oracle::RunLog,
+    /// The golden rollout drained (it must; `Campaign::try_new` verified
+    /// a golden rollout already).
+    drained: bool,
+    /// `Network::cycle()` when the golden drain completed.
+    end_cycle: Cycle,
+    /// Longest progress-free stretch observed during the golden drain —
+    /// a watchdog whose stall window exceeds this can never trip on a
+    /// golden-equal trajectory.
+    max_stall: Cycle,
+    /// The (empty) verdict of a clean golden run, reused for synthesized
+    /// vacuous-lane results.
+    clean_verdict: Verdict,
+    /// The engine may be used at all: recovery disabled, golden drained,
+    /// and both detectors provably silent along the entire golden
+    /// trajectory including the coda (replay feeds converged lanes empty
+    /// records in place of golden's, which is only exact under this
+    /// invariant).
+    usable: bool,
+}
+
+impl Campaign {
+    /// The lazily built golden trajectory cache.
+    pub(crate) fn trajectory(&self) -> &GoldenTrajectory {
+        self.traj.get_or_init(|| self.build_trajectory())
+    }
+
+    fn build_trajectory(&self) -> GoldenTrajectory {
+        let mut net = self.snapshot.clone();
+        let mut bank = self.bank0.clone();
+        let mut fv = self.forever0.clone();
+        let mut log = self.log0.clone();
+        let mut ladder = Vec::new();
+        let mut next = 1u64;
+        for k in 1..=self.cc.active_window {
+            net.step_observed(&mut (&mut bank, &mut fv, &mut log));
+            if k == next || k == self.cc.active_window {
+                ladder.push(net.clone());
+                next = next.saturating_mul(2);
+            }
+        }
+        // Drain exactly like `Network::drain` / the watched drain loop,
+        // additionally tracking the longest progress-free stretch.
+        net.set_injection_enabled(false);
+        let limit = net.cycle() + self.cc.drain_deadline;
+        let mut sig = net.progress_signature();
+        let mut stalled: Cycle = 0;
+        let mut max_stall: Cycle = 0;
+        let mut drained = false;
+        while net.cycle() < limit {
+            if net.is_drained() {
+                drained = true;
+                break;
+            }
+            net.step_observed(&mut (&mut bank, &mut fv, &mut log));
+            let now = net.progress_signature();
+            if now == sig {
+                stalled += 1;
+                max_stall = max_stall.max(stalled);
+            } else {
+                sig = now;
+                stalled = 0;
+            }
+        }
+        drained = drained || net.is_drained();
+        let end_cycle = net.cycle();
+        // Coda, for the detector-silence certificate only (the ladder and
+        // event streams are complete by now — a drained network emits no
+        // further events).
+        for _ in 0..(2 * self.cc.forever_epoch + 1) {
+            net.step_observed(&mut (&mut bank, &mut fv, &mut log));
+        }
+        let clean_verdict = classify(&self.golden, &log, drained);
+        // `state_eq(self)` is false exactly when recovery is enabled —
+        // the same condition under which lane convergence could never be
+        // certified.
+        let usable = drained
+            && !bank.any_asserted()
+            && !fv.any_detected()
+            && !clean_verdict.malicious()
+            && self.snapshot.state_eq(&self.snapshot);
+        GoldenTrajectory {
+            ladder,
+            log,
+            drained,
+            end_cycle,
+            max_stall,
+            clean_verdict,
+            usable,
+        }
+    }
+
+    /// Feeds the cached golden cycles `[from, to)` through `obs` exactly
+    /// as stepping would: one (empty) cycle record — quiescent and
+    /// fault-free busy routers alike raise nothing, and the record drives
+    /// the ForEVeR epoch clock — then that cycle's ejections, then its
+    /// injections.
+    fn replay_golden<O: Observer>(
+        &self,
+        traj: &GoldenTrajectory,
+        from: Cycle,
+        to: Cycle,
+        obs: &mut O,
+    ) {
+        let empty = CycleRecord::default();
+        let mut i = traj.log.injected.partition_point(|&(c, _)| c < from);
+        let mut e = traj.log.ejected.partition_point(|ev| ev.cycle < from);
+        for cy in from..to {
+            obs.on_cycle_record(cy, &empty);
+            while e < traj.log.ejected.len() && traj.log.ejected[e].cycle == cy {
+                obs.on_eject(&traj.log.ejected[e]);
+                e += 1;
+            }
+            while i < traj.log.injected.len() && traj.log.injected[i].0 == cy {
+                obs.on_inject(cy, &traj.log.injected[i].1);
+                i += 1;
+            }
+        }
+    }
+
+    /// The batched fast path for one transient rollout, equivalent to
+    /// [`Campaign::run_spec_watched_in`] bit for bit. Returns `None` when
+    /// the spec or watchdog is outside the engine's proof obligations —
+    /// the caller falls back to the scalar path.
+    pub(crate) fn run_transient_batched_in(
+        &self,
+        arena: &mut CampaignArena,
+        spec: FaultSpec,
+        dog: Watchdog,
+    ) -> Option<(RunResult, Option<Hang>)> {
+        if spec.kind != FaultKind::Transient {
+            return None;
+        }
+        let inj = self.injection_cycle();
+        let active_end = inj + self.cc.active_window;
+        if spec.start < inj || spec.start >= active_end {
+            return None;
+        }
+        let traj = self.trajectory();
+        // Watchdog compatibility on a golden-equal trajectory: the budget
+        // must outlast the golden schedule and the stall window must
+        // exceed the longest stretch the golden drain itself sat still.
+        // (Lanes that never re-converge run the watched loop below and
+        // honor any policy.)
+        if !traj.usable
+            || dog.cycle_budget < traj.end_cycle - inj
+            || dog.stall_window <= traj.max_stall
+        {
+            return None;
+        }
+        self.rewind(arena);
+        let CampaignArena {
+            net,
+            bank,
+            forever: fv,
+            log,
+        } = arena;
+        // Prefix sharing: until the transient fires, the lane is
+        // bit-identical to golden — jump to the last checkpoint at or
+        // before the injection instant and replay the skipped prefix into
+        // the lane's observers.
+        if let Some(ck) = traj
+            .ladder
+            .iter()
+            .take_while(|ck| ck.cycle() <= spec.start)
+            .last()
+        {
+            self.replay_golden(
+                traj,
+                inj,
+                ck.cycle(),
+                &mut (&mut *bank, &mut *fv, &mut *log),
+            );
+            net.clone_from(ck);
+        }
+        net.arm_fault(spec.site, spec.kind, spec.start);
+        // Resync ladder: step (observed) to each remaining checkpoint and
+        // compare network state.
+        let mut converged: Option<Cycle> = None;
+        for ck in &traj.ladder {
+            if ck.cycle() <= net.cycle() {
+                continue;
+            }
+            while net.cycle() < ck.cycle() {
+                net.step_observed(&mut (&mut *bank, &mut *fv, &mut *log));
+            }
+            if net.state_eq(ck) {
+                converged = Some(ck.cycle());
+                break;
+            }
+        }
+        if let Some(from) = converged {
+            // Observer-only completion: replay the golden suffix through
+            // the active window and drain, then the tick-only coda.
+            let fault_hits = net.fault_hits();
+            let coda_end = traj.end_cycle + 2 * self.cc.forever_epoch + 1;
+            self.replay_golden(traj, from, coda_end, &mut (&mut *bank, &mut *fv, &mut *log));
+            let verdict = classify(&self.golden, log, traj.drained);
+            return Some((self.assemble(spec, fault_hits, verdict, bank, fv), None));
+        }
+        // Never re-converged within the active window: finish the rollout
+        // scalar, in place, replicating the watched drain loop and coda.
+        let budget_end = inj.saturating_add(dog.cycle_budget);
+        let drain_end = net.cycle() + self.cc.drain_deadline;
+        net.set_injection_enabled(false);
+        let mut sig = net.progress_signature();
+        let mut stalled: Cycle = 0;
+        let mut drained = false;
+        let mut hang = None;
+        loop {
+            if net.is_drained() {
+                drained = true;
+                break;
+            }
+            if net.cycle() >= drain_end {
+                break;
+            }
+            if net.cycle() >= budget_end {
+                hang = Some(Hang {
+                    kind: HangKind::CycleBudget,
+                    at_cycle: net.cycle(),
+                    stalled_for: stalled,
+                });
+                break;
+            }
+            if stalled >= dog.stall_window {
+                hang = Some(Hang {
+                    kind: HangKind::NoProgress,
+                    at_cycle: net.cycle(),
+                    stalled_for: stalled,
+                });
+                break;
+            }
+            net.step_observed(&mut (&mut *bank, &mut *fv, &mut *log));
+            let now = net.progress_signature();
+            if now == sig {
+                stalled += 1;
+            } else {
+                sig = now;
+                stalled = 0;
+            }
+        }
+        if hang.is_none() {
+            self.coda(net, &mut (&mut *bank, &mut *fv, &mut *log));
+        }
+        let verdict = classify(&self.golden, log, drained);
+        Some((
+            self.assemble(spec, net.fault_hits(), verdict, bank, fv),
+            hang,
+        ))
+    }
+
+    /// Runs one probe batch of sustained-fault lanes: a single pass along
+    /// the golden schedule with all lanes armed as pass-through probes,
+    /// then synthesized results for vacuous lanes and scalar rollouts for
+    /// the rest. Pushes `(input_index, result)` pairs onto `out`.
+    fn run_probe_group(
+        &self,
+        arena: &mut CampaignArena,
+        group: &[(usize, FaultSpec)],
+        out: &mut Vec<(usize, RunResult)>,
+    ) {
+        let traj = self.trajectory();
+        let probes: Vec<ArmedFault> = group
+            .iter()
+            .map(|&(_, s)| ArmedFault {
+                site: s.site,
+                kind: s.kind,
+                start: s.start,
+            })
+            .collect();
+        arena.net.clone_from(&self.snapshot);
+        arena.net.arm_probes(&probes);
+        // The probes are pass-through, so this pass follows the golden
+        // trajectory exactly — over the same horizon a scalar vacuous
+        // rollout would cover (active window, drain, coda).
+        for _ in 0..self.cc.active_window {
+            arena.net.step_observed(&mut NullObserver);
+        }
+        let _ = arena.net.drain(&mut NullObserver, self.cc.drain_deadline);
+        for _ in 0..(2 * self.cc.forever_epoch + 1) {
+            arena.net.step_observed(&mut NullObserver);
+        }
+        let hits = arena.net.probe_hits().to_vec();
+        arena.net.clear_probes();
+        for (lane, &(i, spec)) in group.iter().enumerate() {
+            if hits[lane] == 0 {
+                // Zero would-be flips along the entire golden schedule:
+                // the scalar rollout would be the golden run, hit for
+                // hit and event for event. Its detectors stay silent
+                // (certified by the trajectory build), so the warm
+                // detector states answer every `assemble` query
+                // identically to fully-run ones.
+                out.push((
+                    i,
+                    self.assemble(
+                        spec,
+                        0,
+                        traj.clean_verdict.clone(),
+                        &self.bank0,
+                        &self.forever0,
+                    ),
+                ));
+            } else {
+                out.push((i, self.run_spec_in(arena, spec)));
+            }
+        }
+    }
+
+    /// Runs arbitrary fault specs through the batched engine: eligible
+    /// transients take the resync-ladder fast path, sustained kinds are
+    /// screened for vacuity in probe batches of up to [`PROBE_LANES`],
+    /// and everything else (malformed specs, starts outside the active
+    /// window, recovery-enabled configurations) falls back to the scalar
+    /// path. Results are in input order and bit-identical to
+    /// [`Campaign::run_spec_in`] per spec, for any `threads` value
+    /// (`0`/`1` ⇒ sequential).
+    ///
+    /// This is the fail-fast analogue of [`Campaign::run_many_resilient`]:
+    /// a panicking rollout propagates.
+    pub fn run_specs_batched(&self, specs: &[FaultSpec], threads: usize) -> Vec<RunResult> {
+        // Build the shared trajectory before any worker needs it.
+        let _ = self.trajectory();
+        let dog = Watchdog {
+            cycle_budget: u64::MAX,
+            stall_window: u64::MAX,
+        };
+        let run_share = |share: &mut dyn Iterator<Item = (usize, FaultSpec)>| {
+            let mut arena = self.arena();
+            let mut out: Vec<(usize, RunResult)> = Vec::new();
+            let mut probe_group: Vec<(usize, FaultSpec)> = Vec::new();
+            for (i, spec) in share {
+                if spec.kind == FaultKind::Transient {
+                    let r = match self.run_transient_batched_in(&mut arena, spec, dog) {
+                        Some((r, _)) => r,
+                        None => self.run_spec_in(&mut arena, spec),
+                    };
+                    out.push((i, r));
+                } else if self.trajectory().usable
+                    && spec.start >= self.injection_cycle()
+                    && spec.validate().is_ok()
+                {
+                    probe_group.push((i, spec));
+                    if probe_group.len() == PROBE_LANES {
+                        self.run_probe_group(&mut arena, &probe_group, &mut out);
+                        probe_group.clear();
+                    }
+                } else {
+                    out.push((i, self.run_spec_in(&mut arena, spec)));
+                }
+            }
+            if !probe_group.is_empty() {
+                self.run_probe_group(&mut arena, &probe_group, &mut out);
+            }
+            out
+        };
+        let mut tagged: Vec<(usize, RunResult)> = Vec::with_capacity(specs.len());
+        if threads <= 1 || specs.len() < 2 {
+            tagged = run_share(&mut specs.iter().copied().enumerate());
+        } else {
+            let workers = threads.min(specs.len());
+            let run_share = &run_share;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            // Round-robin sharding: worker `w` takes specs
+                            // w, w+workers, w+2·workers, … Results carry
+                            // their input index, so reassembly is in input
+                            // order and bit-identical for any worker count.
+                            run_share(
+                                &mut specs.iter().copied().enumerate().skip(w).step_by(workers),
+                            )
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => tagged.extend(part),
+                        // This is the fail-fast path: a rollout panic
+                        // propagates, exactly like `run_many`'s.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+        }
+        // Probe grouping and round-robin sharding both permute completion
+        // order; the input index restores it.
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignConfig;
+    use noc_types::NocConfig;
+
+    fn small_campaign() -> Campaign {
+        let mut noc = NocConfig::small_test();
+        noc.injection_rate = 0.08;
+        Campaign::new(CampaignConfig {
+            noc,
+            warmup: 300,
+            active_window: 400,
+            drain_deadline: 10_000,
+            forever_epoch: 300,
+        })
+    }
+
+    const INFINITE: Watchdog = Watchdog {
+        cycle_budget: u64::MAX,
+        stall_window: u64::MAX,
+    };
+
+    /// The differential sweep pinning the engine: every fault class at
+    /// rotating injection offsets over stride-sampled sites, batched vs
+    /// scalar, byte-identical `RunResult`s.
+    #[test]
+    fn differential_sweep_matches_scalar_across_fault_classes() {
+        let c = small_campaign();
+        let inj = c.injection_cycle();
+        let sites = fault::sample::stride(&fault::enumerate_sites(&c.cc.noc), 8);
+        let kinds = [
+            FaultKind::Transient,
+            FaultKind::Permanent,
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Intermittent { period: 7, duty: 3 },
+        ];
+        let starts = [inj, inj + 199, inj + c.cc.active_window - 1];
+        let mut specs = Vec::new();
+        for (i, &site) in sites.iter().enumerate() {
+            // Rotate starts against kinds so every class appears at every
+            // offset across the sweep without a full cross product.
+            for (j, &kind) in kinds.iter().enumerate() {
+                specs.push(FaultSpec {
+                    site,
+                    kind,
+                    start: starts[(i + j) % starts.len()],
+                });
+            }
+        }
+        let batched = c.run_specs_batched(&specs, 1);
+        assert_eq!(batched.len(), specs.len());
+        let mut arena = c.arena();
+        for (spec, got) in specs.iter().zip(&batched) {
+            assert_eq!(*got, c.run_spec_in(&mut arena, *spec), "{spec:?}");
+        }
+    }
+
+    /// Beyond the `RunResult`: a batched transient leaves the *entire*
+    /// detector state — assertion-event streams, counts, ForEVeR
+    /// bookkeeping, run log — identical to the scalar rollout's.
+    #[test]
+    fn batched_transient_replay_leaves_identical_detector_state() {
+        let c = small_campaign();
+        let inj = c.injection_cycle();
+        let sites = fault::sample::stride(&fault::enumerate_sites(&c.cc.noc), 5);
+        let mut scalar = c.arena();
+        let mut batched = c.arena();
+        for (i, &site) in sites.iter().enumerate() {
+            let start = inj + (i as Cycle * 37) % c.cc.active_window;
+            let spec = FaultSpec::transient(site, start);
+            let (want, want_hang) = c.run_spec_watched_in(&mut scalar, spec, INFINITE);
+            let Some((got, got_hang)) = c.run_transient_batched_in(&mut batched, spec, INFINITE)
+            else {
+                panic!("engine must accept an in-window transient under an infinite watchdog");
+            };
+            assert_eq!(got, want, "{spec:?}");
+            assert_eq!(got_hang, want_hang);
+            assert!(batched.bank.state_eq(&scalar.bank), "{spec:?}");
+            assert_eq!(batched.bank.assertions(), scalar.bank.assertions());
+            assert!(batched.forever.state_eq(&scalar.forever), "{spec:?}");
+            assert_eq!(batched.log, scalar.log, "{spec:?}");
+        }
+    }
+
+    /// Probe demux: more sustained lanes than one 64-lane batch,
+    /// interleaved with transients, must come back in input order and
+    /// per-spec bit-identical to the scalar path — for any thread count.
+    #[test]
+    fn probe_demux_restores_input_order_across_lane_boundaries() {
+        let c = small_campaign();
+        let inj = c.injection_cycle();
+        let sites = fault::enumerate_sites(&c.cc.noc);
+        let mut specs = Vec::new();
+        for i in 0..70usize {
+            let site = sites[(i * 97) % sites.len()];
+            specs.push(FaultSpec {
+                site,
+                kind: FaultKind::StuckAt1,
+                start: inj + (i as Cycle % 50),
+            });
+            if i % 7 == 0 {
+                specs.push(FaultSpec::transient(site, inj + i as Cycle));
+            }
+        }
+        let seq = c.run_specs_batched(&specs, 1);
+        let par = c.run_specs_batched(&specs, 3);
+        assert_eq!(seq, par, "probe batching must be thread-invariant");
+        assert_eq!(seq.len(), specs.len());
+        let mut arena = c.arena();
+        for (spec, got) in specs.iter().zip(&seq) {
+            assert_eq!(*got, c.run_spec_in(&mut arena, *spec), "{spec:?}");
+        }
+    }
+
+    /// The engine declines — rather than approximates — everything its
+    /// equivalence proof does not cover.
+    #[test]
+    fn engine_declines_outside_its_proof() {
+        let c = small_campaign();
+        let inj = c.injection_cycle();
+        let mut arena = c.arena();
+        let site = fault::enumerate_sites(&c.cc.noc)[0];
+        // Injection at/past the golden horizon: the fault could first
+        // fire after the cached trajectory ends.
+        let late = FaultSpec::transient(site, inj + c.cc.active_window);
+        assert!(c
+            .run_transient_batched_in(&mut arena, late, INFINITE)
+            .is_none());
+        // Injection before the snapshot.
+        let early = FaultSpec::transient(site, inj - 1);
+        assert!(c
+            .run_transient_batched_in(&mut arena, early, INFINITE)
+            .is_none());
+        // Sustained kinds belong to the probe path, not the resync ladder.
+        let perm = FaultSpec::permanent(site, inj);
+        assert!(c
+            .run_transient_batched_in(&mut arena, perm, INFINITE)
+            .is_none());
+        // A cycle budget shorter than the golden schedule could trip
+        // mid-run, which replay cannot reproduce.
+        let tight = Watchdog {
+            cycle_budget: 50,
+            stall_window: u64::MAX,
+        };
+        let spec = FaultSpec::transient(site, inj);
+        assert!(c
+            .run_transient_batched_in(&mut arena, spec, tight)
+            .is_none());
+        // A stall window at or below the golden drain's own longest lull
+        // could trip on a converged lane.
+        let twitchy = Watchdog {
+            cycle_budget: u64::MAX,
+            stall_window: c.trajectory().max_stall,
+        };
+        assert!(c
+            .run_transient_batched_in(&mut arena, spec, twitchy)
+            .is_none());
+    }
+
+    /// The trajectory cache itself: ladder cycles are the documented
+    /// geometric schedule and the certificate holds on a clean campaign.
+    #[test]
+    fn trajectory_ladder_follows_the_geometric_schedule() {
+        let c = small_campaign();
+        let traj = c.trajectory();
+        assert!(traj.usable);
+        assert!(traj.drained);
+        let inj = c.injection_cycle();
+        let mut expect = Vec::new();
+        let mut k = 1u64;
+        while k < c.cc.active_window {
+            expect.push(inj + k);
+            k *= 2;
+        }
+        expect.push(inj + c.cc.active_window);
+        let got: Vec<Cycle> = traj.ladder.iter().map(|n| n.cycle()).collect();
+        assert_eq!(got, expect);
+        assert!(traj.end_cycle >= inj + c.cc.active_window);
+    }
+}

@@ -32,6 +32,7 @@
 //! * **cancellation** — a shared flag requests flush-and-exit; the
 //!   partial report says so via [`CampaignReport::interrupted`].
 
+pub(crate) mod batch;
 pub mod checkpoint;
 pub mod error;
 pub mod outcome;
@@ -54,7 +55,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -191,6 +192,11 @@ pub struct Campaign {
     forever0: Forever,
     log0: RunLog,
     golden: GoldenReference,
+    /// Lazily built golden trajectory cache backing the batched rollout
+    /// engine ([`batch`]): checkpoint ladder, full golden event streams,
+    /// and eligibility flags. Built on first batched use, shared
+    /// read-only across worker threads.
+    traj: OnceLock<batch::GoldenTrajectory>,
 }
 
 /// Reusable per-worker simulation state: one network, detector pair and
@@ -271,6 +277,7 @@ impl Campaign {
             forever0,
             log0,
             golden,
+            traj: OnceLock::new(),
         })
     }
 
@@ -357,10 +364,7 @@ impl Campaign {
         spec: FaultSpec,
         dog: Watchdog,
     ) -> (RunResult, Option<Hang>) {
-        arena.net.clone_from(&self.snapshot);
-        arena.bank.clone_from(&self.bank0);
-        arena.forever.clone_from(&self.forever0);
-        arena.log.clone_from(&self.log0);
+        self.rewind(arena);
         let CampaignArena {
             net,
             bank,
@@ -375,25 +379,56 @@ impl Campaign {
             dog,
             &mut (&mut *bank, &mut *fv, &mut *log),
         );
-        // Coda: keep the clock running past the next two ForEVeR epoch
-        // boundaries so its end-of-epoch counter checks can evaluate the
-        // settled state (the paper's simulations run long enough for the
-        // epoch mechanism to conclude). The network is quiescent, so this
-        // is cheap. A watchdog-terminated run skips the coda: its budget
-        // is spent, and its ForEVeR view is reported as-of termination.
+        // A watchdog-terminated run skips the coda: its budget is spent,
+        // and its ForEVeR view is reported as-of termination.
         if watched.hang.is_none() {
-            for _ in 0..(2 * self.cc.forever_epoch + 1) {
-                net.step_observed(&mut (&mut *bank, &mut *fv, &mut *log));
-            }
+            self.coda(net, &mut (&mut *bank, &mut *fv, &mut *log));
         }
         let out = watched.outcome;
         let verdict = classify(&self.golden, log, out.drained);
+        let result = self.assemble(spec, out.fault_hits, verdict, bank, fv);
+        (result, watched.hang)
+    }
+
+    /// Resets an arena to the warm snapshot state.
+    fn rewind(&self, arena: &mut CampaignArena) {
+        arena.net.clone_from(&self.snapshot);
+        arena.bank.clone_from(&self.bank0);
+        arena.forever.clone_from(&self.forever0);
+        arena.log.clone_from(&self.log0);
+    }
+
+    /// Coda: keep the clock running past the next two ForEVeR epoch
+    /// boundaries so its end-of-epoch counter checks can evaluate the
+    /// settled state (the paper's simulations run long enough for the
+    /// epoch mechanism to conclude). A fully quiescent network with an
+    /// inert fault plane and observers that certify the skip is
+    /// fast-forwarded in O(1); anything else (sustained faults, stuck
+    /// flits, imbalanced ForEVeR counters) steps cycle by cycle.
+    fn coda<O: noc_sim::Observer>(&self, net: &mut Network, obs: &mut O) {
+        let n = 2 * self.cc.forever_epoch + 1;
+        if !net.try_fast_forward_quiescent(n, obs) {
+            for _ in 0..n {
+                net.step_observed(obs);
+            }
+        }
+    }
+
+    /// Builds the [`RunResult`] from a finished rollout's detector state.
+    fn assemble(
+        &self,
+        spec: FaultSpec,
+        fault_hits: u64,
+        verdict: crate::oracle::Verdict,
+        bank: &AlertBank,
+        fv: &Forever,
+    ) -> RunResult {
         let lat = |c: Option<Cycle>| c.map(|c| c.saturating_sub(spec.start));
-        let result = RunResult {
+        RunResult {
             site: spec.site,
             kind: spec.kind,
             injected_at: spec.start,
-            fault_hits: out.fault_hits,
+            fault_hits,
             verdict,
             nocalert: DetectorOutcome {
                 detected: bank.any_asserted(),
@@ -409,8 +444,7 @@ impl Campaign {
             },
             checkers: bank.asserted_set(),
             simultaneous: bank.first_cycle_checkers().len() as u8,
-        };
-        (result, watched.hang)
+        }
     }
 
     /// Runs one spec behind the full isolation stack: panic boundary,
@@ -431,7 +465,16 @@ impl Campaign {
         dog: Watchdog,
     ) -> SiteReport {
         let mut attempt = || -> RunOutcome {
-            match resilience::catch_payload(|| self.run_spec_watched_in(arena, spec, dog)) {
+            // The batched engine declines (returns `None`) outside its
+            // equivalence proof; its results are bit-identical where it
+            // applies, so retry determinism is unaffected by which path a
+            // given attempt takes.
+            match resilience::catch_payload(|| {
+                match self.run_transient_batched_in(arena, spec, dog) {
+                    Some(out) => out,
+                    None => self.run_spec_watched_in(arena, spec, dog),
+                }
+            }) {
                 Ok((result, None)) => RunOutcome::Completed(result),
                 Ok((result, Some(hang))) => RunOutcome::Deadlock { result, hang },
                 Err(payload) => RunOutcome::Crashed {
@@ -464,38 +507,25 @@ impl Campaign {
 
     /// Runs a batch of transient injections, one per site, across
     /// `threads` worker threads (`0`/`1` ⇒ sequential). Results are in
-    /// site order and bit-identical regardless of thread count.
+    /// site order and bit-identical regardless of thread count — the
+    /// workers shard round-robin (worker `w` takes sites `w`, `w+threads`,
+    /// …) and results are reassembled by input index, so the per-site
+    /// results never depend on how the batch was split.
+    ///
+    /// Rollouts go through the batched bit-plane engine ([`batch`]) where
+    /// its equivalence proof applies and through the scalar path where it
+    /// does not; either way each result is bit-identical to
+    /// [`Campaign::run_site`]'s.
     ///
     /// This is the fail-fast path: a panicking run propagates. Use
     /// [`Campaign::run_many_resilient`] for sweeps that must survive
     /// poisoned sites.
     pub fn run_many(&self, sites: &[SiteRef], threads: usize) -> Vec<RunResult> {
-        if threads <= 1 || sites.len() < 2 {
-            let mut arena = self.arena();
-            return sites
-                .iter()
-                .map(|&s| self.run_site_in(&mut arena, s))
-                .collect();
-        }
-        let chunk = sites.len().div_ceil(threads);
-        let mut out: Vec<Vec<RunResult>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = sites
-                .chunks(chunk)
-                .map(|ch| {
-                    scope.spawn(move || {
-                        let mut arena = self.arena();
-                        ch.iter()
-                            .map(|&s| self.run_site_in(&mut arena, s))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("campaign worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
+        let specs: Vec<FaultSpec> = sites
+            .iter()
+            .map(|&s| FaultSpec::transient(s, self.injection_cycle()))
+            .collect();
+        self.run_specs_batched(&specs, threads)
     }
 
     /// The resilient batch driver: panic isolation, watchdogs,
@@ -564,31 +594,37 @@ impl Campaign {
                 fresh.push(rep);
             }
         } else {
-            let chunk = todo.len().div_ceil(threads);
+            // Round-robin sharding: worker `w` takes specs `w`,
+            // `w+workers`, … — like `run_many`, so a straggler spec slows
+            // one lane instead of serializing a whole contiguous chunk,
+            // and the shard a spec lands in is a pure function of its
+            // input index and the worker count.
+            let workers = threads.min(todo.len());
             // Open every shard writer before spawning so I/O errors
             // surface eagerly.
             let mut writers: Vec<Option<checkpoint::ShardWriter>> = Vec::new();
-            for i in 0..todo.chunks(chunk).count() {
+            for i in 0..workers {
                 writers.push(match &ck {
                     Some(c) => Some(c.shard_writer(i)?),
                     None => None,
                 });
             }
+            let todo = &todo;
             let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = todo
-                    .chunks(chunk)
-                    .zip(writers)
-                    .map(|(ch, mut writer)| {
+                let handles: Vec<_> = writers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, mut writer)| {
                         scope.spawn(move || -> Result<Vec<SiteReport>, CampaignError> {
                             let mut arena = self.arena();
-                            let mut out = Vec::with_capacity(ch.len());
-                            for &spec in ch {
+                            let mut out = Vec::new();
+                            for &spec in todo.iter().skip(w).step_by(workers) {
                                 if opts.cancelled() {
                                     break;
                                 }
                                 let rep = self.run_spec_resilient_in(&mut arena, spec, dog);
-                                if let Some(w) = &mut writer {
-                                    w.append(&rep)?;
+                                if let Some(wr) = &mut writer {
+                                    wr.append(&rep)?;
                                 }
                                 out.push(rep);
                             }

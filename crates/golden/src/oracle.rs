@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Black-box record of one run: what went in and what came out.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct RunLog {
     /// Flits handed to the network by NIs, in order.
     pub injected: Vec<(Cycle, Flit)>,
@@ -63,6 +63,11 @@ impl Observer for RunLog {
     }
     fn on_eject(&mut self, ev: &EjectEvent) {
         self.ejected.push(ev.clone());
+    }
+    fn on_quiescent_cycles(&self, _cycle: Cycle, _n: u64) -> bool {
+        // The log only records injections and ejections; quiescent cycles
+        // have neither.
+        true
     }
 }
 

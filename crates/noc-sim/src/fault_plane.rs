@@ -36,10 +36,26 @@ pub struct ArmedFault {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlane {
     faults: Vec<ArmedFault>,
-    /// Sorted, deduplicated router ids carrying at least one fault — the
-    /// quiescent-router fast path in the network probes this.
+    /// Sorted, deduplicated router ids carrying at least one fault or
+    /// probe — the quiescent-router fast path in the network probes this.
     routers: Vec<u16>,
+    /// Bit `r` set iff router id `r < 64` appears in `routers`. Router
+    /// ids ≥ 64 (meshes larger than 8×8) fall back to the sorted vec.
+    /// This keeps the per-wire [`FaultPlane::xf`] hot path — *every*
+    /// signal of *every* stepped router goes through it — to a shift and
+    /// a mask even while faults are armed elsewhere in the mesh.
+    router_mask: u64,
     hits: u64,
+    /// Pass-through probe faults: evaluated exactly like `faults` but the
+    /// wire value is never modified; would-be flips are tallied per probe
+    /// in `probe_hits`. The batched campaign engine arms one probe per
+    /// rollout lane to discover which lanes are vacuous along the golden
+    /// trajectory. Transient faults on register signals are not supported
+    /// as probes (they corrupt stored state in place, which cannot be
+    /// modelled pass-through).
+    probes: Vec<ArmedFault>,
+    /// Per-probe would-be hit counts, indexed like `probes`.
+    probe_hits: Vec<u64>,
 }
 
 impl FaultPlane {
@@ -52,8 +68,8 @@ impl FaultPlane {
     /// count (the single-fault campaign entry point).
     pub fn arm(&mut self, fault: ArmedFault) {
         self.faults.clear();
-        self.routers.clear();
         self.hits = 0;
+        self.rebuild_index();
         self.arm_additional(fault);
     }
 
@@ -62,15 +78,69 @@ impl FaultPlane {
     /// aging campaign.
     pub fn arm_additional(&mut self, fault: ArmedFault) {
         self.faults.push(fault);
-        if let Err(i) = self.routers.binary_search(&fault.site.router) {
-            self.routers.insert(i, fault.site.router);
+        self.index_router(fault.site.router);
+    }
+
+    /// Disarms all real faults (probes are untouched).
+    pub fn disarm(&mut self) {
+        self.faults.clear();
+        self.rebuild_index();
+    }
+
+    /// Replaces the probe set, zeroing the per-probe hit tallies. Probes
+    /// never alter wire values; they only count would-be flips.
+    pub fn arm_probes(&mut self, probes: &[ArmedFault]) {
+        self.probes.clear();
+        self.probes.extend_from_slice(probes);
+        self.probe_hits.clear();
+        self.probe_hits.resize(probes.len(), 0);
+        self.rebuild_index();
+    }
+
+    /// Removes every probe (real faults are untouched).
+    pub fn clear_probes(&mut self) {
+        self.probes.clear();
+        self.probe_hits.clear();
+        self.rebuild_index();
+    }
+
+    /// Per-probe would-be hit counts, indexed like the slice passed to
+    /// [`FaultPlane::arm_probes`].
+    pub fn probe_hits(&self) -> &[u64] {
+        &self.probe_hits
+    }
+
+    /// Number of armed probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    fn index_router(&mut self, router: u16) {
+        if let Err(i) = self.routers.binary_search(&router) {
+            self.routers.insert(i, router);
+        }
+        if router < 64 {
+            self.router_mask |= 1u64 << router;
         }
     }
 
-    /// Disarms the plane entirely.
-    pub fn disarm(&mut self) {
-        self.faults.clear();
+    fn rebuild_index(&mut self) {
         self.routers.clear();
+        self.router_mask = 0;
+        let mut ids: Vec<u16> = self
+            .faults
+            .iter()
+            .chain(self.probes.iter())
+            .map(|f| f.site.router)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            if id < 64 {
+                self.router_mask |= 1u64 << id;
+            }
+            self.routers.push(id);
+        }
     }
 
     /// The first armed fault, if any (the single-fault campaigns arm
@@ -89,20 +159,33 @@ impl FaultPlane {
         self.faults.len()
     }
 
-    /// Whether any armed fault targets `router` — the network's
+    /// Whether any armed fault or probe targets `router` — the network's
     /// quiescent-router fast path.
     #[inline]
     pub fn router_armed(&self, router: u16) -> bool {
-        match self.routers.len() {
-            0 => false,
-            1 => self.routers[0] == router,
-            _ => self.routers.binary_search(&router).is_ok(),
+        if router < 64 {
+            self.router_mask & (1u64 << router) != 0
+        } else {
+            self.routers.binary_search(&router).is_ok()
         }
     }
 
     /// How many times an armed bit has been flipped on a live wire.
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// True when no armed fault or probe can influence any wire (or
+    /// tally) at any cycle ≥ `cycle` — every one is a transient whose
+    /// single active instant already passed. Sustained kinds (permanent,
+    /// stuck-at, intermittent) are never inert. An inert plane's
+    /// [`FaultPlane::xf`] is the identity and counts no hits, so skipping
+    /// its evaluation is sound.
+    pub fn inert_from(&self, cycle: Cycle) -> bool {
+        self.faults
+            .iter()
+            .chain(self.probes.iter())
+            .all(|f| f.kind == FaultKind::Transient && f.start < cycle)
     }
 
     /// If the armed fault at `index` is a **transient on a state
@@ -138,8 +221,9 @@ impl FaultPlane {
     /// Transforms the wire `value` of `signal` at instance
     /// `(router, port, vc)` during `cycle`.
     ///
-    /// The hot path (no fault armed, or armed on another router) is a
-    /// couple of compares.
+    /// The hot path (no fault or probe armed on this router) is a shift
+    /// and a mask against `router_mask`, so arming a fault on one router
+    /// costs the other 63 nothing.
     #[inline]
     pub fn xf(
         &mut self,
@@ -150,9 +234,24 @@ impl FaultPlane {
         signal: SignalKind,
         value: u64,
     ) -> u64 {
-        if self.faults.is_empty() {
+        if router < 64 && self.router_mask & (1u64 << router) == 0 {
             return value;
         }
+        if self.faults.is_empty() && self.probes.is_empty() {
+            return value;
+        }
+        self.xf_slow(cycle, router, port, vc, signal, value)
+    }
+
+    fn xf_slow(
+        &mut self,
+        cycle: Cycle,
+        router: u16,
+        port: u8,
+        vc: u8,
+        signal: SignalKind,
+        value: u64,
+    ) -> u64 {
         let mut value = value;
         let mut hits = 0u64;
         for f in &self.faults {
@@ -180,6 +279,25 @@ impl FaultPlane {
             }
         }
         self.hits += hits;
+        // Probes see the post-fault wire level (faults and probes are
+        // never armed together in practice) and tally would-be flips
+        // without touching the value.
+        for (i, f) in self.probes.iter().enumerate() {
+            if f.kind == FaultKind::Transient && f.site.signal.is_register() {
+                continue;
+            }
+            let s = &f.site;
+            if s.router == router
+                && s.signal == signal
+                && s.port == port
+                && s.vc == vc
+                && cycle >= f.start
+                && f.kind.active_at(cycle - f.start)
+                && f.kind.apply(value, s.bit) != value
+            {
+                self.probe_hits[i] += 1;
+            }
+        }
         value
     }
 
@@ -342,6 +460,84 @@ mod tests {
         });
         assert_eq!(p.fault_count(), 1);
         assert!(!p.router_armed(7));
+    }
+
+    #[test]
+    fn probes_tally_without_touching_the_wire() {
+        let mut p = FaultPlane::new();
+        p.arm_probes(&[
+            ArmedFault {
+                site: site(),
+                kind: FaultKind::StuckAt1,
+                start: 0,
+            },
+            ArmedFault {
+                site: SiteRef {
+                    router: 7,
+                    ..site()
+                },
+                kind: FaultKind::Permanent,
+                start: 0,
+            },
+        ]);
+        assert!(p.router_armed(3) && p.router_armed(7) && !p.router_armed(4));
+        assert!(!p.inert_from(1_000));
+        // Bit 1 low: the stuck-at-1 probe would flip it — tallied, value
+        // untouched, global hit counter untouched.
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0b100), 0b100);
+        // Bit 1 already high: stuck-at-1 invisible, no tally.
+        assert_eq!(p.xf(2, 3, 1, 2, SignalKind::RcOutDir, 0b010), 0b010);
+        assert_eq!(p.xf(2, 7, 1, 2, SignalKind::RcOutDir, 0), 0);
+        assert_eq!(p.probe_hits(), &[1, 1]);
+        assert_eq!(p.hits(), 0);
+        p.clear_probes();
+        assert!(!p.router_armed(3));
+        assert_eq!(p.probe_count(), 0);
+    }
+
+    #[test]
+    fn probes_survive_rearm_and_faults_survive_probe_swap() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Transient,
+            start: 10,
+        });
+        p.arm_probes(&[ArmedFault {
+            site: SiteRef {
+                router: 9,
+                ..site()
+            },
+            kind: FaultKind::Permanent,
+            start: 0,
+        }]);
+        p.arm(ArmedFault {
+            site: SiteRef {
+                router: 5,
+                ..site()
+            },
+            kind: FaultKind::Transient,
+            start: 10,
+        });
+        assert!(p.router_armed(5) && p.router_armed(9) && !p.router_armed(3));
+        p.clear_probes();
+        assert!(p.router_armed(5) && !p.router_armed(9));
+        assert_eq!(p.fault_count(), 1);
+    }
+
+    #[test]
+    fn router_mask_tracks_disarm() {
+        let mut p = FaultPlane::new();
+        p.arm(ArmedFault {
+            site: site(),
+            kind: FaultKind::Permanent,
+            start: 0,
+        });
+        assert!(p.router_armed(3));
+        p.disarm();
+        assert!(!p.router_armed(3));
+        // Disarmed plane is pass-through again even for the probed router.
+        assert_eq!(p.xf(1, 3, 1, 2, SignalKind::RcOutDir, 0), 0);
     }
 
     #[test]

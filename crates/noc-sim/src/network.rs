@@ -50,13 +50,30 @@ pub trait Observer {
     fn on_eject(&mut self, ev: &EjectEvent) {
         let _ = ev;
     }
+    /// The network proposes to skip `n` fully quiescent cycles starting at
+    /// `cycle` (no router activity, no injections, no ejections — every
+    /// per-cycle record would be empty). This is a **pure query**: return
+    /// `true` iff observing those `n` empty cycles would leave this
+    /// observer bit-identical to its current state, so the network may
+    /// fast-forward past them. Implementations must not mutate state —
+    /// the skip only happens when *every* composed observer accepts, and
+    /// a refusal elsewhere falls back to cycle-by-cycle stepping. The
+    /// default refuses, which is correct for any observer.
+    fn on_quiescent_cycles(&self, cycle: Cycle, n: u64) -> bool {
+        let _ = (cycle, n);
+        false
+    }
 }
 
 /// The do-nothing observer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl Observer for NullObserver {}
+impl Observer for NullObserver {
+    fn on_quiescent_cycles(&self, _cycle: Cycle, _n: u64) -> bool {
+        true
+    }
+}
 
 impl<T: Observer + ?Sized> Observer for &mut T {
     fn on_cycle_record(&mut self, cycle: Cycle, rec: &CycleRecord) {
@@ -67,6 +84,9 @@ impl<T: Observer + ?Sized> Observer for &mut T {
     }
     fn on_eject(&mut self, ev: &EjectEvent) {
         (**self).on_eject(ev);
+    }
+    fn on_quiescent_cycles(&self, cycle: Cycle, n: u64) -> bool {
+        (**self).on_quiescent_cycles(cycle, n)
     }
 }
 
@@ -82,6 +102,9 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_eject(&mut self, ev: &EjectEvent) {
         self.0.on_eject(ev);
         self.1.on_eject(ev);
+    }
+    fn on_quiescent_cycles(&self, cycle: Cycle, n: u64) -> bool {
+        self.0.on_quiescent_cycles(cycle, n) && self.1.on_quiescent_cycles(cycle, n)
     }
 }
 
@@ -100,6 +123,11 @@ impl<A: Observer, B: Observer, C: Observer> Observer for (A, B, C) {
         self.0.on_eject(ev);
         self.1.on_eject(ev);
         self.2.on_eject(ev);
+    }
+    fn on_quiescent_cycles(&self, cycle: Cycle, n: u64) -> bool {
+        self.0.on_quiescent_cycles(cycle, n)
+            && self.1.on_quiescent_cycles(cycle, n)
+            && self.2.on_quiescent_cycles(cycle, n)
     }
 }
 
@@ -380,6 +408,25 @@ impl Network {
         self.plane.disarm();
     }
 
+    /// Arms a set of pass-through probe faults (replacing any probes).
+    /// Probes never alter wire values; they tally would-be flips per
+    /// probe, which the batched campaign engine uses to discover vacuous
+    /// rollout lanes along the golden trajectory in a single pass.
+    pub fn arm_probes(&mut self, probes: &[ArmedFault]) {
+        self.plane.arm_probes(probes);
+    }
+
+    /// Removes every probe fault.
+    pub fn clear_probes(&mut self) {
+        self.plane.clear_probes();
+    }
+
+    /// Per-probe would-be hit counts, indexed like the slice passed to
+    /// [`Network::arm_probes`].
+    pub fn probe_hits(&self) -> &[u64] {
+        self.plane.probe_hits()
+    }
+
     /// How many times the armed fault actually flipped a live wire.
     pub fn fault_hits(&self) -> u64 {
         self.plane.hits()
@@ -414,6 +461,64 @@ impl Network {
         self.source_backlog() == 0
             && self.routers.iter().all(Router::is_empty)
             && self.nics.iter().all(|n| n.eject_backlog() == 0)
+    }
+
+    /// Structural equality of the stepped machine state: two networks for
+    /// which this holds produce bit-identical futures under identical
+    /// stepping and (inert or equal) fault planes. Compared: cycle,
+    /// routers, NICs (minus the RNG, which is a pure function of the cycle
+    /// count — see [`Nic::state_eq`]), packet/uid counters, injection
+    /// gate, stats and the fault-region map. The fault plane and reused
+    /// scratch buffers are excluded; networks with recovery enabled are
+    /// never equal (recovery state is not comparable, and callers that
+    /// rely on this equality fall back to plain stepping there).
+    pub fn state_eq(&self, other: &Network) -> bool {
+        self.cycle == other.cycle
+            && self.recovery.is_none()
+            && other.recovery.is_none()
+            && self.next_packet == other.next_packet
+            && self.next_uid == other.next_uid
+            && self.injection_enabled == other.injection_enabled
+            && self.stats == other.stats
+            && self.region_dirty == other.region_dirty
+            && self.region == other.region
+            && self.nics.len() == other.nics.len()
+            && self
+                .nics
+                .iter()
+                .zip(other.nics.iter())
+                .all(|(a, b)| a.state_eq(b))
+            && self.routers == other.routers
+    }
+
+    /// Attempts to skip `n` cycles in O(1) because nothing can happen in
+    /// them: every router and NI is quiescent, injection is disabled, the
+    /// fault plane is inert from here on, recovery is off, and every
+    /// observer confirms (via [`Observer::on_quiescent_cycles`]) that `n`
+    /// empty cycles leave it unchanged. On success the cycle counter jumps
+    /// by `n` and `true` is returned; otherwise nothing changes.
+    ///
+    /// The NIC RNG streams are *not* advanced across the skip, so this is
+    /// only sound when generation never resumes afterwards — the
+    /// end-of-run quiescent codas it exists for.
+    pub fn try_fast_forward_quiescent<O: Observer>(&mut self, n: u64, obs: &mut O) -> bool {
+        if self.recovery.is_some()
+            || self.region_dirty
+            || self.injection_enabled
+            || !self.plane.inert_from(self.cycle)
+        {
+            return false;
+        }
+        let settled = self
+            .routers
+            .iter()
+            .all(|r| r.is_quiescent() && r.out_credits.is_empty())
+            && self.nics.iter().all(|nic| nic.is_quiescent(&self.cfg));
+        if !settled || !obs.on_quiescent_cycles(self.cycle, n) {
+            return false;
+        }
+        self.cycle += n;
+        true
     }
 
     /// Enables alert-driven containment with the given escalation policy

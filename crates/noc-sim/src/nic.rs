@@ -133,6 +133,51 @@ impl Nic {
         self.node
     }
 
+    /// Structural equality, ignoring the RNG.
+    ///
+    /// The RNG stream advances unconditionally every cycle (the Bernoulli
+    /// draw in [`Nic::generate`] fires regardless of gating, and the
+    /// destination draw depends only on the stream itself), so two NICs
+    /// that have stepped the same number of cycles from the same seed hold
+    /// identical RNG states by construction — comparing the remaining
+    /// fields decides whether their observable futures coincide.
+    pub fn state_eq(&self, other: &Nic) -> bool {
+        self.node == other.node
+            && self.class_rr == other.class_rr
+            && self.source == other.source
+            && self.alloc == other.alloc
+            && self.ni_free == other.ni_free
+            && self.ni_credits == other.ni_credits
+            && self.ni_disabled == other.ni_disabled
+            && self.eject == other.eject
+            && self.eject_next == other.eject_next
+            && self.gen_enabled == other.gen_enabled
+            && self.blocked_dests == other.blocked_dests
+            && self.injected == other.injected
+            && self.ejected == other.ejected
+    }
+
+    /// True when this NI holds no pending work at all: nothing queued for
+    /// injection, no worm mid-injection, no flits awaiting ejection, and
+    /// all local-input VCs returned to their idle credit level. A
+    /// quiescent NI performs no externally visible action when stepped
+    /// with injection disabled (only its RNG advances).
+    pub fn is_quiescent(&self, cfg: &NocConfig) -> bool {
+        self.source.is_empty()
+            && self.alloc.is_none()
+            && self.eject.iter().all(VecDeque::is_empty)
+            && self
+                .ni_free
+                .iter()
+                .zip(self.ni_disabled.iter())
+                .all(|(&f, &d)| f || d)
+            && self
+                .ni_credits
+                .iter()
+                .zip(self.ni_disabled.iter())
+                .all(|(&c, &d)| d || c == cfg.buffer_depth)
+    }
+
     /// Flits waiting in the source queue.
     pub fn source_backlog(&self) -> usize {
         self.source.len()

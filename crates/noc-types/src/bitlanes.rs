@@ -1,0 +1,267 @@
+//! Bit-lane (structure-of-arrays) signal representation.
+//!
+//! NoCAlert's invariance checkers are tiny combinational predicates over
+//! single wire bits, which makes them ideal for data-parallel bitwise
+//! evaluation: instead of one `(value, predicate)` evaluation per wire
+//! instance, up to [`LANES`] instances are packed side by side — lane `l`
+//! is bit `l` of every word — and the predicate runs once as a handful of
+//! wide bitwise ops. Two layers consume this vocabulary:
+//!
+//! * the checker bank packs each cycle record's arbiter and VC-state
+//!   events into lanes and evaluates the batched predicate forms in
+//!   `nocalert::batched` (one pass per record instead of one per event);
+//! * the campaign engine identifies lanes with rollouts/probes (the fault
+//!   plane's per-router `u64` masks and probe batches in `noc-sim`).
+//!
+//! A W-bit signal is stored *bit-transposed* as a [`SignalPlane`]: plane
+//! `b` is a `u64` holding bit `b` of the signal for every lane. A
+//! predicate over the signal then maps AND/OR/XOR of scalar bits to the
+//! same ops on whole planes, evaluating all lanes at once. The scalar
+//! predicates remain the single source of truth; the batched forms are
+//! proven equivalent lane-by-lane by the `noc-lint` pass-2 prover.
+
+use crate::site::FaultKind;
+
+/// Maximum number of parallel lanes — the width of the host word.
+pub const LANES: usize = 64;
+
+/// A set of up to [`LANES`] parallel evaluation lanes, one bit per lane.
+///
+/// Returned by batched predicates: bit `l` set means the predicate fired
+/// in lane `l`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitLanes(pub u64);
+
+impl BitLanes {
+    /// No lane set.
+    pub const EMPTY: BitLanes = BitLanes(0);
+
+    /// The mask with the first `n` lanes set (`n` ≥ 64 sets all lanes).
+    #[inline]
+    pub fn first(n: usize) -> BitLanes {
+        if n >= LANES {
+            BitLanes(u64::MAX)
+        } else {
+            BitLanes((1u64 << n) - 1)
+        }
+    }
+
+    /// Whether lane `l` is set (`false` for out-of-range lanes).
+    #[inline]
+    pub fn get(self, l: usize) -> bool {
+        l < LANES && (self.0 >> l) & 1 == 1
+    }
+
+    /// Sets lane `l` (out-of-range lanes are ignored).
+    #[inline]
+    pub fn set(&mut self, l: usize) {
+        if l < LANES {
+            self.0 |= 1u64 << l;
+        }
+    }
+
+    /// True when no lane is set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Union of two lane sets.
+    #[inline]
+    pub fn or(self, other: BitLanes) -> BitLanes {
+        BitLanes(self.0 | other.0)
+    }
+}
+
+/// A W-bit signal across up to [`LANES`] parallel lanes, bit-transposed:
+/// `plane(b)` holds bit `b` of the signal for every lane (lane `l` = bit
+/// `l` of the plane word).
+///
+/// Unloaded lanes read as all-zero wires; [`SignalPlane::live`] tracks
+/// which lanes were actually loaded so consumers can ignore the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalPlane<const W: usize> {
+    planes: [u64; W],
+    live: u64,
+}
+
+impl<const W: usize> Default for SignalPlane<W> {
+    fn default() -> SignalPlane<W> {
+        SignalPlane::new()
+    }
+}
+
+impl<const W: usize> SignalPlane<W> {
+    /// An empty plane set (all lanes zero, none live).
+    #[inline]
+    pub fn new() -> SignalPlane<W> {
+        SignalPlane {
+            planes: [0; W],
+            live: 0,
+        }
+    }
+
+    /// Whether `value` fits the signal's W-bit width.
+    #[inline]
+    pub fn fits(value: u64) -> bool {
+        W >= 64 || value < (1u64 << W)
+    }
+
+    /// Loads `value` into lane `l`, scattering its bits across the
+    /// planes. Returns `false` (and loads nothing) when the lane is out
+    /// of range or the value does not fit W bits — the caller falls back
+    /// to the scalar predicate for that instance.
+    #[inline]
+    pub fn set_lane(&mut self, l: usize, value: u64) -> bool {
+        if l >= LANES || !Self::fits(value) {
+            return false;
+        }
+        let bit = 1u64 << l;
+        for (b, plane) in self.planes.iter_mut().enumerate() {
+            if (value >> b) & 1 == 1 {
+                *plane |= bit;
+            } else {
+                *plane &= !bit;
+            }
+        }
+        self.live |= bit;
+        true
+    }
+
+    /// Gathers lane `l` back into a scalar value (0 for out-of-range or
+    /// never-loaded lanes).
+    #[inline]
+    pub fn lane(&self, l: usize) -> u64 {
+        if l >= LANES {
+            return 0;
+        }
+        let mut v = 0u64;
+        for (b, plane) in self.planes.iter().enumerate() {
+            v |= ((plane >> l) & 1) << b;
+        }
+        v
+    }
+
+    /// Bit-plane `b`: bit `b` of the signal across all lanes. Planes at
+    /// or above W are all-zero (missing wire bits read as 0, like
+    /// hardware inputs tied low).
+    #[inline]
+    pub fn plane(&self, b: usize) -> u64 {
+        if b < W {
+            self.planes[b]
+        } else {
+            0
+        }
+    }
+
+    /// The lanes that have been loaded.
+    #[inline]
+    pub fn live(&self) -> BitLanes {
+        BitLanes(self.live)
+    }
+}
+
+/// Lane-parallel form of [`FaultKind::apply`]: `plane` holds the targeted
+/// signal bit across up to 64 lanes and `lanes` selects the lanes in
+/// which the fault is active this cycle. Equivalent to applying
+/// [`FaultKind::apply`] independently in every selected lane and leaving
+/// the rest untouched (the pass-2 prover checks this exhaustively).
+#[inline]
+pub fn apply_fault_to_plane(kind: FaultKind, plane: u64, lanes: BitLanes) -> u64 {
+    match kind {
+        FaultKind::StuckAt0 => plane & !lanes.0,
+        FaultKind::StuckAt1 => plane | lanes.0,
+        // Transient, Permanent and the active phase of Intermittent all
+        // flip the wire; their temporal gating picks `lanes`.
+        _ => plane ^ lanes.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_round_trip_through_planes() {
+        let mut p = SignalPlane::<8>::new();
+        assert!(p.set_lane(0, 0b1010_1010));
+        assert!(p.set_lane(63, 0xff));
+        assert!(p.set_lane(7, 0));
+        assert_eq!(p.lane(0), 0b1010_1010);
+        assert_eq!(p.lane(63), 0xff);
+        assert_eq!(p.lane(7), 0);
+        assert_eq!(p.lane(12), 0, "unloaded lanes read zero");
+        assert!(p.live().get(7));
+        assert!(!p.live().get(12));
+        assert_eq!(p.live().count(), 3);
+    }
+
+    #[test]
+    fn overwide_values_and_lanes_are_rejected() {
+        let mut p = SignalPlane::<2>::new();
+        assert!(p.set_lane(1, 3));
+        assert!(!p.set_lane(1, 4), "3-bit value in a 2-bit plane");
+        assert_eq!(p.lane(1), 3, "failed load leaves the lane untouched");
+        assert!(!p.set_lane(64, 1));
+        assert!(SignalPlane::<64>::fits(u64::MAX));
+    }
+
+    #[test]
+    fn reloading_a_lane_clears_stale_bits() {
+        let mut p = SignalPlane::<4>::new();
+        assert!(p.set_lane(5, 0b1111));
+        assert!(p.set_lane(5, 0b0001));
+        assert_eq!(p.lane(5), 0b0001);
+    }
+
+    #[test]
+    fn bitlanes_first_and_ops() {
+        assert_eq!(BitLanes::first(0), BitLanes::EMPTY);
+        assert_eq!(BitLanes::first(3).0, 0b111);
+        assert_eq!(BitLanes::first(64).0, u64::MAX);
+        assert_eq!(BitLanes::first(200).0, u64::MAX);
+        let mut l = BitLanes::EMPTY;
+        l.set(2);
+        l.set(64); // ignored
+        assert!(l.get(2) && !l.get(3) && !l.get(64));
+        assert_eq!(l.or(BitLanes(0b1)).0, 0b101);
+    }
+
+    #[test]
+    fn plane_fault_application_matches_scalar_per_lane() {
+        for kind in [
+            FaultKind::Transient,
+            FaultKind::Permanent,
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+        ] {
+            for l in [0usize, 1, 31, 63] {
+                for bit_set in [false, true] {
+                    for active in [false, true] {
+                        let plane = if bit_set { 1u64 << l } else { 0 };
+                        let lanes = if active {
+                            BitLanes(1u64 << l)
+                        } else {
+                            BitLanes::EMPTY
+                        };
+                        let got = (apply_fault_to_plane(kind, plane, lanes) >> l) & 1;
+                        let scalar = if active {
+                            kind.apply(u64::from(bit_set), 0) & 1
+                        } else {
+                            u64::from(bit_set)
+                        };
+                        assert_eq!(got, scalar, "{kind:?} lane {l}");
+                        // No cross-lane interference.
+                        assert_eq!(apply_fault_to_plane(kind, plane, lanes) & !(1u64 << l), 0);
+                    }
+                }
+            }
+        }
+    }
+}
