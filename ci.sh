@@ -20,6 +20,9 @@ cargo run -q --release -p nocalert-analysis --bin noc-lint -- --jobs "$JOBS" --t
 echo "== recovery smoke (one fault per class, 100% delivery) =="
 cargo run -q --release -p nocalert-bench --bin recovery -- --smoke
 
+echo "== attack smoke (every attacker model loud: detected or mitigated) =="
+cargo run -q --release -p nocalert-bench --bin attack -- --smoke
+
 echo "== aging smoke (accumulating faults to an honest partition) =="
 cargo run -q --release -p nocalert-bench --bin aging -- --smoke
 

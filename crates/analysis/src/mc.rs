@@ -16,7 +16,8 @@
 //!   flight) within a bounded number of ticks.
 //! * **Exactly-once delivery** (`NL503`) — the application never sees a
 //!   message twice, under any interleaving of losses, corruptions,
-//!   duplicate races and timeouts.
+//!   duplicate races, timeouts, forged control flits and replayed
+//!   authentic controls.
 //! * **Failure honesty** (`NL504`) — a completed message was really
 //!   delivered, and a recorded failure is never raised for a message the
 //!   receiver delivered.
@@ -48,11 +49,38 @@
 //! itself. One message and one suspect VC suffice: messages are
 //! independent under the transport's per-message state, and ladders are
 //! per-VC.
+//!
+//! # The control-plane adversary (DESIGN.md §14)
+//!
+//! A compromised router can do more than drop and corrupt: it can
+//! *manufacture* control flits. The model grants the adversary two extra
+//! moves, each with a small budget (budgets only bound the search — the
+//! moves are idempotent against a hardened sender, so a larger budget
+//! reaches no new protocol states):
+//!
+//! * **Forge** — deliver an ACK or NACK the receiver never sent. The
+//!   attacker does not hold the NIC's tag secret, so the forged copy
+//!   carries `tag_valid = false` (the model conservatively grants it a
+//!   *valid-looking wire source*); the hardened
+//!   [`sender_control_action`] must ignore it. The soundness caveat: this
+//!   encodes the assumption that a 64-bit keyed tag is unguessable —
+//!   `NL504` under forging is a proof *relative to* that assumption.
+//! * **Replay** — capture any genuine control copy off the wire and
+//!   re-deliver it later, tag and source intact. Authentication cannot
+//!   reject it; safety instead rests on the sender's pending-window
+//!   staleness (a replay after completion finds no pending entry) and on
+//!   the fact that a genuine ACK implies a real delivery (so a replayed
+//!   ACK can never complete an undelivered message).
+//!
+//! The pre-hardening *trusting* rule (any well-formed ACK completes) is
+//! kept behind the `mutation` feature: running the same adversary against
+//! it extracts the concrete spoofed-ACK → false-completion `NL504` trace
+//! that motivated the hardening, pinned as a negative test.
 
 use crate::diag::{Diagnostic, Pass, Severity};
 use noc_sim::arq::{
-    receiver_data_action, sender_control_action, sender_timeout_action, ReceiverAction,
-    SenderControlAction, SenderTimeoutAction,
+    receiver_data_action, sender_control_action, sender_timeout_action, ControlSignature,
+    ReceiverAction, SenderControlAction, SenderTimeoutAction,
 };
 use noc_sim::{ArqConfig, ContainmentLevel, RecoveryController, RecoveryPolicy};
 use serde::Serialize;
@@ -121,6 +149,13 @@ struct McState {
     quarantined: bool,
     /// Adversary's remaining alert budget.
     alerts_left: u8,
+    /// Adversary's remaining forged-control budget.
+    forges_left: u8,
+    /// Adversary's remaining replay budget.
+    replays_left: u8,
+    /// Genuine control copy the adversary has captured off the wire
+    /// (sticky: once snooped, replayable until the budget runs out).
+    captured: Option<Ctl>,
 }
 
 impl McState {
@@ -134,7 +169,7 @@ impl fmt::Display for McState {
         write!(
             f,
             "phase={:?} attempts={} timer={}t delivered={} failure={} wire=[{}{}] mark={} \
-             ladder={}{} alerts_left={}",
+             ladder={}{} alerts_left={} forges_left={} replays_left={} captured={}",
             self.phase,
             self.attempts,
             self.timer,
@@ -158,6 +193,13 @@ impl fmt::Display for McState {
                 ""
             },
             self.alerts_left,
+            self.forges_left,
+            self.replays_left,
+            match self.captured {
+                Some(Ctl::Ack) => "ack",
+                Some(Ctl::Nack) => "nack",
+                None => "-",
+            },
         )
     }
 }
@@ -177,6 +219,51 @@ enum CtlFate {
     Lost,
 }
 
+/// An adversarial control-plane move (DESIGN.md §14): manufacture a
+/// control flit and deliver it to the sender this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdvCtl {
+    /// Deliver a forged control. The tag is a guess (`tag_valid = false`);
+    /// the claimed wire source is granted as valid — the worst case the
+    /// hardened rule must still reject.
+    Forge(Ctl),
+    /// Re-deliver the captured genuine control, tag and source intact.
+    Replay,
+}
+
+/// One tick's worth of environment + adversary choices: the fates of the
+/// in-flight copies plus the adversary's optional control-plane and
+/// alert moves. The search enumerates every combination per state.
+#[derive(Debug, Clone, Copy)]
+struct McMove {
+    data: Option<DataFate>,
+    ctl: Option<CtlFate>,
+    adv: Option<AdvCtl>,
+    alert: bool,
+}
+
+/// How the modeled sender judges an arriving control flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlRule {
+    /// The shipped hardened rule: authenticate tag and wire source.
+    Hardened,
+    /// The pre-hardening trusting rule — believes any well-formed
+    /// control. Mutation builds only; exists to pin the failure the
+    /// hardening removed.
+    #[cfg(any(test, feature = "mutation"))]
+    Trusting,
+}
+
+impl ControlRule {
+    fn judge(self, sig: ControlSignature) -> SenderControlAction {
+        match self {
+            ControlRule::Hardened => sender_control_action(sig),
+            #[cfg(any(test, feature = "mutation"))]
+            ControlRule::Trusting => noc_sim::arq::sender_control_action_trusting(sig.nack),
+        }
+    }
+}
+
 /// Aggregate statistics of the model-checking pass.
 #[derive(Debug, Clone, Serialize)]
 pub struct McStats {
@@ -186,6 +273,10 @@ pub struct McStats {
     pub transitions: u64,
     /// Transitions that exercised the escalation ladder.
     pub ladder_transitions: u64,
+    /// Transitions on which the adversary delivered a forged control.
+    pub forge_transitions: u64,
+    /// Transitions on which the adversary replayed a captured control.
+    pub replay_transitions: u64,
     /// Reachable states that are ARQ-terminal.
     pub terminal_states: u64,
     /// Longest shortest-path depth, in ticks.
@@ -245,6 +336,7 @@ struct Model<'a> {
     policy: &'a RecoveryPolicy,
     mark_on_delivery: u16,
     ticks_of: fn(&ArqConfig, u32) -> u16,
+    rule: ControlRule,
 }
 
 /// Backoff distance for `attempts`, in ticks (exact multiples of the
@@ -264,15 +356,65 @@ struct Violation {
 }
 
 impl Model<'_> {
+    /// Applies an arriving control to the sender through the configured
+    /// rule, recording the violations the properties watch for.
+    fn sender_control(
+        &self,
+        n: &mut McState,
+        sig: ControlSignature,
+        what: &str,
+        notes: &mut Vec<String>,
+        violations: &mut Vec<Violation>,
+    ) {
+        if n.phase != Phase::Waiting {
+            notes.push(format!("late {what} ignored (no pending entry)"));
+            return;
+        }
+        match self.rule.judge(sig) {
+            SenderControlAction::Complete => {
+                n.phase = Phase::Done;
+                notes.push(format!("{what} accepted → message complete"));
+                if n.delivered == 0 {
+                    violations.push(Violation {
+                        code: "NL504",
+                        message: format!(
+                            "completion without delivery: a {what} closed a message the \
+                             application never received"
+                        ),
+                    });
+                }
+            }
+            SenderControlAction::RetransmitNow => {
+                n.timer = 0;
+                notes.push(format!("{what} accepted → timer expired now"));
+            }
+            SenderControlAction::Ignore => {
+                notes.push(format!("{what} failed authentication → ignored"));
+                if sig.tag_valid && sig.src_valid {
+                    violations.push(Violation {
+                        code: "NL505",
+                        message: "the hardened rule rejected an authentic control copy — the \
+                                  model and the protocol disagree"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+
     fn tick(
         &self,
         s: McState,
-        data_fate: Option<DataFate>,
-        ctl_fate: Option<CtlFate>,
-        raise_alert: bool,
+        mv: McMove,
         violations: &mut Vec<Violation>,
         ladder_transitions: &mut u64,
     ) -> (McState, String) {
+        let McMove {
+            data: data_fate,
+            ctl: ctl_fate,
+            adv: adv_ctl,
+            alert: raise_alert,
+        } = mv;
         let mut n = s;
         let mut notes: Vec<String> = Vec::new();
 
@@ -320,36 +462,57 @@ impl Model<'_> {
             }
         }
 
-        // Resolve the control copy.
+        // Resolve the control copy. Whatever its fate, the wire was
+        // visible to the compromised router: the copy is captured for
+        // potential replay.
         n.ctl_in_flight = None;
+        if let Some(k) = s.ctl_in_flight {
+            n.captured = Some(k);
+        }
         match ctl_fate {
             None => debug_assert!(s.ctl_in_flight.is_none()),
             Some(CtlFate::Lost) => notes.push("control copy lost".into()),
             Some(CtlFate::Arrive) if s.ctl_in_flight.is_none() => {}
             Some(CtlFate::Arrive) => {
                 let kind = s.ctl_in_flight.unwrap_or(Ctl::Ack);
-                if n.phase == Phase::Waiting {
-                    match sender_control_action(kind == Ctl::Nack) {
-                        SenderControlAction::Complete => {
-                            n.phase = Phase::Done;
-                            notes.push("ACK received → message complete".into());
-                            if n.delivered == 0 {
-                                violations.push(Violation {
-                                    code: "NL504",
-                                    message: "completion without delivery: the sender closed a \
-                                              message the application never received"
-                                        .into(),
-                                });
-                            }
-                        }
-                        SenderControlAction::RetransmitNow => {
-                            n.timer = 0;
-                            notes.push("NACK received → timer expired now".into());
-                        }
-                    }
-                } else {
-                    notes.push("late control copy ignored (no pending entry)".into());
-                }
+                let what = match kind {
+                    Ctl::Ack => "genuine ACK",
+                    Ctl::Nack => "genuine NACK",
+                };
+                let sig = ControlSignature::authentic(kind == Ctl::Nack);
+                self.sender_control(&mut n, sig, what, &mut notes, violations);
+            }
+        }
+
+        // Adversarial control delivery: a forged copy (guessed tag) or a
+        // replay of the captured genuine copy (tag and source intact).
+        match adv_ctl {
+            None => {}
+            Some(AdvCtl::Forge(kind)) => {
+                debug_assert!(s.forges_left > 0);
+                n.forges_left = n.forges_left.saturating_sub(1);
+                let what = match kind {
+                    Ctl::Ack => "forged ACK",
+                    Ctl::Nack => "forged NACK",
+                };
+                let sig = ControlSignature {
+                    nack: kind == Ctl::Nack,
+                    tag_valid: false,
+                    src_valid: true,
+                };
+                self.sender_control(&mut n, sig, what, &mut notes, violations);
+            }
+            Some(AdvCtl::Replay) => {
+                debug_assert!(s.replays_left > 0);
+                n.replays_left = n.replays_left.saturating_sub(1);
+                let kind = s.captured.unwrap_or(Ctl::Ack);
+                debug_assert!(s.captured.is_some());
+                let what = match kind {
+                    Ctl::Ack => "replayed ACK",
+                    Ctl::Nack => "replayed NACK",
+                };
+                let sig = ControlSignature::authentic(kind == Ctl::Nack);
+                self.sender_control(&mut n, sig, what, &mut notes, violations);
             }
         }
         n.ctl_in_flight = new_ctl;
@@ -498,8 +661,22 @@ fn sweep_ladder(policy: &RecoveryPolicy, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Model-checks the recovery plane under `arq` and `policy`.
+/// Model-checks the recovery plane under `arq` and `policy`, with the
+/// shipped (hardened) control-authentication rule.
 pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
+    model_check_with(arq, policy, ControlRule::Hardened)
+}
+
+/// Model-checks the recovery plane with the *pre-hardening* trusting
+/// control rule — the negative control: the same spoof/replay adversary
+/// must extract the spoofed-ACK false-completion counterexample the
+/// hardening removed. Mutation builds only.
+#[cfg(any(test, feature = "mutation"))]
+pub fn model_check_trusting(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
+    model_check_with(arq, policy, ControlRule::Trusting)
+}
+
+fn model_check_with(arq: &ArqConfig, policy: &RecoveryPolicy, rule: ControlRule) -> McResult {
     let mut diags = Vec::new();
 
     sweep_ladder(policy, &mut diags);
@@ -559,6 +736,7 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
             u16::try_from(horizon_ticks.min(WITNESS_MARK_CAP)).unwrap_or(MARK_PERMANENT - 1)
         },
         ticks_of: backoff_ticks,
+        rule,
     };
     let initial = McState {
         attempts: 0,
@@ -572,6 +750,9 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
         ladder_count: 0,
         quarantined: false,
         alerts_left: alert_budget,
+        forges_left: 2,
+        replays_left: 2,
+        captured: None,
     };
 
     let mut arena: Vec<McState> = vec![initial];
@@ -582,6 +763,8 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
 
     let mut transitions = 0u64;
     let mut ladder_transitions = 0u64;
+    let mut forge_transitions = 0u64;
+    let mut replay_transitions = 0u64;
     let mut max_depth = 0u32;
     let mut budget_exhausted = false;
     let mut seen_codes: Vec<&'static str> = Vec::new();
@@ -613,48 +796,73 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
         } else {
             &[false]
         };
+        let mut adv_choices: Vec<Option<AdvCtl>> = vec![None];
+        if s.forges_left > 0 {
+            adv_choices.push(Some(AdvCtl::Forge(Ctl::Ack)));
+            adv_choices.push(Some(AdvCtl::Forge(Ctl::Nack)));
+        }
+        if s.replays_left > 0 && s.captured.is_some() {
+            adv_choices.push(Some(AdvCtl::Replay));
+        }
 
         for &df in data_fates {
             for &cf in ctl_fates {
                 for &alert in alert_choices {
-                    // A fully idle tick changes nothing and cannot fire a
-                    // timer that is not running — skip the no-op self-loop
-                    // on terminal states.
-                    if s.arq_terminal() && !alert {
-                        continue;
-                    }
-                    transitions += 1;
-                    let mut violations = Vec::new();
-                    let (n, label) =
-                        model.tick(s, df, cf, alert, &mut violations, &mut ladder_transitions);
-                    for v in violations {
-                        violation_count += 1;
-                        if !seen_codes.contains(&v.code) {
-                            seen_codes.push(v.code);
-                            let trace =
-                                render_trace(&arena, &parent, head, &label, n, v.code, &v.message);
-                            diags.push(Diagnostic::new(
-                                Pass::Model,
-                                v.code,
-                                Severity::Error,
-                                format!(
-                                    "{} (counterexample #{})",
-                                    v.message,
-                                    counterexamples.len() + 1
-                                ),
-                            ));
-                            counterexamples.push(trace);
-                        }
-                    }
-                    if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(n) {
-                        if arena.len() >= STATE_BUDGET {
-                            budget_exhausted = true;
+                    for &adv in &adv_choices {
+                        // A fully idle tick changes nothing and cannot fire a
+                        // timer that is not running — skip the no-op self-loop
+                        // on terminal states.
+                        if s.arq_terminal() && !alert && adv.is_none() {
                             continue;
                         }
-                        slot.insert(arena.len());
-                        arena.push(n);
-                        parent.push(Some((head, label.clone())));
-                        depth.push(d + 1);
+                        transitions += 1;
+                        match adv {
+                            Some(AdvCtl::Forge(_)) => forge_transitions += 1,
+                            Some(AdvCtl::Replay) => replay_transitions += 1,
+                            None => {}
+                        }
+                        let mut violations = Vec::new();
+                        let (n, label) = model.tick(
+                            s,
+                            McMove {
+                                data: df,
+                                ctl: cf,
+                                adv,
+                                alert,
+                            },
+                            &mut violations,
+                            &mut ladder_transitions,
+                        );
+                        for v in violations {
+                            violation_count += 1;
+                            if !seen_codes.contains(&v.code) {
+                                seen_codes.push(v.code);
+                                let trace = render_trace(
+                                    &arena, &parent, head, &label, n, v.code, &v.message,
+                                );
+                                diags.push(Diagnostic::new(
+                                    Pass::Model,
+                                    v.code,
+                                    Severity::Error,
+                                    format!(
+                                        "{} (counterexample #{})",
+                                        v.message,
+                                        counterexamples.len() + 1
+                                    ),
+                                ));
+                                counterexamples.push(trace);
+                            }
+                        }
+                        if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(n) {
+                            if arena.len() >= STATE_BUDGET {
+                                budget_exhausted = true;
+                                continue;
+                            }
+                            slot.insert(arena.len());
+                            arena.push(n);
+                            parent.push(Some((head, label.clone())));
+                            depth.push(d + 1);
+                        }
                     }
                 }
             }
@@ -712,7 +920,13 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
             };
             let mut sink = Vec::new();
             let mut lt = 0u64;
-            let (n, _) = model.tick(s, df, cf, false, &mut sink, &mut lt);
+            let mv = McMove {
+                data: df,
+                ctl: cf,
+                adv: None,
+                alert: false,
+            };
+            let (n, _) = model.tick(s, mv, &mut sink, &mut lt);
             match index.get(&n) {
                 Some(&i) => cur = i,
                 None => break false, // off the reachable set: budget was exhausted
@@ -753,6 +967,8 @@ pub fn model_check(arq: &ArqConfig, policy: &RecoveryPolicy) -> McResult {
         states_explored: arena.len() as u64,
         transitions,
         ladder_transitions,
+        forge_transitions,
+        replay_transitions,
         terminal_states,
         max_depth_ticks: max_depth as u64,
         horizon_ticks,
@@ -772,6 +988,8 @@ fn empty_stats() -> McStats {
         states_explored: 0,
         transitions: 0,
         ladder_transitions: 0,
+        forge_transitions: 0,
+        replay_transitions: 0,
         terminal_states: 0,
         max_depth_ticks: 0,
         horizon_ticks: 0,
@@ -837,6 +1055,34 @@ mod tests {
         assert!(r.stats.states_explored > 100, "{}", r.stats.states_explored);
         assert!(r.stats.terminal_states > 0);
         assert!(r.stats.ladder_transitions > 0);
+        // The clean proof covers the control-plane adversary: forged and
+        // replayed controls were actually exercised, not vacuously absent.
+        assert!(r.stats.forge_transitions > 0);
+        assert!(r.stats.replay_transitions > 0);
+    }
+
+    /// Pinned negative: the *pre-hardening* trusting control rule, under
+    /// the identical adversary, loses `NL504` — a forged ACK completes a
+    /// message the application never received. This is the concrete trace
+    /// that motivated the keyed-tag hardening; it must stay extractable so
+    /// the hardened proof above is known to be non-vacuous.
+    #[test]
+    fn trusting_rule_yields_spoofed_ack_counterexample() {
+        let r = model_check_trusting(&shipped_arq(), &shipped_policy());
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == "NL504" && d.severity == Severity::Error),
+            "{:#?}",
+            r.diagnostics
+        );
+        let trace = r
+            .stats
+            .counterexamples
+            .iter()
+            .find(|t| t.contains("NL504"))
+            .expect("a false-completion trace");
+        assert!(trace.contains("forged ACK"), "{trace}");
     }
 
     /// Acceptance: zeroing the dedup window yields a concrete duplicate-

@@ -193,6 +193,15 @@ impl AlertBank {
         self.first_cycle
     }
 
+    /// Cycle of the first assertion at or after cycle `at` — the
+    /// detection instant relative to a later disturbance (an attacker
+    /// going live mid-run, an aging epoch boundary), where assertions
+    /// raised before `at` belong to earlier history. Events accumulate in
+    /// cycle order, so this is the first matching event in the log.
+    pub fn first_detection_since(&self, at: Cycle) -> Option<Cycle> {
+        self.events.iter().find(|e| e.cycle >= at).map(|e| e.cycle)
+    }
+
     /// Cycle of the first *normal-risk* assertion — the detection instant
     /// of the "NoCAlert Cautious" policy of Observation 2, which defers
     /// lone low-risk (invariances 1/3) assertions.
@@ -694,6 +703,21 @@ mod tests {
         let flits = make_packet(PacketId(1), 1, NodeId(0), NodeId(7), 0, 1, 0);
         eject(&mut bank, 3, 10, flits[0]); // delivered to node 3, dest 7
         assert_eq!(bank.asserted_set(), vec![CheckerId(32)]);
+    }
+
+    #[test]
+    fn first_detection_since_skips_earlier_history() {
+        let cfg = NocConfig::small_test();
+        let mut bank = AlertBank::new(&cfg);
+        assert_eq!(bank.first_detection_since(0), None);
+        let early = make_packet(PacketId(1), 1, NodeId(0), NodeId(7), 0, 1, 0);
+        eject(&mut bank, 3, 10, early[0]); // misdelivery at cycle 10
+        let late = make_packet(PacketId(2), 2, NodeId(0), NodeId(7), 0, 1, 0);
+        eject(&mut bank, 4, 50, late[0]); // misdelivery at cycle 50
+        assert_eq!(bank.first_detection_since(0), Some(10));
+        assert_eq!(bank.first_detection_since(10), Some(10));
+        assert_eq!(bank.first_detection_since(11), Some(50));
+        assert_eq!(bank.first_detection_since(51), None);
     }
 
     #[test]

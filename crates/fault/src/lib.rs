@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 use noc_sim::{Network, Observer};
+use noc_types::geometry::{Direction, NodeId};
 use noc_types::site::{FaultKind, SiteRef};
 use noc_types::{Cycle, NocConfig};
 use rand::rngs::SmallRng;
@@ -84,6 +85,63 @@ impl FaultSpec {
                     reason,
                 });
             }
+        }
+        Ok(())
+    }
+
+    /// Checks the spec against a live network: temporal validity
+    /// ([`FaultSpec::validate`]) plus *physical existence* of the site —
+    /// the router must be in the mesh, the port must be a live wire of
+    /// that router (edge routers have no north-of-north link), the VC and
+    /// bit indices must address an instance that exists under the
+    /// configuration — and the router must not already be quarantined by
+    /// the containment plane. Each rejection is a structured error: a
+    /// campaign cell whose fault could never flip a live wire (or whose
+    /// alerts containment would discard as stale fallout from an
+    /// already-dead router) must fail loudly, not be silently classified
+    /// as benign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`noc_types::SimError::SiteOutOfMesh`] or
+    /// [`noc_types::SimError::FaultSpecInvalid`] naming the offending
+    /// coordinate.
+    pub fn validate_in(&self, net: &Network) -> Result<(), noc_types::SimError> {
+        self.validate()?;
+        let cfg = net.config();
+        let routers = cfg.mesh.len() as u16;
+        if self.site.router >= routers {
+            return Err(noc_types::SimError::SiteOutOfMesh {
+                site: self.site,
+                routers,
+            });
+        }
+        let node = NodeId(self.site.router);
+        let fail = |reason: &'static str| {
+            Err(noc_types::SimError::FaultSpecInvalid {
+                site: self.site,
+                reason,
+            })
+        };
+        let Some(&dir) = Direction::ALL.get(self.site.port as usize) else {
+            return fail("site port index exceeds the router's port count");
+        };
+        if !cfg.mesh.port_live(node, dir) {
+            return fail("site targets a dead edge port (no such wire at this router)");
+        }
+        if self.site.signal.module().per_vc() {
+            if self.site.vc >= cfg.vcs_per_port {
+                return fail("site VC index exceeds the configured VCs per port");
+            }
+        } else if self.site.vc != 0 {
+            return fail("site addresses a VC of a module that has one instance per port");
+        }
+        if !noc_sim::live_bits(cfg, node, self.site.port, self.site.signal).contains(&self.site.bit)
+        {
+            return fail("site bit is not a live wire of the signal at this router");
+        }
+        if net.router_quarantined(self.site.router) {
+            return fail("site router is quarantined (its alerts are stale fallout)");
         }
         Ok(())
     }
@@ -426,6 +484,111 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn validate_in_accepts_every_enumerated_site() {
+        let cfg = NocConfig::small_test();
+        let net = Network::new(cfg.clone());
+        // The enumeration universe is, by construction, exactly the set of
+        // live wires — every member must pass the existence check.
+        for site in enumerate_sites(&cfg) {
+            FaultSpec::transient(site, 10)
+                .validate_in(&net)
+                .expect("enumerated site must validate");
+        }
+    }
+
+    #[test]
+    fn validate_in_rejects_phantom_sites() {
+        use noc_types::SimError;
+        let cfg = NocConfig::small_test();
+        let net = Network::new(cfg.clone());
+        let sites = enumerate_sites(&cfg);
+        let good = sites[0];
+
+        let mut off_mesh = good;
+        off_mesh.router = cfg.mesh.len() as u16;
+        assert!(matches!(
+            FaultSpec::transient(off_mesh, 10).validate_in(&net),
+            Err(SimError::SiteOutOfMesh { routers: 16, .. })
+        ));
+
+        let mut no_such_port = good;
+        no_such_port.port = Direction::ALL.len() as u8;
+        assert!(matches!(
+            FaultSpec::transient(no_such_port, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("port index")
+        ));
+
+        // Router 0 is a corner: at least one cardinal port is off-mesh.
+        let dead = Direction::ALL
+            .iter()
+            .position(|&d| !cfg.mesh.port_live(NodeId(0), d))
+            .expect("corner router has a dead port") as u8;
+        let mut edge = good;
+        edge.router = 0;
+        edge.port = dead;
+        assert!(matches!(
+            FaultSpec::transient(edge, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("dead edge port")
+        ));
+
+        let per_vc = *sites
+            .iter()
+            .find(|s| s.signal.module().per_vc())
+            .expect("some per-VC site exists");
+        let mut high_vc = per_vc;
+        high_vc.vc = cfg.vcs_per_port;
+        assert!(matches!(
+            FaultSpec::transient(high_vc, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("VC index")
+        ));
+
+        let shared = *sites
+            .iter()
+            .find(|s| !s.signal.module().per_vc())
+            .expect("some per-port site exists");
+        let mut ghost_vc = shared;
+        ghost_vc.vc = 1;
+        assert!(matches!(
+            FaultSpec::transient(ghost_vc, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("one instance per port")
+        ));
+
+        let mut wide_bit = good;
+        wide_bit.bit = 200;
+        assert!(matches!(
+            FaultSpec::transient(wide_bit, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("live wire")
+        ));
+    }
+
+    #[test]
+    fn validate_in_rejects_quarantined_routers() {
+        use noc_types::SimError;
+        let cfg = NocConfig::small_test();
+        let sites = enumerate_sites(&cfg);
+        let site = sites[0];
+
+        let mut net = Network::new(cfg);
+        net.enable_recovery(noc_sim::RecoveryPolicy::default_policy());
+        FaultSpec::transient(site, 10)
+            .validate_in(&net)
+            .expect("site is valid before quarantine");
+        while !net.router_quarantined(site.router) {
+            net.note_suspicion(site.router);
+        }
+        assert!(matches!(
+            FaultSpec::transient(site, 10).validate_in(&net),
+            Err(SimError::FaultSpecInvalid { reason, .. })
+                if reason.contains("quarantined")
+        ));
     }
 
     #[test]

@@ -1,0 +1,1205 @@
+//! Adversarial rollouts: compromised-router attack models judged by a
+//! detection/mitigation oracle (DESIGN.md §14).
+//!
+//! The fault campaigns ask whether NoCAlert sees *broken hardware*. This
+//! module asks the harder question the checkers alone cannot answer:
+//! what happens when a router is **malicious** — its pipeline behaves,
+//! its wires check clean, and the damage happens on the output links
+//! *after* the observation point ([`noc_sim::Adversary`] interposes in
+//! the link phase of `step_observed`)? The closed loop here is the same
+//! as [`crate::recovery`] (bank alerts → containment, ARQ transport
+//! restoring delivery) plus the attacker's out-of-band actions: forged
+//! and replayed control packets are physically injected at the
+//! attacker's node and registered with the transport's wire registry,
+//! and fabricated alerts are fed straight into containment.
+//!
+//! Every rollout is classified into exactly one [`AttackClass`] cell of
+//! the detection/mitigation matrix. The classifier is deliberately
+//! conservative: a cell where the attacker interfered but the run ends
+//! apparently healthy with **no** detection evidence and **no**
+//! mitigation trace is reported as [`AttackClass::UndetectedLoss`] even
+//! if nothing measurable was lost — survival must be *explained*, not
+//! assumed. The `attack` bench bin (and CI's `--smoke` gate) accept a
+//! matrix only when no cell is an undetected loss.
+//!
+//! Evidence is kept honest under the alert-channel attacks: fabricated
+//! alerts ([`noc_types::AttackKind::AlertFlood`]) bypass the
+//! [`nocalert::AlertBank`] entirely (they are injected directly into
+//! containment via `Network::notify_alert`), so bank assertions always
+//! reflect genuine checker observations; and alert *suppression*
+//! ([`noc_types::AttackKind::AlertSuppress`]) blocks the
+//! alert-to-containment wire of the compromised router without touching
+//! the bank's record — detection stands, reaction is what the attacker
+//! starves.
+
+use crate::campaign::resilience::catch_payload;
+use crate::campaign::CampaignError;
+use crate::recovery::{verify_delivery, DeliveryVerdict, RecoveryOptions, RecoveryOutcome};
+use fault::{FaultSpec, Hang, HangKind};
+use noc_sim::{
+    AttackIntent, AttackStats, ControlCapture, Network, RecoveryStats, Transport, TransportStats,
+};
+use noc_types::{AttackKind, AttackSpec, Cycle, NocConfig, SimError};
+use nocalert::{info, AlertBank, CheckerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Which mechanism accounts for an attack cell's outcome — exactly one
+/// bucket per (attacker model × site × intensity) cell of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackClass {
+    /// The attacker never effectively acted (armed too late, no victims
+    /// traversed, every intent unperformable). The oracle must not claim
+    /// a mitigation that was never exercised.
+    Vacuous,
+    /// Genuine detection evidence exists: checker-bank assertions,
+    /// forgery suspicions scored by the transport, or a router escalated
+    /// to malicious.
+    DetectedByBank,
+    /// Delivery was violated, but *loudly*: the sender gave up after
+    /// `max_retries`, a watchdog tripped, the topology partitioned, or
+    /// the rollout crashed — the system knows it failed.
+    CaughtByOracle,
+    /// Delivery held with no detection evidence, and the survival is
+    /// explained by transport/containment activity (retransmissions,
+    /// dedup, discarded misroutes, stale/forged controls absorbed,
+    /// containment actions).
+    MitigatedByArq,
+    /// The failure mode the matrix exists to rule out: either messages
+    /// were silently lost / duplicated towards the application, or the
+    /// attacker interfered and the run ended apparently healthy with no
+    /// trace explaining why. Zero cells may land here.
+    UndetectedLoss,
+}
+
+/// Interference the attacker actually *performed*, as opposed to merely
+/// intended: link-layer manipulations plus executed out-of-band intents
+/// plus suppressed alert deliveries. [`AttackStats::interference`] counts
+/// emitted intents too, but a `CtlReplay` intent that resolved to a data
+/// packet is skipped by the harness and must not count — vacuity is
+/// judged on actions, not intentions.
+pub fn effective_interference(attack: &AttackStats, performed: u64, suppressed: u64) -> u64 {
+    attack.packets_dropped
+        + attack.flits_dropped
+        + attack.flits_corrupted
+        + attack.packets_misrouted
+        + performed
+        + suppressed
+}
+
+/// The pure cell classifier. `evidence` is genuine detection evidence
+/// (bank assertions + transport suspicions + malicious escalations);
+/// `mitigation` is transport/containment activity that explains survival.
+///
+/// Severity order: application-level duplicates or silent loss in an
+/// apparently-quiescent run always classify as
+/// [`AttackClass::UndetectedLoss`], regardless of what else fired — a
+/// detection event does not excuse a broken delivery guarantee.
+pub fn classify(
+    interference: u64,
+    outcome: &RecoveryOutcome,
+    verdict: DeliveryVerdict,
+    evidence: u64,
+    mitigation: u64,
+) -> AttackClass {
+    if interference == 0 {
+        return AttackClass::Vacuous;
+    }
+    if let DeliveryVerdict::Violated {
+        undelivered,
+        gave_up,
+        duplicates,
+    } = verdict
+    {
+        let silent = duplicates > 0
+            || (undelivered > gave_up && matches!(outcome, RecoveryOutcome::Quiescent));
+        if silent {
+            return AttackClass::UndetectedLoss;
+        }
+        return if evidence > 0 {
+            AttackClass::DetectedByBank
+        } else {
+            AttackClass::CaughtByOracle
+        };
+    }
+    if evidence > 0 {
+        AttackClass::DetectedByBank
+    } else if mitigation > 0 {
+        AttackClass::MitigatedByArq
+    } else {
+        AttackClass::UndetectedLoss
+    }
+}
+
+/// Full result of one adversarial rollout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRun {
+    /// The attacker model that was armed.
+    pub spec: AttackSpec,
+    /// Co-located hardware fault, if the cell pairs one with the attack
+    /// (the alert-suppression cells need genuine alerts to suppress).
+    pub fault: Option<FaultSpec>,
+    /// The cell's bucket in the detection/mitigation matrix.
+    pub class: AttackClass,
+    /// How the rollout ended.
+    pub outcome: RecoveryOutcome,
+    /// The delivery oracle's judgement.
+    pub verdict: DeliveryVerdict,
+    /// The attacker's own interference counters.
+    pub attack: AttackStats,
+    /// Transport counters (retransmits, forged controls ignored…).
+    pub transport: TransportStats,
+    /// Containment counters (squashes, suspicions noted, malicious…).
+    pub recovery: RecoveryStats,
+    /// Genuine checker-bank assertions (fabricated alerts bypass the
+    /// bank, so this never counts attacker noise).
+    pub bank_alerts: u64,
+    /// Alert deliveries the compromised router suppressed before they
+    /// reached containment (recorded by the bank regardless).
+    pub suppressed_alerts: u64,
+    /// Forgery suspicions the transport raised (failed tag or source
+    /// validation on a control packet).
+    pub suspicions: u64,
+    /// Out-of-band intents the harness executed.
+    pub intents_performed: u64,
+    /// Intents that could not be executed (victim slot retired, replay
+    /// target was a data packet) — interference that never happened.
+    pub intents_skipped: u64,
+    /// Cycle of the first genuine detection evidence (bank assertion or
+    /// transport suspicion), if any.
+    pub first_evidence_at: Option<Cycle>,
+    /// Final simulation cycle.
+    pub end_cycle: Cycle,
+}
+
+impl AttackRun {
+    /// Cycles from the attacker going live to the first genuine
+    /// detection evidence (`None` when nothing ever fired).
+    pub fn detection_latency(&self) -> Option<Cycle> {
+        self.first_evidence_at
+            .map(|c| c.saturating_sub(self.spec.start))
+    }
+
+    /// Wire overhead beyond one transmission per message, mirroring
+    /// [`crate::recovery::RecoveryRun::overhead_per_message`].
+    pub fn overhead_per_message(&self) -> f64 {
+        if self.transport.offered == 0 {
+            return 0.0;
+        }
+        let extra =
+            self.transport.retransmits + self.transport.acks_sent + self.transport.nacks_sent;
+        extra as f64 / self.transport.offered as f64
+    }
+}
+
+/// The adversarial closed-loop harness: one instance, many rollouts.
+#[derive(Debug, Clone)]
+pub struct AttackHarness {
+    cfg: NocConfig,
+    opts: RecoveryOptions,
+}
+
+/// Mutable per-rollout accounting threaded through the step loop.
+#[derive(Debug, Default)]
+struct StepCtx {
+    consumed: usize,
+    bank_alerts: u64,
+    suppressed: u64,
+    suspicions: u64,
+    performed: u64,
+    skipped: u64,
+    first_evidence: Option<Cycle>,
+}
+
+impl AttackHarness {
+    /// Builds a harness after validating `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecoveryOptions::validate`] failures.
+    pub fn try_new(cfg: NocConfig, opts: RecoveryOptions) -> Result<AttackHarness, SimError> {
+        opts.validate()?;
+        Ok(AttackHarness { cfg, opts })
+    }
+
+    /// The options the harness runs with.
+    pub fn options(&self) -> &RecoveryOptions {
+        &self.opts
+    }
+
+    /// The configuration rollouts execute under.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// The cycle at which the measurement window ends and draining begins.
+    pub fn active_end(&self) -> Cycle {
+        self.opts.warmup.saturating_add(self.opts.active_window)
+    }
+
+    /// One adversarial rollout: arm the attacker (and the optional
+    /// co-located fault), close the detection→containment→ARQ loop,
+    /// execute the attacker's out-of-band intents, and classify the cell.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when the attack spec or co-fault is rejected by
+    /// validation (nonexistent router, quarantined site, degenerate
+    /// parameters) — a rejected cell is an error, not a matrix entry.
+    pub fn run(&self, spec: &AttackSpec, fault: Option<&FaultSpec>) -> Result<AttackRun, SimError> {
+        let mut net = Network::new(self.cfg.clone());
+        net.enable_recovery(self.opts.policy);
+        let mut bank = AlertBank::new(&self.cfg);
+        // Same checker exclusions as the recovery harness: degraded
+        // routing around fenced ports legitimately violates the turn
+        // model, and fault-region detours are non-minimal by design.
+        bank.disable(CheckerId(1));
+        if self.cfg.routing == noc_types::RoutingAlgorithm::FaultRegion {
+            bank.disable(CheckerId(3));
+        }
+        let mut transport = Transport::new(&self.cfg, self.opts.arq);
+        if let Some(f) = fault {
+            f.validate_in(&net)?;
+            net.arm_fault(f.site, f.kind, f.start);
+        }
+        net.arm_attack(spec)?;
+
+        let dog = self.opts.watchdog;
+        let active_end = self.active_end();
+        let mut ctx = StepCtx::default();
+        let mut hang: Option<Hang> = None;
+
+        while net.cycle() < active_end {
+            if net.cycle() >= dog.cycle_budget {
+                hang = Some(Hang {
+                    kind: HangKind::CycleBudget,
+                    at_cycle: net.cycle(),
+                    stalled_for: 0,
+                });
+                break;
+            }
+            self.step_once(spec, &mut net, &mut bank, &mut transport, &mut ctx);
+        }
+
+        if hang.is_none() {
+            net.set_injection_enabled(false);
+            let mut sig = net.progress_signature();
+            let mut stalled: Cycle = 0;
+            loop {
+                if net.is_drained() && transport.quiescent() {
+                    break;
+                }
+                if net.cycle() >= dog.cycle_budget {
+                    hang = Some(Hang {
+                        kind: HangKind::CycleBudget,
+                        at_cycle: net.cycle(),
+                        stalled_for: stalled,
+                    });
+                    break;
+                }
+                if transport.quiescent() && stalled >= dog.stall_window {
+                    hang = Some(Hang {
+                        kind: HangKind::NoProgress,
+                        at_cycle: net.cycle(),
+                        stalled_for: stalled,
+                    });
+                    break;
+                }
+                self.step_once(spec, &mut net, &mut bank, &mut transport, &mut ctx);
+                let now = net.progress_signature();
+                if now == sig {
+                    stalled += 1;
+                } else {
+                    sig = now;
+                    stalled = 0;
+                }
+            }
+        }
+
+        let verdict = verify_delivery(&transport);
+        let partition = net
+            .fault_region_map()
+            .filter(|m| m.partitioned())
+            .map(|m| m.live_components());
+        let outcome = match (partition, hang) {
+            (Some(components), _) => RecoveryOutcome::Partitioned { components },
+            (None, Some(h)) => RecoveryOutcome::Hung(h),
+            (None, None) => RecoveryOutcome::Quiescent,
+        };
+        let attack = net.attack_stats();
+        let tstats = transport.stats();
+        let recovery = net.recovery_stats();
+        let interference = effective_interference(&attack, ctx.performed, ctx.suppressed);
+        let evidence = ctx.bank_alerts + ctx.suspicions + recovery.routers_marked_malicious;
+        let mitigation = tstats.retransmits
+            + tstats.duplicates_suppressed
+            + tstats.misrouted_flits
+            + tstats.stray_flits
+            + tstats.corrupted_arrivals
+            + tstats.stale_controls
+            + tstats.forged_controls_ignored
+            + recovery.alerts_consumed
+            + recovery.squashes
+            + recovery.resets
+            + recovery.disables;
+        let class = classify(interference, &outcome, verdict, evidence, mitigation);
+        Ok(AttackRun {
+            spec: *spec,
+            fault: fault.copied(),
+            class,
+            outcome,
+            verdict,
+            attack,
+            transport: tstats,
+            recovery,
+            bank_alerts: ctx.bank_alerts,
+            suppressed_alerts: ctx.suppressed,
+            suspicions: ctx.suspicions,
+            intents_performed: ctx.performed,
+            intents_skipped: ctx.skipped,
+            first_evidence_at: ctx.first_evidence,
+            end_cycle: net.cycle(),
+        })
+    }
+
+    /// [`AttackHarness::run`] behind the campaign panic-isolation
+    /// boundary: a panicking rollout becomes a `Crashed` report (a crash
+    /// is loud by construction, so it classifies as
+    /// [`AttackClass::CaughtByOracle`]; the bench still refuses to accept
+    /// crashed cells).
+    ///
+    /// # Errors
+    ///
+    /// Validation failures propagate exactly as from
+    /// [`AttackHarness::run`]; only panics are converted to reports.
+    pub fn run_isolated(
+        &self,
+        spec: &AttackSpec,
+        fault: Option<&FaultSpec>,
+    ) -> Result<AttackRun, SimError> {
+        match catch_payload(|| self.run(spec, fault)) {
+            Ok(result) => result,
+            Err(panic) => Ok(AttackRun {
+                spec: *spec,
+                fault: fault.copied(),
+                class: AttackClass::CaughtByOracle,
+                outcome: RecoveryOutcome::Crashed(panic),
+                verdict: DeliveryVerdict::Violated {
+                    undelivered: 0,
+                    gave_up: 0,
+                    duplicates: 0,
+                },
+                attack: AttackStats::default(),
+                transport: TransportStats::default(),
+                recovery: RecoveryStats::default(),
+                bank_alerts: 0,
+                suppressed_alerts: 0,
+                suspicions: 0,
+                intents_performed: 0,
+                intents_skipped: 0,
+                first_evidence_at: None,
+                end_cycle: 0,
+            }),
+        }
+    }
+
+    /// One simulated cycle of the adversarial closed loop. Beyond the
+    /// recovery harness's alert translation, this (a) withholds the
+    /// compromised router's own alerts from containment when the model is
+    /// [`AttackKind::AlertSuppress`], (b) executes the attacker's
+    /// out-of-band intents through public APIs (forged traffic is
+    /// physically injected at the attacker's node, so its wire source is
+    /// honest — in-model, sources cannot be forged), and (c) feeds
+    /// transport forgery suspicions back into the containment plane's
+    /// malice scoring.
+    fn step_once(
+        &self,
+        spec: &AttackSpec,
+        net: &mut Network,
+        bank: &mut AlertBank,
+        transport: &mut Transport,
+        ctx: &mut StepCtx,
+    ) {
+        net.step_observed(&mut (&mut *bank, &mut *transport));
+        let fresh = bank.events_since(ctx.consumed);
+        ctx.consumed = bank.assertions().len();
+        let suppressing = spec.kind == AttackKind::AlertSuppress;
+        for ev in fresh {
+            ctx.bank_alerts += 1;
+            if ctx.first_evidence.is_none() {
+                ctx.first_evidence = Some(ev.cycle);
+            }
+            if suppressing && ev.router == spec.router && ev.cycle >= spec.start {
+                // The compromised router eats its own alert wire: the
+                // bank has recorded the assertion (detection stands) but
+                // containment never hears about it.
+                ctx.suppressed += 1;
+                continue;
+            }
+            if let Some(module) = info(ev.checker).module {
+                net.notify_alert(ev.router, ev.port, ev.vc, module.port_is_output());
+            }
+        }
+        for intent in net.drain_attack_intents() {
+            match intent {
+                AttackIntent::ForgeAck {
+                    victim,
+                    sender,
+                    claimed_src,
+                    class,
+                    tag,
+                } => {
+                    // The forged control claims the swallowed packet's
+                    // app id; if the victim's wire slot already retired,
+                    // there is nothing left to forge against.
+                    let Some(app) = transport.data_app(victim) else {
+                        ctx.skipped += 1;
+                        continue;
+                    };
+                    let len =
+                        self.cfg.packet_lengths[class as usize % self.cfg.packet_lengths.len()];
+                    let Some(pid) = net.enqueue_packet(spec.router, sender, class, len) else {
+                        ctx.skipped += 1;
+                        continue;
+                    };
+                    transport.register_forged_control(
+                        pid,
+                        net.cycle(),
+                        ControlCapture {
+                            app,
+                            nack: false,
+                            claimed_src,
+                            dest: sender,
+                            class,
+                            len,
+                            tag,
+                        },
+                    );
+                    ctx.performed += 1;
+                }
+                AttackIntent::Replay { captured } => {
+                    // Only captured *control* packets replay bit-faithfully
+                    // (genuine tag included); captured data packets carry
+                    // nothing a replay could close.
+                    let Some(cap) = transport.control_meta(captured) else {
+                        ctx.skipped += 1;
+                        continue;
+                    };
+                    let Some(pid) = net.enqueue_packet(spec.router, cap.dest, cap.class, cap.len)
+                    else {
+                        ctx.skipped += 1;
+                        continue;
+                    };
+                    transport.register_forged_control(pid, net.cycle(), cap);
+                    ctx.performed += 1;
+                }
+                AttackIntent::RaiseAlert { port, vc } => {
+                    // Fabricated alerts go straight to containment and
+                    // deliberately bypass the bank: bank assertions must
+                    // remain genuine detection evidence.
+                    net.notify_alert(spec.router, port, vc, false);
+                    ctx.performed += 1;
+                }
+            }
+        }
+        transport.post_step(net);
+        for s in transport.take_suspicions() {
+            ctx.suspicions += 1;
+            if ctx.first_evidence.is_none() {
+                ctx.first_evidence = Some(s.cycle);
+            }
+            if let Some(r) = s.router {
+                net.note_suspicion(r);
+            }
+        }
+    }
+}
+
+/// Finds a containment-covered fault site on `router` and wraps it in a
+/// permanent fault starting at `start` — the co-fault the
+/// alert-suppression cells need (an attacker with nothing to suppress is
+/// vacuous).
+pub fn covered_fault_for(cfg: &NocConfig, router: u16, start: Cycle) -> Option<FaultSpec> {
+    fault::enumerate_sites(cfg)
+        .into_iter()
+        .find(|s| s.router == router && crate::recovery::containment_covered(s.signal))
+        .map(|s| FaultSpec::permanent(s, start))
+}
+
+/// One cell of the attack matrix: an attacker model, optionally paired
+/// with a co-located hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackCell {
+    /// The compromised-router model.
+    pub spec: AttackSpec,
+    /// Co-located fault (only the alert-suppression cells use one).
+    pub fault: Option<FaultSpec>,
+}
+
+/// The standard matrix row for one compromised router at one intensity:
+/// every attacker model, deterministic per-cell seeds derived from
+/// `seed`, the attacker going live at `start`. Alert-suppression cells
+/// are paired with a covered co-fault via [`covered_fault_for`]; routers
+/// without a covered site simply omit that cell.
+pub fn standard_cells(
+    cfg: &NocConfig,
+    routers: &[u16],
+    every: u32,
+    start: Cycle,
+    seed: u64,
+) -> Vec<AttackCell> {
+    let kinds = [
+        AttackKind::PacketDrop { every },
+        AttackKind::FlitDrop { every },
+        AttackKind::PayloadCorrupt { every },
+        AttackKind::Misroute { every },
+        AttackKind::AckSpoof { every },
+        AttackKind::CtlReplay { every },
+        AttackKind::AlertSuppress,
+        AttackKind::AlertFlood { per_cycle: 2 },
+    ];
+    let mut cells = Vec::new();
+    for (r_ix, &router) in routers.iter().enumerate() {
+        for (k_ix, &kind) in kinds.iter().enumerate() {
+            let fault = match kind {
+                AttackKind::AlertSuppress => match covered_fault_for(cfg, router, start) {
+                    Some(f) => Some(f),
+                    None => continue,
+                },
+                _ => None,
+            };
+            cells.push(AttackCell {
+                spec: AttackSpec {
+                    router,
+                    kind,
+                    start,
+                    // A pure function of the cell's position: bit-identical
+                    // campaigns at any worker count, distinct attacker RNG
+                    // streams per cell.
+                    seed: seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add((r_ix * kinds.len() + k_ix) as u64),
+                },
+                fault,
+            });
+        }
+    }
+    cells
+}
+
+/// Everything that identifies an attack campaign: mixing cells computed
+/// under different configurations would corrupt the matrix, so the
+/// journal refuses a directory whose config differs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCampaignConfig {
+    /// Network configuration.
+    pub noc: NocConfig,
+    /// Closed-loop rollout options.
+    pub opts: RecoveryOptions,
+}
+
+/// One journal line: a cell and its completed rollout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCellReport {
+    /// The matrix cell.
+    pub cell: AttackCell,
+    /// Its rollout result.
+    pub run: AttackRun,
+}
+
+/// Aggregated campaign result, in input-cell order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCampaignReport {
+    /// One report per input cell (cells missing after a cancelled sweep
+    /// are absent and flagged via `interrupted`).
+    pub reports: Vec<AttackCellReport>,
+    /// Cells restored from the journal instead of re-run.
+    pub resumed: usize,
+    /// Torn or unparseable journal lines skipped on resume.
+    pub corrupt_lines: usize,
+    /// True when cancellation stopped the sweep before every cell ran.
+    pub interrupted: bool,
+}
+
+impl AttackCampaignReport {
+    /// Cells per class, in [`AttackClass`] severity order.
+    pub fn matrix(&self) -> BTreeMap<AttackClass, u64> {
+        let mut m = BTreeMap::new();
+        for r in &self.reports {
+            *m.entry(r.run.class).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// True when no cell is an undetected loss and no rollout crashed —
+    /// the acceptance bar the bench bin enforces.
+    pub fn accepted(&self) -> bool {
+        self.reports.iter().all(|r| {
+            r.run.class != AttackClass::UndetectedLoss
+                && !matches!(r.run.outcome, RecoveryOutcome::Crashed(_))
+        })
+    }
+}
+
+/// Resilience knobs of the attack sweep (mirrors
+/// [`crate::campaign::ResilienceOptions`]).
+#[derive(Debug, Default)]
+pub struct AttackCampaignOptions {
+    /// Journal directory for kill-safe incremental progress.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load previously completed cells from the journal instead of
+    /// refusing a populated directory.
+    pub resume: bool,
+    /// Cooperative cancellation flag, checked between cells.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl AttackCampaignOptions {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
+const META_NAME: &str = "meta.json";
+
+/// The attack campaign's journal: `meta.json` pins the configuration,
+/// `shard-w<worker>.jsonl` holds one [`AttackCellReport`] per line,
+/// appended and flushed as each cell completes. Same kill-safety
+/// semantics as [`crate::campaign::Checkpoint`]: a torn trailing line is
+/// detected, repaired on the next open, and the cell re-runs.
+#[derive(Debug, Clone)]
+struct Journal {
+    dir: PathBuf,
+}
+
+fn jr_err(path: &Path, detail: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Checkpoint {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalMeta {
+    version: u32,
+    config: AttackCampaignConfig,
+}
+
+impl Journal {
+    fn open(dir: impl Into<PathBuf>, cc: &AttackCampaignConfig) -> Result<Journal, CampaignError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| jr_err(&dir, e))?;
+        let meta_path = dir.join(META_NAME);
+        if meta_path.exists() {
+            let text = fs::read_to_string(&meta_path).map_err(|e| jr_err(&meta_path, e))?;
+            let meta: JournalMeta =
+                serde_json::from_str(&text).map_err(|e| jr_err(&meta_path, e))?;
+            if meta.config != *cc {
+                return Err(CampaignError::CheckpointMismatch { path: dir });
+            }
+        } else {
+            let meta = JournalMeta {
+                version: 1,
+                config: cc.clone(),
+            };
+            let text = serde_json::to_string_pretty(&meta).map_err(|e| jr_err(&meta_path, e))?;
+            fs::write(&meta_path, text).map_err(|e| jr_err(&meta_path, e))?;
+        }
+        Ok(Journal { dir })
+    }
+
+    fn load(&self) -> Result<(Vec<AttackCellReport>, usize), CampaignError> {
+        let mut shards: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .map_err(|e| jr_err(&self.dir, e))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        shards.sort();
+        let mut reports = Vec::new();
+        let mut corrupt = 0usize;
+        for shard in shards {
+            let mut text = String::new();
+            File::open(&shard)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| jr_err(&shard, e))?;
+            let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            if complete_len < text.len() {
+                corrupt += 1; // torn trailing line (killed mid-write)
+            }
+            for line in text[..complete_len].lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<AttackCellReport>(line) {
+                    Ok(r) => reports.push(r),
+                    Err(_) => corrupt += 1,
+                }
+            }
+        }
+        Ok((reports, corrupt))
+    }
+
+    fn shard_writer(&self, worker: usize) -> Result<JournalWriter, CampaignError> {
+        let path = self.dir.join(format!("shard-w{worker}.jsonl"));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| jr_err(&path, e))?;
+        let len = file.seek(SeekFrom::End(0)).map_err(|e| jr_err(&path, e))?;
+        if len > 0 {
+            let mut tail = [0u8; 1];
+            let mut check = File::open(&path).map_err(|e| jr_err(&path, e))?;
+            check
+                .seek(SeekFrom::End(-1))
+                .and_then(|_| check.read_exact(&mut tail))
+                .map_err(|e| jr_err(&path, e))?;
+            if tail[0] != b'\n' {
+                file.write_all(b"\n").map_err(|e| jr_err(&path, e))?;
+            }
+        }
+        Ok(JournalWriter { path, file })
+    }
+}
+
+#[derive(Debug)]
+struct JournalWriter {
+    path: PathBuf,
+    file: File,
+}
+
+impl JournalWriter {
+    fn append(&mut self, report: &AttackCellReport) -> Result<(), CampaignError> {
+        let mut line = serde_json::to_string(report).map_err(|e| jr_err(&self.path, e))?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.flush())
+            .map_err(|e| jr_err(&self.path, e))
+    }
+}
+
+/// The attack matrix driver: panic isolation per cell, optional JSONL
+/// journalling with resume, cooperative cancellation, and round-robin
+/// worker sharding. Reports are reassembled in input-cell order, so the
+/// aggregate is bit-identical for any worker count.
+#[derive(Debug, Clone)]
+pub struct AttackCampaign {
+    cc: AttackCampaignConfig,
+    harness: AttackHarness,
+}
+
+impl AttackCampaign {
+    /// Builds the campaign after validating the rollout options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecoveryOptions::validate`] failures.
+    pub fn try_new(cc: AttackCampaignConfig) -> Result<AttackCampaign, CampaignError> {
+        let harness =
+            AttackHarness::try_new(cc.noc.clone(), cc.opts).map_err(CampaignError::Substrate)?;
+        Ok(AttackCampaign { cc, harness })
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &AttackCampaignConfig {
+        &self.cc
+    }
+
+    /// Runs every cell, `threads`-wide. One report per input cell, in
+    /// input order; cells already present in a resumed journal are not
+    /// re-run.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O and configuration-mismatch failures, and cell
+    /// validation rejections ([`CampaignError::Substrate`]); per-cell
+    /// crashes are *outcomes*, not errors.
+    pub fn run_cells(
+        &self,
+        cells: &[AttackCell],
+        threads: usize,
+        opts: &AttackCampaignOptions,
+    ) -> Result<AttackCampaignReport, CampaignError> {
+        let journal = match &opts.checkpoint_dir {
+            Some(dir) => Some(Journal::open(dir, &self.cc)?),
+            None => None,
+        };
+        let mut done: HashMap<AttackCell, AttackCellReport> = HashMap::new();
+        let mut corrupt_lines = 0usize;
+        if let Some(j) = &journal {
+            let (reports, corrupt) = j.load()?;
+            if !opts.resume && !reports.is_empty() {
+                return Err(CampaignError::Checkpoint {
+                    path: j.dir.clone(),
+                    detail: format!(
+                        "directory already holds {} completed cells; pass resume=true to continue or point at a fresh directory",
+                        reports.len()
+                    ),
+                });
+            }
+            if opts.resume {
+                corrupt_lines = corrupt;
+                for r in reports {
+                    done.insert(r.cell, r); // later shards win on duplicates
+                }
+            }
+        }
+        let resumed = cells.iter().filter(|c| done.contains_key(c)).count();
+        let todo: Vec<AttackCell> = cells
+            .iter()
+            .copied()
+            .filter(|c| !done.contains_key(c))
+            .collect();
+
+        let run_cell = |cell: &AttackCell| -> Result<AttackCellReport, CampaignError> {
+            let run = self
+                .harness
+                .run_isolated(&cell.spec, cell.fault.as_ref())
+                .map_err(CampaignError::Substrate)?;
+            Ok(AttackCellReport { cell: *cell, run })
+        };
+
+        let mut fresh: Vec<AttackCellReport> = Vec::new();
+        if threads <= 1 || todo.len() < 2 {
+            let mut writer = match &journal {
+                Some(j) => Some(j.shard_writer(0)?),
+                None => None,
+            };
+            for cell in &todo {
+                if opts.cancelled() {
+                    break;
+                }
+                let rep = run_cell(cell)?;
+                if let Some(w) = &mut writer {
+                    w.append(&rep)?;
+                }
+                fresh.push(rep);
+            }
+        } else {
+            // Round-robin sharding, like the fault campaigns: worker `w`
+            // takes cells `w`, `w+workers`, …, so the shard a cell lands
+            // in is a pure function of its index and the worker count.
+            let workers = threads.min(todo.len());
+            let mut writers: Vec<Option<JournalWriter>> = Vec::new();
+            for i in 0..workers {
+                writers.push(match &journal {
+                    Some(j) => Some(j.shard_writer(i)?),
+                    None => None,
+                });
+            }
+            let todo = &todo;
+            let run_cell = &run_cell;
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = writers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, mut writer)| {
+                        scope.spawn(move || -> Result<Vec<AttackCellReport>, CampaignError> {
+                            let mut out = Vec::new();
+                            for cell in todo.iter().skip(w).step_by(workers) {
+                                if opts.cancelled() {
+                                    break;
+                                }
+                                let rep = run_cell(cell)?;
+                                if let Some(wr) = &mut writer {
+                                    wr.append(&rep)?;
+                                }
+                                out.push(rep);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                let mut results = Vec::new();
+                for h in handles {
+                    results.push(h.join());
+                }
+                results
+            });
+            for r in results {
+                match r {
+                    Ok(Ok(v)) => fresh.extend(v),
+                    Ok(Err(e)) => return Err(e),
+                    Err(p) => {
+                        return Err(CampaignError::WorkerLost {
+                            detail: format!("{p:?}"),
+                        })
+                    }
+                }
+            }
+        }
+
+        for r in fresh {
+            done.insert(r.cell, r);
+        }
+        let mut reports = Vec::with_capacity(cells.len());
+        let mut interrupted = false;
+        for cell in cells {
+            match done.get(cell) {
+                Some(r) => reports.push(r.clone()),
+                None => interrupted = true,
+            }
+        }
+        Ok(AttackCampaignReport {
+            reports,
+            resumed,
+            corrupt_lines,
+            interrupted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault::Watchdog;
+
+    fn noc() -> NocConfig {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.05;
+        cfg
+    }
+
+    fn small_opts() -> RecoveryOptions {
+        RecoveryOptions {
+            warmup: 200,
+            active_window: 1_500,
+            watchdog: Watchdog {
+                cycle_budget: 60_000,
+                stall_window: 1_500,
+            },
+            ..RecoveryOptions::paper_defaults()
+        }
+    }
+
+    fn harness() -> AttackHarness {
+        AttackHarness::try_new(noc(), small_opts()).expect("valid options")
+    }
+
+    fn spec(kind: AttackKind) -> AttackSpec {
+        AttackSpec {
+            router: 5,
+            kind,
+            start: 300,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn classify_is_conservative() {
+        let q = RecoveryOutcome::Quiescent;
+        assert_eq!(
+            classify(0, &q, DeliveryVerdict::ExactlyOnce, 5, 5),
+            AttackClass::Vacuous
+        );
+        assert_eq!(
+            classify(3, &q, DeliveryVerdict::ExactlyOnce, 1, 0),
+            AttackClass::DetectedByBank
+        );
+        assert_eq!(
+            classify(3, &q, DeliveryVerdict::ExactlyOnce, 0, 2),
+            AttackClass::MitigatedByArq
+        );
+        assert_eq!(
+            classify(3, &q, DeliveryVerdict::ExactlyOnce, 0, 0),
+            AttackClass::UndetectedLoss,
+            "unexplained survival is not accepted"
+        );
+        // Loud loss: every lost message was given up on.
+        let loud = DeliveryVerdict::Violated {
+            undelivered: 2,
+            gave_up: 2,
+            duplicates: 0,
+        };
+        assert_eq!(classify(3, &q, loud, 0, 9), AttackClass::CaughtByOracle);
+        assert_eq!(classify(3, &q, loud, 1, 9), AttackClass::DetectedByBank);
+        // Silent loss in an apparently-healthy run is never excused.
+        let silent = DeliveryVerdict::Violated {
+            undelivered: 2,
+            gave_up: 0,
+            duplicates: 0,
+        };
+        assert_eq!(classify(3, &q, silent, 9, 9), AttackClass::UndetectedLoss);
+        let dup = DeliveryVerdict::Violated {
+            undelivered: 0,
+            gave_up: 0,
+            duplicates: 1,
+        };
+        assert_eq!(classify(3, &q, dup, 9, 9), AttackClass::UndetectedLoss);
+        // A watchdog trip makes in-flight loss loud.
+        let hung = RecoveryOutcome::Hung(Hang {
+            kind: HangKind::CycleBudget,
+            at_cycle: 1,
+            stalled_for: 0,
+        });
+        assert_eq!(
+            classify(3, &hung, silent, 0, 0),
+            AttackClass::CaughtByOracle
+        );
+    }
+
+    #[test]
+    fn attacker_armed_after_the_window_is_vacuous() {
+        let run = harness()
+            .run(
+                &AttackSpec {
+                    start: 1_000_000,
+                    ..spec(AttackKind::PacketDrop { every: 1 })
+                },
+                None,
+            )
+            .expect("valid cell");
+        assert_eq!(run.class, AttackClass::Vacuous);
+        assert_eq!(run.verdict, DeliveryVerdict::ExactlyOnce);
+        assert_eq!(run.attack.interference(), 0);
+    }
+
+    #[test]
+    fn ack_spoof_never_fakes_exactly_once() {
+        // every=2, not every=1: the forged ACK worms the attacker injects
+        // leave through its own compromised links, so an attacker that
+        // swallows *every* passing packet eats its own forgeries before
+        // any NIC can reject them (self-defeating, and verified vacuous
+        // for the spoof half of the model).
+        let run = harness()
+            .run(&spec(AttackKind::AckSpoof { every: 2 }), None)
+            .expect("valid cell");
+        assert!(run.attack.packets_dropped > 0, "{run:?}");
+        assert!(run.intents_performed > 0, "forged ACKs must be injected");
+        assert!(
+            run.transport.forged_controls_ignored > 0,
+            "the hardened control path must reject the guessed tags: {run:?}"
+        );
+        assert!(run.suspicions > 0, "forgeries must be attributed");
+        // The pinned property: a forged ACK never closes a window without
+        // delivery, so any ExactlyOnce verdict is genuine and any loss is
+        // loud.
+        assert_ne!(run.class, AttackClass::UndetectedLoss, "{run:?}");
+        if run.verdict == DeliveryVerdict::ExactlyOnce {
+            assert_eq!(run.transport.delivered, run.transport.offered);
+        }
+    }
+
+    #[test]
+    fn misroute_is_discarded_at_the_wrong_nic_and_recovered_by_arq() {
+        let run = harness()
+            .run(&spec(AttackKind::Misroute { every: 1 }), None)
+            .expect("valid cell");
+        assert!(run.attack.packets_misrouted > 0, "{run:?}");
+        assert!(
+            run.transport.misrouted_flits > 0,
+            "wrong-destination ejects must be discarded, not delivered: {run:?}"
+        );
+        assert_ne!(run.class, AttackClass::UndetectedLoss, "{run:?}");
+        if let DeliveryVerdict::Violated { duplicates, .. } = run.verdict {
+            assert_eq!(duplicates, 0, "misroute must never duplicate deliveries");
+        }
+    }
+
+    #[test]
+    fn suppression_cells_keep_detection_while_starving_containment() {
+        let cfg = noc();
+        let fault = covered_fault_for(&cfg, 5, 300).expect("router 5 has a covered site");
+        let run = harness()
+            .run(&spec(AttackKind::AlertSuppress), Some(&fault))
+            .expect("valid cell");
+        assert!(run.suppressed_alerts > 0, "{run:?}");
+        assert!(run.bank_alerts >= run.suppressed_alerts);
+        assert_ne!(run.class, AttackClass::UndetectedLoss, "{run:?}");
+    }
+
+    #[test]
+    fn rejected_cells_are_errors_not_matrix_entries() {
+        let h = harness();
+        let bad = AttackSpec {
+            router: 999,
+            ..spec(AttackKind::PacketDrop { every: 1 })
+        };
+        assert!(h.run(&bad, None).is_err());
+        let degenerate = spec(AttackKind::PacketDrop { every: 0 });
+        assert!(h.run(&degenerate, None).is_err());
+    }
+
+    #[test]
+    fn standard_cells_are_deterministic_and_cover_every_kind() {
+        let cfg = noc();
+        let a = standard_cells(&cfg, &[5, 6], 2, 300, 1);
+        let b = standard_cells(&cfg, &[5, 6], 2, 300, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16, "8 kinds × 2 routers");
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|c| c.spec.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "per-cell seeds are distinct");
+        assert!(a
+            .iter()
+            .all(|c| (c.spec.kind == AttackKind::AlertSuppress) == c.fault.is_some()));
+    }
+
+    #[test]
+    fn journal_refuses_mismatched_config_and_populated_dir_without_resume() {
+        let dir = std::env::temp_dir().join(format!("nocalert-attack-jr-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cc = AttackCampaignConfig {
+            noc: noc(),
+            opts: small_opts(),
+        };
+        let campaign = AttackCampaign::try_new(cc.clone()).expect("valid");
+        let cells = standard_cells(&cc.noc, &[5], 2, 300, 1);
+        let one = &cells[..1];
+        let opts = AttackCampaignOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..AttackCampaignOptions::default()
+        };
+        let first = campaign.run_cells(one, 1, &opts).expect("first run");
+        assert_eq!(first.reports.len(), 1);
+        assert_eq!(first.resumed, 0);
+
+        // Populated dir without resume is refused.
+        let err = campaign.run_cells(one, 1, &opts).unwrap_err();
+        assert!(matches!(err, CampaignError::Checkpoint { .. }), "{err:?}");
+
+        // Resume restores the completed cell bit-identically.
+        let resumed = campaign
+            .run_cells(
+                one,
+                1,
+                &AttackCampaignOptions {
+                    checkpoint_dir: Some(dir.clone()),
+                    resume: true,
+                    cancel: None,
+                },
+            )
+            .expect("resume");
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.reports, first.reports);
+
+        // A different configuration is refused outright.
+        let mut other = cc;
+        other.opts.warmup = 999;
+        let mismatch = AttackCampaign::try_new(other).expect("valid");
+        let err = mismatch
+            .run_cells(
+                one,
+                1,
+                &AttackCampaignOptions {
+                    checkpoint_dir: Some(dir.clone()),
+                    resume: true,
+                    cancel: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::CheckpointMismatch { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod aging;
+pub mod attack;
 pub mod campaign;
 pub mod oracle;
 pub mod recovery;
@@ -43,6 +44,11 @@ pub mod stats;
 pub use aging::{
     verdict_of, AgingError, AgingHarness, AgingOptions, AgingOutcome, AgingReport, EpochFault,
     EpochReport,
+};
+pub use attack::{
+    classify as classify_attack, covered_fault_for, effective_interference, standard_cells,
+    AttackCampaign, AttackCampaignConfig, AttackCampaignOptions, AttackCampaignReport, AttackCell,
+    AttackCellReport, AttackClass, AttackHarness, AttackRun,
 };
 pub use campaign::{
     outcome, Campaign, CampaignArena, CampaignConfig, CampaignError, CampaignReport, Checkpoint,

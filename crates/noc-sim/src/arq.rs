@@ -14,8 +14,11 @@
 //!
 //! * **Receiver, assembled data packet** — deliver/ack, suppress/re-ack a
 //!   duplicate, or NACK a corrupted copy ([`receiver_data_action`]).
-//! * **Sender, returned control packet** — an ACK completes the message, a
-//!   NACK schedules an immediate retransmit ([`sender_control_action`]).
+//! * **Sender, returned control packet** — the control copy is first
+//!   authenticated (keyed per-packet tag + claimed-source check,
+//!   [`ControlSignature`]); an authentic ACK completes the message, an
+//!   authentic NACK schedules an immediate retransmit, and anything that
+//!   fails authentication is ignored ([`sender_control_action`]).
 //! * **Sender, expired retransmission timer** — retransmit with
 //!   exponential backoff, or give up after the retry budget, recording a
 //!   failure only if the message is not known delivered
@@ -57,25 +60,101 @@ pub fn receiver_data_action(already_delivered: bool, corrupted: bool) -> Receive
 /// What the data sender does with a returned control packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SenderControlAction {
-    /// ACK: the message is done; drop the pending entry and stop the
-    /// timer. A corrupted ACK still completes — its identity carries the
-    /// information; real hardware would checksum-drop it and the next
-    /// retransmission round would absorb the loss identically.
+    /// Authentic ACK: the message is done; drop the pending entry and
+    /// stop the timer. A *corrupted* authentic ACK still completes — its
+    /// identity carries the information; real hardware would
+    /// checksum-drop it and the next retransmission round would absorb
+    /// the loss identically. A *forged* ACK never reaches this arm.
     Complete,
-    /// NACK: the path demonstrably delivers, the copy was just damaged —
-    /// expire the timer now and retransmit immediately.
+    /// Authentic NACK: the path demonstrably delivers, the copy was just
+    /// damaged — expire the timer now and retransmit immediately.
     RetransmitNow,
+    /// The control copy failed authentication (bad keyed tag, or the
+    /// claimed source is not the pending message's destination): treat it
+    /// as if it never arrived. The retransmission timer keeps running, so
+    /// a black-holed-then-spoofed message degrades to the plain-loss case
+    /// the timeout path already covers.
+    Ignore,
 }
 
-/// Sender-side decision for an arrived control packet (`nack` selects
-/// between the two control kinds).
+/// The authenticated identity of an arrived control packet, as computed
+/// by the transport before asking for a decision.
+///
+/// `tag_valid` is the keyed per-packet tag check ([`auth_tag`]); the tag
+/// is a function of a NIC-pair secret the on-path routers never hold, so
+/// a compromised router can only guess it. `src_valid` is the
+/// source-validation check: the control's claimed origin must be the
+/// pending data message's destination — an ACK for `A→B` arriving "from"
+/// anyone but `B` is spoofed by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlSignature {
+    /// True for NACK, false for ACK.
+    pub nack: bool,
+    /// Keyed tag matched the expected per-packet value.
+    pub tag_valid: bool,
+    /// Claimed source is the pending message's destination.
+    pub src_valid: bool,
+}
+
+impl ControlSignature {
+    /// An authentic control copy (both checks passed).
+    pub fn authentic(nack: bool) -> ControlSignature {
+        ControlSignature {
+            nack,
+            tag_valid: true,
+            src_valid: true,
+        }
+    }
+}
+
+/// Sender-side decision for an arrived control packet: authenticate
+/// first, then let the control kind pick between completion and
+/// immediate retransmission. Spoof-hardened — compare the trusting
+/// pre-hardening rule [`sender_control_action_trusting`].
 #[inline]
-pub fn sender_control_action(nack: bool) -> SenderControlAction {
+pub fn sender_control_action(sig: ControlSignature) -> SenderControlAction {
+    if !sig.tag_valid || !sig.src_valid {
+        SenderControlAction::Ignore
+    } else if sig.nack {
+        SenderControlAction::RetransmitNow
+    } else {
+        SenderControlAction::Complete
+    }
+}
+
+/// The **pre-hardening** control rule: trust any control copy that names
+/// a pending packet. Kept (test/mutation-gated) as the pinned negative —
+/// under an ACK-spoofing adversary this rule completes a message that was
+/// never delivered, which the hardened rule and the NL504 model-checking
+/// obligation both reject.
+#[cfg(any(test, feature = "mutation"))]
+#[inline]
+pub fn sender_control_action_trusting(nack: bool) -> SenderControlAction {
     if nack {
         SenderControlAction::RetransmitNow
     } else {
         SenderControlAction::Complete
     }
+}
+
+/// Keyed per-packet authentication tag for control packets.
+///
+/// A cheap two-round xorshift-multiply mixer — this models a MAC's
+/// *protocol* role (unforgeable without the key), not its cryptographic
+/// strength. The secret is shared by the NIC endpoints (derived from the
+/// run seed at transport construction) and never held by routers, so an
+/// on-path attacker can only guess: its forged tags come from its private
+/// RNG and miss with overwhelming probability, while *replayed* genuine
+/// controls carry valid tags and are instead absorbed by the pending
+/// window (stale-sequence idempotence).
+#[inline]
+pub fn auth_tag(secret: u64, packet: noc_types::PacketId, nack: bool) -> u64 {
+    let mut x = secret ^ packet.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (nack as u64) << 63;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// What the data sender does when a retransmission timer expires.
@@ -138,8 +217,8 @@ pub enum ArqDecision {
     },
     /// A sender decision on a returned control packet.
     Control {
-        /// True for NACK, false for ACK.
-        nack: bool,
+        /// The authenticated identity the decision was made from.
+        sig: ControlSignature,
         /// The action taken.
         action: SenderControlAction,
     },
@@ -199,6 +278,101 @@ mod tests {
             SenderTimeoutAction::GiveUp {
                 record_failure: false
             }
+        );
+    }
+
+    #[test]
+    fn authentic_controls_decide_by_kind() {
+        assert_eq!(
+            sender_control_action(ControlSignature::authentic(false)),
+            SenderControlAction::Complete
+        );
+        assert_eq!(
+            sender_control_action(ControlSignature::authentic(true)),
+            SenderControlAction::RetransmitNow
+        );
+    }
+
+    #[test]
+    fn spoofed_controls_are_ignored() {
+        // A forged tag is ignored regardless of kind or claimed source.
+        for nack in [false, true] {
+            for src_valid in [false, true] {
+                assert_eq!(
+                    sender_control_action(ControlSignature {
+                        nack,
+                        tag_valid: false,
+                        src_valid,
+                    }),
+                    SenderControlAction::Ignore
+                );
+            }
+        }
+        // A valid tag from the wrong claimed source is still ignored: a
+        // replayed tag re-addressed by an on-path router must not count.
+        for nack in [false, true] {
+            assert_eq!(
+                sender_control_action(ControlSignature {
+                    nack,
+                    tag_valid: true,
+                    src_valid: false,
+                }),
+                SenderControlAction::Ignore
+            );
+        }
+    }
+
+    #[test]
+    fn replayed_authentic_controls_stay_idempotent() {
+        // A bit-faithful replay authenticates (same tag, same source) and
+        // must therefore produce the same decision as the original — the
+        // safety burden for replays sits on the *pending window* (a
+        // completed packet has no pending entry, so a stale-sequence
+        // replay is dropped before any decision is asked for). The pure
+        // layer's contract is only that the repeated decision is
+        // idempotent, never a new side effect.
+        let first = sender_control_action(ControlSignature::authentic(false));
+        let replay = sender_control_action(ControlSignature::authentic(false));
+        assert_eq!(first, replay);
+        assert_eq!(replay, SenderControlAction::Complete);
+    }
+
+    #[test]
+    fn forged_tags_from_guessing_do_not_collide() {
+        // The attacker holds the packet id but not the secret: guessing
+        // with a different key never reproduces the genuine tag.
+        let secret = 0x5eed_0f00d;
+        for pid in 0..64u64 {
+            let genuine = auth_tag(secret, noc_types::PacketId(pid), false);
+            for guess_key in 1..=16u64 {
+                let forged = auth_tag(secret ^ guess_key, noc_types::PacketId(pid), false);
+                assert_ne!(genuine, forged, "pid {pid} guess {guess_key}");
+            }
+            // The tag also binds the control kind: an ACK tag is not a
+            // valid NACK tag for the same packet.
+            assert_ne!(genuine, auth_tag(secret, noc_types::PacketId(pid), true));
+        }
+    }
+
+    /// Pinned negative: the pre-hardening rule trusts an unauthenticated
+    /// ACK and completes the message. This is exactly the spoofing hole
+    /// the hardened rule closes — the test documents the hole so it can
+    /// never silently return (the mutation build of the model checker
+    /// turns this same rule into an NL504 counterexample).
+    #[test]
+    fn trusting_rule_accepts_spoofed_ack_pinned_negative() {
+        assert_eq!(
+            sender_control_action_trusting(false),
+            SenderControlAction::Complete
+        );
+        // The hardened rule maps the identical (forged) input to Ignore.
+        assert_eq!(
+            sender_control_action(ControlSignature {
+                nack: false,
+                tag_valid: false,
+                src_valid: true,
+            }),
+            SenderControlAction::Ignore
         );
     }
 

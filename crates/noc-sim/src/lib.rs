@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod arbiter;
 pub mod arq;
 pub mod buffer;
@@ -48,6 +49,7 @@ pub mod traffic;
 pub mod transport;
 pub mod vc;
 
+pub use adversary::{Adversary, AttackIntent, AttackStats};
 pub use fault_plane::{ArmedFault, FaultPlane};
 pub use fault_region::{FaultRegionMap, RegionGrowth};
 pub use network::{NetStats, Network, NullObserver, Observer};
@@ -58,4 +60,7 @@ pub use router::{CreditMsg, LinkFlit, Router};
 pub use signals::{enumerate_all_sites, enumerate_router_sites, live_bits, signal_width};
 pub use stats::{LatencyStats, StatsCollector};
 pub use trace::TraceObserver;
-pub use transport::{ArqConfig, DeliveryRecord, FailureRecord, Transport, TransportStats};
+pub use transport::{
+    ArqConfig, ControlCapture, DeliveryRecord, FailureRecord, SuspicionEvent, Transport,
+    TransportStats,
+};

@@ -17,6 +17,7 @@
 //! network once and rolls each injection out from the copy, which is what
 //! makes the paper-scale sweep tractable.
 
+use crate::adversary::{Adversary, AttackIntent, AttackStats};
 use crate::fault_plane::{ArmedFault, FaultPlane};
 use crate::fault_region::FaultRegionMap;
 use crate::nic::Nic;
@@ -29,7 +30,7 @@ use noc_types::flit::make_packet;
 use noc_types::geometry::{Direction, NodeId};
 use noc_types::record::{CycleRecord, EjectEvent};
 use noc_types::site::{FaultKind, SiteRef};
-use noc_types::{Cycle, Flit, PacketId};
+use noc_types::{AttackSpec, Cycle, Flit, PacketId, SimError};
 use std::collections::BTreeSet;
 
 /// Receives everything observable that happens during simulation.
@@ -213,6 +214,10 @@ pub struct Network {
     eject_events: Vec<EjectEvent>,
     eject_credits: Vec<CreditMsg>,
     credit_scratch: Vec<CreditMsg>,
+    /// The adversarial plane: at most one compromised router whose output
+    /// links are manipulated during phase 2b, *after* the checkers
+    /// observed the cycle. `None` in every fault-only campaign.
+    attacker: Option<Adversary>,
 }
 
 // Manual impl so `clone_from` (the arena reset path) rewinds a used
@@ -239,6 +244,7 @@ impl Clone for Network {
             eject_events: self.eject_events.clone(),
             eject_credits: self.eject_credits.clone(),
             credit_scratch: self.credit_scratch.clone(),
+            attacker: self.attacker.clone(),
         }
     }
 
@@ -260,6 +266,7 @@ impl Clone for Network {
         self.eject_events.clone_from(&src.eject_events);
         self.eject_credits.clone_from(&src.eject_credits);
         self.credit_scratch.clone_from(&src.credit_scratch);
+        self.attacker.clone_from(&src.attacker);
     }
 }
 
@@ -305,6 +312,7 @@ impl Network {
             eject_events: Vec::new(),
             eject_credits: Vec::new(),
             credit_scratch: Vec::new(),
+            attacker: None,
             cfg,
         })
     }
@@ -377,6 +385,106 @@ impl Network {
         if newly {
             self.sync_region();
         }
+    }
+
+    /// Arms the adversarial plane: `router` becomes compromised and
+    /// manipulates its output links per `spec` (replacing any armed
+    /// attacker). The spec is validated against the configuration, and a
+    /// router the containment plane has already taken out of service —
+    /// absorbed into a fault region or escalated to malicious — is
+    /// rejected: a dead router forwards nothing and cannot attack, so a
+    /// campaign cell targeting one would silently measure nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AttackSpecInvalid`] for nonexistent or
+    /// quarantined routers and degenerate behavioural parameters.
+    pub fn arm_attack(&mut self, spec: &AttackSpec) -> Result<(), SimError> {
+        spec.validate(&self.cfg)?;
+        if self.router_quarantined(spec.router) {
+            return Err(SimError::AttackSpecInvalid {
+                router: spec.router,
+                reason: "compromised router is already quarantined",
+            });
+        }
+        self.attacker = Some(Adversary::new(*spec, self.cfg.vcs_per_port));
+        Ok(())
+    }
+
+    /// Removes the armed attacker (its accumulated stats are discarded).
+    pub fn disarm_attack(&mut self) {
+        self.attacker = None;
+    }
+
+    /// The armed attacker's spec, if any.
+    pub fn attack_spec(&self) -> Option<AttackSpec> {
+        self.attacker.as_ref().map(Adversary::spec)
+    }
+
+    /// Interference counters of the armed attacker (zeros when none).
+    pub fn attack_stats(&self) -> AttackStats {
+        self.attacker
+            .as_ref()
+            .map(Adversary::stats)
+            .unwrap_or_default()
+    }
+
+    /// Drains the attacker's queued out-of-band actions (forged controls,
+    /// replays, fabricated alerts). The attack harness executes them
+    /// through public APIs so fabricated traffic physically originates at
+    /// the attacker's node. Empty when no attacker is armed.
+    pub fn drain_attack_intents(&mut self) -> Vec<AttackIntent> {
+        self.attacker
+            .as_mut()
+            .map(Adversary::take_intents)
+            .unwrap_or_default()
+    }
+
+    /// True when `router` is administratively out of service: absorbed
+    /// into a fault region, or escalated to malicious by suspicion
+    /// scoring.
+    pub fn router_quarantined(&self, router: u16) -> bool {
+        self.region
+            .as_ref()
+            .is_some_and(|m| m.absorbed(NodeId(router)))
+            || self.router_malicious(router)
+    }
+
+    /// True once `router` has been escalated from faulty to malicious.
+    pub fn router_malicious(&self, router: u16) -> bool {
+        self.recovery.as_ref().is_some_and(|rs| {
+            rs.controllers
+                .get(router as usize)
+                .is_some_and(RecoveryController::is_malicious)
+        })
+    }
+
+    /// Scores one piece of protocol-level forgery evidence (a spoofed
+    /// control packet the transport attributed to `router` by its
+    /// physical wire source) against that router's suspicion counter.
+    /// Crossing the policy's malice threshold escalates the router to
+    /// malicious and quarantines it whole — returns `true` exactly at
+    /// that crossing. No-op (false) when recovery is disabled.
+    pub fn note_suspicion(&mut self, router: u16) -> bool {
+        let crossed = {
+            let Some(rs) = self.recovery.as_mut() else {
+                return false;
+            };
+            if router as usize >= rs.controllers.len() {
+                return false;
+            }
+            let policy = rs.policy;
+            rs.stats.suspicions_noted += 1;
+            let crossed = rs.controllers[router as usize].note_suspicion(&policy);
+            if crossed {
+                rs.stats.routers_marked_malicious += 1;
+            }
+            crossed
+        };
+        if crossed {
+            self.quarantine_router(router);
+        }
+        crossed
     }
 
     /// Administratively severs the mesh link at `router` toward `dir`:
@@ -476,6 +584,8 @@ impl Network {
         self.cycle == other.cycle
             && self.recovery.is_none()
             && other.recovery.is_none()
+            && self.attacker.is_none()
+            && other.attacker.is_none()
             && self.next_packet == other.next_packet
             && self.next_uid == other.next_uid
             && self.injection_enabled == other.injection_enabled
@@ -503,6 +613,7 @@ impl Network {
     /// end-of-run quiescent codas it exists for.
     pub fn try_fast_forward_quiescent<O: Observer>(&mut self, n: u64, obs: &mut O) -> bool {
         if self.recovery.is_some()
+            || self.attacker.is_some()
             || self.region_dirty
             || self.injection_enabled
             || !self.plane.inert_from(self.cycle)
@@ -941,11 +1052,34 @@ impl Network {
         }
 
         // 2b. Move staged flits across links / into ejection buffers.
+        // This is the adversarial interposition point (DESIGN.md §14): a
+        // compromised router manipulates its staged outputs *here*, after
+        // every checker already observed the cycle's wire values.
+        if let Some(adv) = self.attacker.as_mut() {
+            adv.on_cycle(cy);
+        }
         for i in 0..self.routers.len() {
             for d in Direction::ALL {
                 let o = d.index();
                 let Some(lf) = self.routers[i].out_flits[o].take() else {
                     continue;
+                };
+                let lf = match self.attacker.as_mut() {
+                    Some(adv) if adv.armed_at(i as u16, cy) => {
+                        let next = if d == Direction::Local {
+                            None
+                        } else {
+                            cfg.mesh.neighbor(NodeId(i as u16), d)
+                        };
+                        match adv.on_link_flit(d, next, lf) {
+                            Some(lf) => lf,
+                            // Swallowed: no wire event and no forwarded
+                            // count — to the rest of the mesh this link
+                            // simply carried nothing this cycle.
+                            None => continue,
+                        }
+                    }
+                    _ => lf,
                 };
                 if d == Direction::Local {
                     self.nics[i].eject_push(lf.vc, lf.flit);

@@ -49,6 +49,17 @@ pub struct RecoveryPolicy {
     /// head-of-line blocking at the configured load; `Cycle::MAX`
     /// effectively disables the monitor.
     pub stall_age: Cycle,
+    /// Suspicion score at which a router is escalated from "faulty" to
+    /// "malicious". Suspicion accrues from *protocol-level* forgery
+    /// evidence (spoofed control packets attributed to the router by the
+    /// transport's source validation) rather than checker alerts — a
+    /// faulty router garbles wires, a malicious one fabricates
+    /// valid-shaped traffic. Crossing the threshold quarantines the whole
+    /// router and stops trusting anything it originates. Forgery evidence
+    /// is conclusive per event, so the default is low; it is > 1 only to
+    /// tolerate misattribution at the margin (e.g. a genuinely faulty
+    /// router corrupting a traversing control packet's tag bits).
+    pub malice_threshold: u32,
 }
 
 impl RecoveryPolicy {
@@ -66,6 +77,7 @@ impl RecoveryPolicy {
             reset_threshold: 2,
             disable_threshold: 3,
             stall_age: 1_000,
+            malice_threshold: 3,
         }
     }
 
@@ -90,6 +102,11 @@ impl RecoveryPolicy {
         if self.stall_age == 0 {
             return Err(noc_types::SimError::ArqInvalid {
                 reason: "stall age must be non-zero",
+            });
+        }
+        if self.malice_threshold == 0 {
+            return Err(noc_types::SimError::ArqInvalid {
+                reason: "malice threshold must be non-zero",
             });
         }
         Ok(())
@@ -148,14 +165,26 @@ pub struct RecoveryStats {
     /// RC decisions where the fault-region tables overrode the baseline
     /// route (reroutes taken around regions).
     pub reroutes_taken: u64,
+    /// Forgery-evidence events scored against some router's suspicion
+    /// counter.
+    pub suspicions_noted: u64,
+    /// Routers escalated from faulty to malicious (whole-router
+    /// quarantine, ACKs no longer trusted).
+    pub routers_marked_malicious: u64,
 }
 
 /// Per-router escalation state: alert counts and quarantine flags per
-/// suspect input VC `(port, vc)`.
+/// suspect input VC `(port, vc)`, plus the router-level malice score.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryController {
     counts: BTreeMap<(u8, u8), u32>,
     quarantined: BTreeMap<(u8, u8), bool>,
+    /// Bounded forgery-evidence score (saturates at the policy threshold —
+    /// there is nothing past "malicious" to escalate to, and an unbounded
+    /// counter under an alert-flooding attacker is itself a resource
+    /// attack surface).
+    suspicion: u32,
+    malicious: bool,
 }
 
 impl RecoveryController {
@@ -197,6 +226,37 @@ impl RecoveryController {
     /// True when `(port, vc)` has been quarantined.
     pub fn is_quarantined(&self, port: u8, vc: u8) -> bool {
         self.quarantined.get(&(port, vc)).copied().unwrap_or(false)
+    }
+
+    /// Scores one piece of forgery evidence against this router and
+    /// returns `true` exactly once: at the moment the bounded score
+    /// crosses the policy's malice threshold (the caller then quarantines
+    /// the router and stops trusting its traffic). Further evidence
+    /// against an already-malicious router is absorbed.
+    pub fn note_suspicion(&mut self, policy: &RecoveryPolicy) -> bool {
+        if self.malicious {
+            return false;
+        }
+        self.suspicion = self
+            .suspicion
+            .saturating_add(1)
+            .min(policy.malice_threshold);
+        if self.suspicion >= policy.malice_threshold {
+            self.malicious = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accumulated (bounded) forgery-evidence score.
+    pub fn suspicion(&self) -> u32 {
+        self.suspicion
+    }
+
+    /// True once the router has been escalated to malicious.
+    pub fn is_malicious(&self) -> bool {
+        self.malicious
     }
 }
 
@@ -245,5 +305,32 @@ mod tests {
             ..RecoveryPolicy::default_policy()
         };
         assert!(ageless.validate().is_err());
+        let trusting = RecoveryPolicy {
+            malice_threshold: 0,
+            ..RecoveryPolicy::default_policy()
+        };
+        assert!(trusting.validate().is_err());
+    }
+
+    #[test]
+    fn suspicion_is_bounded_and_crosses_once() {
+        let policy = RecoveryPolicy {
+            malice_threshold: 3,
+            ..RecoveryPolicy::default_policy()
+        };
+        let mut c = RecoveryController::new();
+        assert!(!c.is_malicious());
+        assert!(!c.note_suspicion(&policy));
+        assert!(!c.note_suspicion(&policy));
+        assert_eq!(c.suspicion(), 2);
+        // Third piece of evidence crosses the threshold — exactly once.
+        assert!(c.note_suspicion(&policy));
+        assert!(c.is_malicious());
+        // Further evidence is absorbed and the score stays bounded even
+        // under a flood of forgeries.
+        for _ in 0..10_000 {
+            assert!(!c.note_suspicion(&policy));
+        }
+        assert_eq!(c.suspicion(), policy.malice_threshold);
     }
 }

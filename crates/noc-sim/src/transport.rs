@@ -20,11 +20,24 @@
 //! acknowledgements are full packets of the data packet's message class,
 //! because invariance 28 fixes the flit count per class. Retransmission
 //! overhead is therefore measured honestly, full-length packets included.
+//!
+//! ## Spoof hardening
+//!
+//! A compromised router can fabricate control packets (see the
+//! `adversary` module), so a control copy is only believed after two
+//! independent checks feed [`arq::sender_control_action`]: the keyed
+//! per-packet tag in its payload registry entry must match
+//! [`arq::auth_tag`] under the NIC-pair secret (routers never hold the
+//! secret — a forger can only guess), and the packet's *physical* wire
+//! source — the injection node stamped on its flits, unforgeable
+//! in-model — must be the pending message's destination. Anything else is
+//! ignored, counted, and attributed to its wire source as a
+//! [`SuspicionEvent`] for the containment plane's malice scoring.
 
 use crate::arq;
 use crate::network::{Network, Observer};
 use noc_types::record::EjectEvent;
-use noc_types::{Cycle, Flit, NocConfig};
+use noc_types::{Cycle, Flit, NocConfig, PacketId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -124,6 +137,10 @@ struct WireMeta {
     dest: u16,
     class: u8,
     len: u16,
+    /// Keyed authentication tag carried in the payload of control
+    /// packets ([`arq::auth_tag`]); 0 for data packets, attacker-guessed
+    /// for forgeries.
+    tag: u64,
 }
 
 /// Sender-side state of one unacknowledged application message.
@@ -155,6 +172,11 @@ struct PacketSlot {
     /// receiver delivered that message: the dedup / re-ACK mark that used
     /// to live in a grow-forever `delivered` set.
     app_delivered: bool,
+    /// Physical injection node of the packet's flits, recorded at first
+    /// eject. Flit sources are stamped by `Network::enqueue_packet` and
+    /// cannot be forged in-model, so this is the trustworthy half of the
+    /// control-packet source validation.
+    wire_src: Option<u16>,
 }
 
 impl PacketSlot {
@@ -166,6 +188,7 @@ impl PacketSlot {
             corrupted: false,
             done: false,
             app_delivered: false,
+            wire_src: None,
         }
     }
 
@@ -252,6 +275,7 @@ struct Outbox {
     to: u16,
     class: u8,
     len: u16,
+    tag: u64,
 }
 
 /// One exactly-once delivery, as the application saw it.
@@ -309,6 +333,48 @@ pub struct TransportStats {
     pub stray_flits: u64,
     /// Messages abandoned after `max_retries` (delivery failures).
     pub gave_up: u64,
+    /// Control packets ignored because their keyed tag or physical wire
+    /// source failed validation (spoofed ACK/NACKs).
+    pub forged_controls_ignored: u64,
+    /// Authentic-looking control packets for messages no longer pending
+    /// (late duplicates and replayed copies) — absorbed idempotently.
+    pub stale_controls: u64,
+}
+
+/// A control packet failed authentication: someone on the wire fabricated
+/// it. The physical injection node (unforgeable) is attributed so the
+/// containment plane can score the router's malice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspicionEvent {
+    /// Physical injection node of the offending control packet (`None`
+    /// only for a malformed packet with no ejected flits).
+    pub router: Option<u16>,
+    /// Cycle the forgery was detected.
+    pub cycle: Cycle,
+}
+
+/// What a forged or replayed control packet claims to be — the payload an
+/// attacker writes when fabricating one. Used by attack harnesses to
+/// register adversarial packets with the transport's wire registry
+/// (flits carry identity only, so fabricated payload meaning must be
+/// declared out of band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlCapture {
+    /// Application message id the control names.
+    pub app: u64,
+    /// True for NACK, false for ACK.
+    pub nack: bool,
+    /// The *claimed* source written in the payload (the genuine receiver
+    /// for a faithful replay; whatever the attacker likes for a forgery).
+    pub claimed_src: u16,
+    /// Destination node (the data sender being deceived).
+    pub dest: u16,
+    /// Message class.
+    pub class: u8,
+    /// Packet length in flits.
+    pub len: u16,
+    /// The authentication tag carried in the payload.
+    pub tag: u64,
 }
 
 /// The end-to-end reliability layer over all NICs of one network.
@@ -335,6 +401,12 @@ pub struct Transport {
     failed: Vec<FailureRecord>,
     stats: TransportStats,
     cycle_seen: Cycle,
+    /// NIC-pair secret for control-packet authentication tags, derived
+    /// from the run seed. Routers (and the `adversary` module) never see
+    /// it.
+    secret: u64,
+    /// Forgery detections awaiting pickup by the containment plane.
+    suspicions: Vec<SuspicionEvent>,
     /// Reused timeout-scan scratch.
     due_scratch: Vec<u64>,
     /// When enabled, every ARQ decision is recorded with its inputs so
@@ -356,6 +428,8 @@ impl Transport {
             failed: Vec::new(),
             stats: TransportStats::default(),
             cycle_seen: 0,
+            secret: arq::auth_tag(cfg.seed ^ 0xA05E_C2E7, PacketId(cfg.seed), false),
+            suspicions: Vec::new(),
             due_scratch: Vec::new(),
             decision_log: None,
         }
@@ -413,6 +487,73 @@ impl Transport {
         self.pending.is_empty() && self.outbox.is_empty()
     }
 
+    /// Drains the forgery detections accumulated since the last call.
+    /// Attack harnesses feed these to `Network::note_suspicion` so the
+    /// containment plane can escalate the offending router to malicious.
+    pub fn take_suspicions(&mut self) -> Vec<SuspicionEvent> {
+        std::mem::take(&mut self.suspicions)
+    }
+
+    /// The payload meaning of a registered **control** packet currently
+    /// on the wire (`None` for data packets, unknown ids and retired
+    /// slots). This models an on-path attacker capturing a traversing
+    /// control packet's bits — including its genuine authentication tag —
+    /// for later replay; flits carry identity only, so the capture reads
+    /// the registry.
+    pub fn control_meta(&self, pid: PacketId) -> Option<ControlCapture> {
+        let slot = self.window.get(pid.0)?;
+        let nack = match slot.meta.kind {
+            WireKind::Data => return None,
+            WireKind::Ack => false,
+            WireKind::Nack => true,
+        };
+        Some(ControlCapture {
+            app: slot.meta.app,
+            nack,
+            claimed_src: slot.meta.src,
+            dest: slot.meta.dest,
+            class: slot.meta.class,
+            len: slot.meta.len,
+            tag: slot.meta.tag,
+        })
+    }
+
+    /// The application message id of a registered **data** packet
+    /// (`None` for control packets, unknown ids and retired slots).
+    /// Attack harnesses use this to resolve a spoofing victim to the
+    /// message its forged ACK must name — for a retransmission the wire
+    /// id and the application id differ.
+    pub fn data_app(&self, pid: PacketId) -> Option<u64> {
+        let slot = self.window.get(pid.0)?;
+        (slot.meta.kind == WireKind::Data).then_some(slot.meta.app)
+    }
+
+    /// Registers an adversarially fabricated control packet: the harness
+    /// has already injected `pid` through `Network::enqueue_packet` (so
+    /// its flits physically originate at the attacker) and `claim` is the
+    /// payload the attacker wrote. The transport treats it like any other
+    /// wire packet — whether it is believed is decided by the hardened
+    /// control path at arrival.
+    pub fn register_forged_control(&mut self, pid: PacketId, at: Cycle, claim: ControlCapture) {
+        self.window.insert(
+            pid.0,
+            at,
+            PacketSlot::new(WireMeta {
+                kind: if claim.nack {
+                    WireKind::Nack
+                } else {
+                    WireKind::Ack
+                },
+                app: claim.app,
+                src: claim.claimed_src,
+                dest: claim.dest,
+                class: claim.class,
+                len: claim.len,
+                tag: claim.tag,
+            }),
+        );
+    }
+
     fn class_len(&self, class: u8) -> u16 {
         self.packet_lengths
             .get(class as usize)
@@ -435,6 +576,7 @@ impl Transport {
         let meta = slot.meta;
         slot.done = true;
         let corrupted = slot.corrupted;
+        let wire_src = slot.wire_src;
         match meta.kind {
             WireKind::Data => {
                 let already = self.window.get(meta.app).is_some_and(|s| s.app_delivered);
@@ -474,13 +616,27 @@ impl Transport {
             }
             WireKind::Ack | WireKind::Nack => {
                 let nack = meta.kind == WireKind::Nack;
-                let action = arq::sender_control_action(nack);
-                self.log_decision(arq::ArqDecision::Control { nack, action });
+                let Some(p) = self.pending.get(&meta.app) else {
+                    // No pending entry: the message already completed (or
+                    // gave up). Late duplicates and replayed copies land
+                    // here and are absorbed idempotently — a replay can
+                    // re-say what was already believed, never more.
+                    self.stats.stale_controls += 1;
+                    return;
+                };
+                let sig = arq::ControlSignature {
+                    nack,
+                    tag_valid: meta.tag == arq::auth_tag(self.secret, PacketId(meta.app), nack),
+                    src_valid: wire_src == Some(p.dest),
+                };
+                let action = arq::sender_control_action(sig);
+                self.log_decision(arq::ArqDecision::Control { sig, action });
                 match action {
                     arq::SenderControlAction::Complete => {
-                        // Arrived back at the data sender: the message is
-                        // done (a corrupted ACK still acknowledges — its
-                        // identity is the information).
+                        // An authentic ACK arrived back at the data
+                        // sender: the message is done (a corrupted
+                        // authentic ACK still acknowledges — its identity
+                        // is the information).
                         self.pending.remove(&meta.app);
                     }
                     arq::SenderControlAction::RetransmitNow => {
@@ -490,12 +646,26 @@ impl Transport {
                             p.deadline = at;
                         }
                     }
+                    arq::SenderControlAction::Ignore => {
+                        // Spoofed: bad tag or wrong physical origin. The
+                        // timer keeps running — a black-holed-and-spoofed
+                        // message degrades to plain loss — and the wire
+                        // source is reported for malice scoring.
+                        self.stats.forged_controls_ignored += 1;
+                        self.suspicions.push(SuspicionEvent {
+                            router: wire_src,
+                            cycle: at,
+                        });
+                    }
                 }
             }
         }
     }
 
     fn queue_ctl(&mut self, kind: WireKind, data: WireMeta) {
+        // The genuine receiver signs its control packet with the keyed
+        // per-packet tag; forgers must guess this value.
+        let tag = arq::auth_tag(self.secret, PacketId(data.app), kind == WireKind::Nack);
         self.outbox.push(Outbox {
             kind,
             app: data.app,
@@ -503,6 +673,7 @@ impl Transport {
             to: data.src,
             class: data.class,
             len: data.len,
+            tag,
         });
     }
 
@@ -526,6 +697,7 @@ impl Transport {
                     dest: msg.to,
                     class: msg.class,
                     len: msg.len,
+                    tag: msg.tag,
                 }),
             );
             match msg.kind {
@@ -593,6 +765,7 @@ impl Transport {
                             dest: p.dest,
                             class: p.class,
                             len: p.len,
+                            tag: 0,
                         }),
                     );
                     if let Some(p) = self.pending.get_mut(&app) {
@@ -642,6 +815,7 @@ impl Observer for Transport {
                 dest: flit.dest.0,
                 class: flit.class,
                 len,
+                tag: 0,
             }),
         );
         self.pending.insert(
@@ -677,6 +851,11 @@ impl Observer for Transport {
         }
         if flit.corrupted || flit.origin == noc_types::flit::FlitOrigin::StaleReplay {
             slot.corrupted = true;
+        }
+        if slot.wire_src.is_none() {
+            // Physical injection node, stamped by the network — the
+            // unforgeable half of control-packet source validation.
+            slot.wire_src = Some(flit.src.0);
         }
         slot.note_seq(flit.seq);
         if self.complete(pid) {

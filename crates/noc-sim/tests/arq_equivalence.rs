@@ -83,8 +83,8 @@ fn recorded_arq_decisions_replay_through_the_pure_functions() {
                 arq::receiver_data_action(already_delivered, corrupted),
                 action
             ),
-            ArqDecision::Control { nack, action } => {
-                assert_eq!(arq::sender_control_action(nack), action);
+            ArqDecision::Control { sig, action } => {
+                assert_eq!(arq::sender_control_action(sig), action);
             }
             ArqDecision::Timeout {
                 attempts,

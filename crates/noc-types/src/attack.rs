@@ -1,0 +1,263 @@
+//! Adversarial-plane vocabulary: compromised-router attack models.
+//!
+//! The fault plane ([`crate::site`]) models *accidental* wire corruption;
+//! this module names the *malicious* counterpart — a compromised router
+//! that behaves correctly through every checked pipeline stage and then
+//! manipulates traffic on its **output links**, i.e. after the NoCAlert
+//! bank has already observed the cycle's wire values. Prasad et al.
+//! (arXiv:1908.00289) show such packet-drop attacks mimic faults while
+//! evading fault-oriented detection; the attack campaign measures what the
+//! invariance bank + ARQ + containment stack of this reproduction actually
+//! catches.
+//!
+//! Like the fault types, these are pure *specification* data (serde-able,
+//! no behaviour): the runtime attacker state machine lives in `noc-sim`'s
+//! `adversary` module, seeded deterministically from [`AttackSpec::seed`]
+//! so campaigns stay bit-identical across worker counts.
+
+use crate::config::NocConfig;
+use crate::error::SimError;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The behavioural model of a compromised router.
+///
+/// Every periodic model selects its victims deterministically (`every` =
+/// act on every n-th candidate), so a given `(spec, traffic)` pair always
+/// produces the same interference — the attack campaign's determinism
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Silently swallow every `every`-th whole packet (all flits of the
+    /// selected worm) leaving the router — the fault-mimicking black-hole
+    /// attack. No protocol invariant is violated on the wire; only the
+    /// end-to-end transport can notice.
+    PacketDrop {
+        /// Drop every n-th packet (1 = drop all).
+        every: u32,
+    },
+    /// Drop every `every`-th individual flit, tearing worms apart and
+    /// leaking credits — the clumsy variant that *does* disturb protocol
+    /// state downstream.
+    FlitDrop {
+        /// Drop every n-th flit (1 = drop all).
+        every: u32,
+    },
+    /// Set the corrupted (EDC-failure) bit on every `every`-th flit after
+    /// the checkers have seen it — payload corruption past the
+    /// observation surface.
+    PayloadCorrupt {
+        /// Corrupt every n-th flit (1 = corrupt all).
+        every: u32,
+    },
+    /// Rewrite the destination of every `every`-th packet to a consistent
+    /// wrong-but-reachable node. All downstream routing is locally legal
+    /// (each hop recomputes a minimal route toward the forged
+    /// destination), so no turn-model checker fires at the manipulating
+    /// hop.
+    Misroute {
+        /// Misroute every n-th packet (1 = misroute all).
+        every: u32,
+    },
+    /// Black-hole every `every`-th traversing data packet *and* forge an
+    /// acknowledgement for it towards the sender, attempting to close the
+    /// ARQ window without delivery — the spoofing attack the hardened
+    /// transport's per-packet auth tags exist for.
+    AckSpoof {
+        /// Attack every n-th data packet (1 = attack all).
+        every: u32,
+    },
+    /// Record genuine control packets (ACK/NACK) traversing the router
+    /// and re-emit bit-faithful copies later (valid auth tag, stale
+    /// sequence) — the replay attack.
+    CtlReplay {
+        /// Replay after every n-th traversing packet (1 = most frequent).
+        every: u32,
+    },
+    /// Suppress the router's own alert wire: assertions raised *at* the
+    /// compromised router never reach the containment plane. Meaningful
+    /// when combined with a co-located fault (the campaign arms one).
+    AlertSuppress,
+    /// Flood the containment plane with fabricated alerts against the
+    /// router's own input VCs — a denial-of-service attempt against the
+    /// escalation ladder.
+    AlertFlood {
+        /// Fabricated alerts raised per cycle.
+        per_cycle: u8,
+    },
+}
+
+impl AttackKind {
+    /// Short stable name for reports and matrix rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::PacketDrop { .. } => "packet-drop",
+            AttackKind::FlitDrop { .. } => "flit-drop",
+            AttackKind::PayloadCorrupt { .. } => "payload-corrupt",
+            AttackKind::Misroute { .. } => "misroute",
+            AttackKind::AckSpoof { .. } => "ack-spoof",
+            AttackKind::CtlReplay { .. } => "ctl-replay",
+            AttackKind::AlertSuppress => "alert-suppress",
+            AttackKind::AlertFlood { .. } => "alert-flood",
+        }
+    }
+
+    /// The attack's intensity parameter (selection period or flood rate),
+    /// normalized for matrix rows: smaller = more aggressive.
+    pub fn intensity(&self) -> u32 {
+        match *self {
+            AttackKind::PacketDrop { every }
+            | AttackKind::FlitDrop { every }
+            | AttackKind::PayloadCorrupt { every }
+            | AttackKind::Misroute { every }
+            | AttackKind::AckSpoof { every }
+            | AttackKind::CtlReplay { every } => every,
+            AttackKind::AlertSuppress => 1,
+            AttackKind::AlertFlood { per_cycle } => per_cycle as u32,
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AttackKind::AlertSuppress => write!(f, "{}", self.name()),
+            AttackKind::AlertFlood { per_cycle } => {
+                write!(f, "{}(per_cycle={per_cycle})", self.name())
+            }
+            _ => write!(f, "{}(every={})", self.name(), self.intensity()),
+        }
+    }
+}
+
+/// One compromised-router attack: who, how, from when, and the seed of
+/// the attacker's private RNG (victim selection among equivalent choices,
+/// forged-tag guesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// The compromised router.
+    pub router: u16,
+    /// Behavioural model.
+    pub kind: AttackKind,
+    /// First cycle the attacker acts.
+    pub start: Cycle,
+    /// Seed of the attacker's deterministic private RNG.
+    pub seed: u64,
+}
+
+impl AttackSpec {
+    /// Checks the spec against a configuration: the compromised router
+    /// must exist and the behavioural parameters must be well-defined.
+    /// Quarantine is a *runtime* property and is checked where the
+    /// network state is known (`Network::arm_attack`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AttackSpecInvalid`] naming the offending
+    /// parameter.
+    pub fn validate(&self, cfg: &NocConfig) -> Result<(), SimError> {
+        if self.router as usize >= cfg.mesh.len() {
+            return Err(SimError::AttackSpecInvalid {
+                router: self.router,
+                reason: "compromised router is outside the mesh",
+            });
+        }
+        let reason = match self.kind {
+            AttackKind::PacketDrop { every }
+            | AttackKind::FlitDrop { every }
+            | AttackKind::PayloadCorrupt { every }
+            | AttackKind::Misroute { every }
+            | AttackKind::AckSpoof { every }
+            | AttackKind::CtlReplay { every } => {
+                (every == 0).then_some("attack selection period must be non-zero")
+            }
+            AttackKind::AlertSuppress => None,
+            AttackKind::AlertFlood { per_cycle } => {
+                (per_cycle == 0).then_some("alert flood rate must be non-zero (never acts)")
+            }
+        };
+        match reason {
+            Some(reason) => Err(SimError::AttackSpecInvalid {
+                router: self.router,
+                reason,
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for AttackSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at router {} from cycle {} (seed {})",
+            self.kind, self.router, self.start, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: AttackKind) -> AttackSpec {
+        AttackSpec {
+            router: 3,
+            kind,
+            start: 100,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_specs() {
+        let cfg = NocConfig::small_test();
+        for kind in [
+            AttackKind::PacketDrop { every: 1 },
+            AttackKind::FlitDrop { every: 4 },
+            AttackKind::PayloadCorrupt { every: 2 },
+            AttackKind::Misroute { every: 3 },
+            AttackKind::AckSpoof { every: 1 },
+            AttackKind::CtlReplay { every: 2 },
+            AttackKind::AlertSuppress,
+            AttackKind::AlertFlood { per_cycle: 2 },
+        ] {
+            assert!(spec(kind).validate(&cfg).is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_nonexistent_router() {
+        let cfg = NocConfig::small_test();
+        let mut s = spec(AttackKind::PacketDrop { every: 1 });
+        s.router = cfg.mesh.len() as u16;
+        match s.validate(&cfg) {
+            Err(SimError::AttackSpecInvalid { router, .. }) => assert_eq!(router, s.router),
+            other => panic!("expected AttackSpecInvalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        let cfg = NocConfig::small_test();
+        assert!(spec(AttackKind::PacketDrop { every: 0 })
+            .validate(&cfg)
+            .is_err());
+        assert!(spec(AttackKind::AckSpoof { every: 0 })
+            .validate(&cfg)
+            .is_err());
+        assert!(spec(AttackKind::AlertFlood { per_cycle: 0 })
+            .validate(&cfg)
+            .is_err());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(
+            spec(AttackKind::AckSpoof { every: 2 }).kind.to_string(),
+            "ack-spoof(every=2)"
+        );
+        assert_eq!(AttackKind::AlertSuppress.to_string(), "alert-suppress");
+    }
+}

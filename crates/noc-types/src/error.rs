@@ -33,6 +33,16 @@ pub enum SimError {
         /// What is wrong with the spec.
         reason: &'static str,
     },
+    /// An attack spec is malformed: it targets a router outside the mesh
+    /// (or one already quarantined by the containment plane — a dead
+    /// router cannot attack) or carries a degenerate behavioural
+    /// parameter such as a zero selection period.
+    AttackSpecInvalid {
+        /// The compromised router the spec names.
+        router: u16,
+        /// What is wrong with the spec.
+        reason: &'static str,
+    },
     /// A watchdog policy is malformed (e.g. a zero cycle budget or stall
     /// window, which would terminate every run before its first cycle).
     WatchdogInvalid {
@@ -71,6 +81,9 @@ impl fmt::Display for SimError {
             }
             SimError::FaultSpecInvalid { site, reason } => {
                 write!(f, "invalid fault spec at {site}: {reason}")
+            }
+            SimError::AttackSpecInvalid { router, reason } => {
+                write!(f, "invalid attack spec at router {router}: {reason}")
             }
             SimError::WatchdogInvalid { reason } => {
                 write!(f, "invalid watchdog policy: {reason}")

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod bitlanes;
 pub mod config;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod record;
 pub mod region;
 pub mod site;
 
+pub use attack::{AttackKind, AttackSpec};
 pub use bitlanes::{BitLanes, SignalPlane, LANES};
 pub use config::{BufferPolicy, NocConfig, RoutingAlgorithm, TrafficPattern};
 pub use error::SimError;
