@@ -29,6 +29,39 @@ cargo run -q --release -p nocalert-bench --bin aging -- --smoke
 echo "== perf smoke (>15% cycles/sec + campaign runs/sec regression gate) =="
 cargo run -q --release -p nocalert-bench --bin perf -- --smoke
 
+echo "== service smoke (nocalertd end-to-end: submit, stream, SIGKILL, resume) =="
+cargo build -q --release -p nocalert-service
+NOCALERTD=target/release/nocalertd
+SVC_DIR="$(mktemp -d)"
+# Guard against SVC_PID=0: `kill -9 0` would take down our own
+# process group.
+trap 'if [ "${SVC_PID:-0}" != 0 ]; then kill -9 "$SVC_PID" 2>/dev/null || true; fi; rm -rf "$SVC_DIR"' EXIT
+"$NOCALERTD" serve --data-dir "$SVC_DIR" --addr 127.0.0.1:0 \
+    --addr-file "$SVC_DIR/addr" --workers 1 &
+SVC_PID=$!
+for _ in $(seq 1 100); do [ -s "$SVC_DIR/addr" ] && break; sleep 0.1; done
+SVC_ADDR="$(cat "$SVC_DIR/addr")"
+# A 4x4 one-fault transient job, submitted and followed over HTTP.
+SPEC='{"kind":"Transient","noc":{"mesh":{"width":4,"height":4},"vcs_per_port":2,"buffer_depth":5,"link_width_bits":128,"message_classes":1,"packet_lengths":[5],"buffer_policy":"Atomic","routing":"XY","speculative":false,"traffic":"UniformRandom","injection_rate":0.05,"hotspot_fraction":0.2,"ejection_rate":1,"seed":201986535},"warmup":200,"window":1200,"limit":1,"threads":1}'
+JOB="$("$NOCALERTD" submit --addr "$SVC_ADDR" --spec "$SPEC")"
+"$NOCALERTD" wait --addr "$SVC_ADDR" --job "$JOB" --timeout-secs 300
+INCIDENTS="$("$NOCALERTD" events --addr "$SVC_ADDR" --job "$JOB" | grep -c Incident)"
+[ "$INCIDENTS" -ge 1 ] || { echo "service smoke: empty incident stream" >&2; exit 1; }
+# Second job, killed mid-run, must complete after a restart (resume).
+JOB2="$("$NOCALERTD" submit --addr "$SVC_ADDR" --spec "${SPEC/\"limit\":1/\"limit\":5}")"
+sleep 1
+kill -9 "$SVC_PID"; wait "$SVC_PID" 2>/dev/null || true
+"$NOCALERTD" serve --data-dir "$SVC_DIR" --addr 127.0.0.1:0 \
+    --addr-file "$SVC_DIR/addr2" --workers 1 &
+SVC_PID=$!
+for _ in $(seq 1 100); do [ -s "$SVC_DIR/addr2" ] && break; sleep 0.1; done
+SVC_ADDR="$(cat "$SVC_DIR/addr2")"
+"$NOCALERTD" wait --addr "$SVC_ADDR" --job "$JOB2" --timeout-secs 300
+kill -9 "$SVC_PID" 2>/dev/null || true; wait "$SVC_PID" 2>/dev/null || true
+SVC_PID=0
+rm -rf "$SVC_DIR"
+trap - EXIT
+
 echo "== cargo test =="
 cargo test -q --workspace
 

@@ -286,6 +286,10 @@ fn push_rc(
         head_valid,
         buf_empty,
         out_dir: out_bits,
+        // The cones model a healthy router on the baseline routing
+        // function: no fences, no region tables.
+        avoid_mask: 0,
+        region_next: noc_types::record::REGION_NONE,
     });
     rec.vc.push(VcEvent {
         port,

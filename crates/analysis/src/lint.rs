@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 /// The crates whose `src/` trees form the runtime hot path. The `compat/`
 /// shims are deliberately excluded: they mirror external crates whose real
 /// APIs panic by contract.
-pub const HOT_PATH_ROOTS: [&str; 10] = [
+pub const HOT_PATH_ROOTS: [&str; 11] = [
     "crates/analysis/src",
     "crates/bench/src",
     "crates/core/src",
@@ -40,6 +40,7 @@ pub const HOT_PATH_ROOTS: [&str; 10] = [
     "crates/hw-model/src",
     "crates/noc-sim/src",
     "crates/noc-types/src",
+    "crates/service/src",
     "src",
 ];
 

@@ -20,17 +20,20 @@
 //! a four-row cut) with the same acceptance bar.
 //!
 //! With `--checkpoint-dir`, every settled epoch row is appended to
-//! `epochs.jsonl` and flushed immediately; `--resume` re-simulates the
-//! stored prefix deterministically and *verifies each recomputed row is
-//! bit-identical* (including the fault-region state digest) before
-//! continuing — a diverging checkpoint is a fatal error, not a silent
-//! fork.
+//! `epochs.jsonl` and flushed immediately through [`golden::EpochLog`]
+//! (the same shard substrate the campaign checkpoints and `nocalertd`
+//! jobs use); `--resume` re-simulates the stored prefix
+//! deterministically and *verifies each recomputed row is bit-identical*
+//! (including the fault-region state digest) before continuing — a
+//! diverging checkpoint is a fatal error, not a silent fork. A
+//! populated directory without `--resume` is refused rather than
+//! overwritten.
 
-use golden::{AgingError, AgingHarness, AgingOptions, AgingOutcome, AgingReport, EpochReport};
+use golden::{
+    AgingError, AgingHarness, AgingOptions, AgingOutcome, AgingReport, EpochLog, EpochReport,
+};
 use nocalert_bench::{maybe_write_json, row, Args};
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 fn fail(msg: &str) -> ! {
     eprintln!("[aging] fatal: {msg}");
@@ -51,95 +54,6 @@ fn options_from(args: &Args) -> AgingOptions {
     opts.cut_column = args.get("cut-col", opts.cut_column.min(k.saturating_sub(2)));
     opts.epoch_window = args.get("window", opts.epoch_window);
     opts
-}
-
-/// Minimal aging checkpoint: `meta.json` (the serialized options; a
-/// mismatch refuses resume) + `epochs.jsonl` (one settled row per line,
-/// flushed per append). Single-writer — the campaign is one continuous
-/// simulation — so no shards are needed.
-struct EpochLog {
-    path: PathBuf,
-    file: File,
-}
-
-impl EpochLog {
-    fn open(dir: &Path, opts: &AgingOptions, resume: bool) -> (Vec<EpochReport>, EpochLog) {
-        if let Err(e) = fs::create_dir_all(dir) {
-            fail(&format!("cannot create {}: {e}", dir.display()));
-        }
-        let meta_path = dir.join("meta.json");
-        let stored = fs::read_to_string(&meta_path).ok();
-        match stored {
-            Some(text) => match serde_json::from_str::<AgingOptions>(&text) {
-                Ok(prev) if prev == *opts => {}
-                Ok(_) => fail(&format!(
-                    "{} belongs to a different aging configuration",
-                    dir.display()
-                )),
-                Err(e) => fail(&format!("unreadable {}: {e}", meta_path.display())),
-            },
-            None => {
-                let text = serde_json::to_string_pretty(opts)
-                    .unwrap_or_else(|e| fail(&format!("options serialize: {e}")));
-                if let Err(e) = fs::write(&meta_path, text) {
-                    fail(&format!("cannot write {}: {e}", meta_path.display()));
-                }
-            }
-        }
-        let path = dir.join("epochs.jsonl");
-        let mut prior = Vec::new();
-        if resume {
-            if let Ok(text) = fs::read_to_string(&path) {
-                // Complete lines only; a torn tail (killed mid-append) is
-                // dropped and that epoch simply re-runs.
-                let complete = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-                for line in text[..complete].lines().filter(|l| !l.trim().is_empty()) {
-                    match serde_json::from_str::<EpochReport>(line) {
-                        Ok(r) => prior.push(r),
-                        Err(e) => fail(&format!("corrupt row in {}: {e}", path.display())),
-                    }
-                }
-            }
-        } else if path.exists() {
-            if let Err(e) = fs::remove_file(&path) {
-                fail(&format!("cannot reset {}: {e}", path.display()));
-            }
-        }
-        let mut file = match OpenOptions::new().create(true).append(true).open(&path) {
-            Ok(f) => f,
-            Err(e) => fail(&format!("cannot open {}: {e}", path.display())),
-        };
-        // Newline-terminate a torn tail so the next append starts clean.
-        if let Ok(len) = file.seek(SeekFrom::End(0)) {
-            if len > 0 {
-                let mut tail = [0u8; 1];
-                let ends_clean = File::open(&path)
-                    .and_then(|mut f| {
-                        f.seek(SeekFrom::End(-1))?;
-                        f.read_exact(&mut tail)
-                    })
-                    .map(|_| tail[0] == b'\n')
-                    .unwrap_or(true);
-                if !ends_clean {
-                    let _ = file.write_all(b"\n");
-                }
-            }
-        }
-        (prior, EpochLog { path, file })
-    }
-
-    fn append(&mut self, report: &EpochReport) {
-        let mut line =
-            serde_json::to_string(report).unwrap_or_else(|e| fail(&format!("row serialize: {e}")));
-        line.push('\n');
-        if let Err(e) = self
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|_| self.file.flush())
-        {
-            fail(&format!("cannot append to {}: {e}", self.path.display()));
-        }
-    }
 }
 
 fn outcome_tag(o: &AgingOutcome) -> String {
@@ -249,13 +163,13 @@ fn main() {
         opts.cut_column,
     );
 
-    let mut log = args
-        .str("checkpoint-dir")
-        .map(|d| EpochLog::open(Path::new(d), &opts, args.flag("resume")));
-    let prior: Vec<EpochReport> = log
-        .as_mut()
-        .map(|(p, _)| std::mem::take(p))
-        .unwrap_or_default();
+    let (prior, mut log): (Vec<EpochReport>, Option<EpochLog>) = match args.str("checkpoint-dir") {
+        Some(d) => match EpochLog::open(Path::new(d), &opts, args.flag("resume")) {
+            Ok((prior, log)) => (prior, Some(log)),
+            Err(e) => fail(&format!("checkpoint: {e}")),
+        },
+        None => (Vec::new(), None),
+    };
     if !prior.is_empty() {
         eprintln!(
             "[aging] resuming: verifying {} checkpointed epoch(s) against re-simulation",
@@ -269,8 +183,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let result = harness.run(&prior, |e| {
         print_epoch(e);
-        if let Some((_, log)) = log.as_mut() {
-            log.append(e);
+        if let Some(log) = log.as_mut() {
+            if let Err(err) = log.append(e) {
+                fail(&format!("checkpoint append: {err}"));
+            }
         }
     });
     let report = match result {

@@ -334,10 +334,12 @@ fn smoke(args: &Args) -> i32 {
         Ok(h) => h,
         Err(e) => fail(&format!("harness rejected config: {e}")),
     };
-    // Centre-of-mesh attacker sees the densest traffic mix; every=2 so
-    // the spoofing models do not swallow their own forged controls.
+    // Centre-of-mesh attacker sees the densest traffic mix, at full rate
+    // (every=1): forged controls are injected downstream of the attacker's
+    // egress filter, so even the loudest spoofing model genuinely
+    // exercises the hardened ARQ path.
     let router = (noc.mesh.len() / 2) as u16 + noc.mesh.width() as u16 / 2;
-    let cells = standard_cells(&noc, &[router], 2, start, 1);
+    let cells = standard_cells(&noc, &[router], 1, start, 1);
     println!(
         "== Attack smoke: 4x4 mesh, {} attacker models at router {router} ==",
         cells.len()

@@ -22,8 +22,15 @@
 //! cargo run --release -p nocalert-bench --bin recovery -- \
 //!     [--smoke] [--sites N] [--mesh K] [--rate F] [--threads T] \
 //!     [--seed S] [--period P --duty D] \
-//!     [--cycle-budget C] [--stall-window C] [--json PATH]
+//!     [--cycle-budget C] [--stall-window C] [--json PATH] \
+//!     [--checkpoint-dir PATH] [--resume]
 //! ```
+//!
+//! The sweep is a thin client of [`golden::RecoveryCampaign`] — the same
+//! sharded engine `nocalertd` jobs run through — so `--checkpoint-dir`
+//! gives it kill-safe incremental progress and `--resume` picks a
+//! previous sweep back up, with aggregates bit-identical to an
+//! uninterrupted run at any `--threads` value.
 //!
 //! `--smoke` runs the CI gate instead of the sweep: a 4×4 mesh, one fault
 //! of each class at fixed covered sites, asserting 100% delivery.
@@ -34,12 +41,14 @@
 //! with per-class singleton pools a single disable starves the class.
 
 use fault::{FaultSpec, Watchdog};
-use golden::{containment_covered, DeliveryVerdict, RecoveryHarness, RecoveryOptions, RecoveryRun};
+use golden::{
+    containment_covered, DeliveryVerdict, RecoveryCampaign, RecoveryCampaignConfig,
+    RecoveryCampaignOptions, RecoveryHarness, RecoveryOptions, RecoveryRun,
+};
 use noc_types::{NocConfig, SiteRef};
 use nocalert_bench::{maybe_write_json, row, Args};
 use serde::Serialize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::path::PathBuf;
 
 /// The fault classes the campaign sweeps, in report order.
 const CLASSES: [&str; 5] = [
@@ -162,39 +171,13 @@ fn options_from(args: &Args) -> RecoveryOptions {
     opts
 }
 
-/// Fans `jobs` out over `threads` worker threads; each job is one
-/// panic-isolated rollout. Order of results matches order of jobs.
-fn run_jobs(
-    harness: &RecoveryHarness,
-    jobs: &[(usize, FaultSpec)],
-    threads: usize,
-) -> Vec<(usize, RecoveryRun)> {
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, RecoveryRun)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((class_idx, spec)) = jobs.get(i) else {
-                    return;
-                };
-                let run = harness.run_isolated(Some(spec));
-                let mut out = results.lock().unwrap_or_else(|e| e.into_inner());
-                out.push((*class_idx, run));
-            });
-        }
-    });
-    let mut out = results.into_inner().unwrap_or_else(|e| e.into_inner());
-    out.sort_by_key(|(i, _)| *i);
-    out
-}
-
 #[derive(Debug, Serialize)]
 struct Report {
     mesh: u8,
     sites_swept: usize,
     classes: Vec<(String, ClassSummary)>,
     enforced_violations: u64,
+    resumed: usize,
 }
 
 fn sweep(args: &Args) -> i32 {
@@ -220,9 +203,12 @@ fn sweep(args: &Args) -> i32 {
     let duty: u32 = args.get("duty", 10);
     let start = opts.warmup + 1_000;
 
-    let harness = match RecoveryHarness::try_new(noc.clone(), opts) {
-        Ok(h) => h,
-        Err(e) => fail(&format!("harness rejected config: {e}")),
+    let campaign = match RecoveryCampaign::try_new(RecoveryCampaignConfig {
+        noc: noc.clone(),
+        opts,
+    }) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("campaign rejected config: {e}")),
     };
 
     println!(
@@ -232,21 +218,31 @@ fn sweep(args: &Args) -> i32 {
         sites.len(),
         CLASSES.len()
     );
-    let jobs: Vec<(usize, FaultSpec)> = sites
+    // Site-major, class-minor: class index of spec i is i % CLASSES.len(),
+    // the same layout `golden::standard_recovery_specs` pins.
+    let specs: Vec<FaultSpec> = sites
         .iter()
         .flat_map(|&site| {
             CLASSES
                 .iter()
-                .enumerate()
-                .map(move |(ci, class)| (ci, spec_for(class, site, start, period, duty)))
+                .map(move |class| spec_for(class, site, start, period, duty))
         })
         .collect();
+    let copts = RecoveryCampaignOptions {
+        checkpoint_dir: args.str("checkpoint-dir").map(PathBuf::from),
+        resume: args.flag("resume"),
+        cancel: None,
+    };
     let t0 = std::time::Instant::now();
-    let runs = run_jobs(&harness, &jobs, threads);
+    let report = match campaign.run_specs(&specs, threads, &copts) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("campaign failed: {e}")),
+    };
     eprintln!(
-        "[recovery] {} rollouts in {:.1}s on {threads} threads",
-        runs.len(),
-        t0.elapsed().as_secs_f64()
+        "[recovery] {} rollouts in {:.1}s on {threads} threads ({} resumed)",
+        report.reports.len(),
+        t0.elapsed().as_secs_f64(),
+        report.resumed
     );
 
     let mut classes: Vec<(String, ClassSummary)> = CLASSES
@@ -254,9 +250,11 @@ fn sweep(args: &Args) -> i32 {
         .map(|c| (c.to_string(), ClassSummary::default()))
         .collect();
     let mut enforced_violations = 0u64;
-    for (ci, run) in &runs {
-        classes[*ci].1.absorb(run);
-        let class = CLASSES[*ci];
+    for (i, site_report) in report.reports.iter().enumerate() {
+        let ci = i % CLASSES.len();
+        let run = &site_report.run;
+        classes[ci].1.absorb(run);
+        let class = CLASSES[ci];
         // Every sustained fault class is enforced; only single-flip
         // transients stay report-only.
         let enforced = !matches!(class, "transient");
@@ -326,13 +324,14 @@ fn sweep(args: &Args) -> i32 {
         );
     }
 
-    let report = Report {
+    let out = Report {
         mesh: noc.mesh.width(),
         sites_swept: sites.len(),
         classes,
         enforced_violations,
+        resumed: report.resumed,
     };
-    maybe_write_json(args, &report);
+    maybe_write_json(args, &out);
 
     if enforced_violations == 0 {
         println!("\nACCEPTED: 100% exactly-once delivery under every sustained fault swept.");

@@ -11,14 +11,47 @@
 use crate::batched::{ArbiterPack, ArbiterPackResult, VcOrderPack};
 use crate::predicates::{check_arbiter_wires, vc_order_violated};
 use crate::table::{info, CheckerId, Risk, TABLE1};
-use noc_sim::routing::{productive, turn_legal};
+use noc_sim::routing::{productive, route_avoiding, turn_legal};
 use noc_sim::Observer;
 use noc_types::config::{BufferPolicy, NocConfig};
 use noc_types::geometry::{Coord, Direction, NodeId};
-use noc_types::record::{CycleRecord, EjectEvent};
+use noc_types::record::{CycleRecord, EjectEvent, RcEvent, REGION_NONE};
 use noc_types::{Cycle, Flit};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The output direction the *active* (degraded) routing function demands
+/// for this RC execution, or `None` when the router is on the baseline
+/// happy path (no fenced ports, no fault-region tables) and the plain
+/// turn/progress model applies unmodified.
+///
+/// Mirrors the router's RC precedence exactly: an installed region-table
+/// entry wins (its no-route sentinel decodes to a local eject), otherwise
+/// a non-empty fence mask selects the fence-avoiding routing function.
+/// Both are recomputed from the same post-fault destination wires the RC
+/// unit consumed, so on a fault-free detour the recorded output always
+/// equals this expectation and the checkers raise nothing — while a fault
+/// that diverts the worm off the detour path disagrees with it and stays
+/// detectable.
+fn degraded_expectation(
+    e: &RcEvent,
+    alg: noc_types::config::RoutingAlgorithm,
+    mesh: noc_types::geometry::Mesh,
+    cur: Coord,
+    dest: Coord,
+) -> Option<Direction> {
+    if e.region_next != REGION_NONE {
+        return Some(Direction::from_bits(e.region_next as u64).unwrap_or(Direction::Local));
+    }
+    if e.avoid_mask != 0 {
+        let mut avoid = [false; Direction::ALL.len()];
+        for (i, a) in avoid.iter_mut().enumerate() {
+            *a = e.avoid_mask >> i & 1 == 1;
+        }
+        return Some(route_avoiding(alg, mesh, cur, dest, &avoid));
+    }
+    None
+}
 
 /// One raised hardware assertion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -319,14 +352,28 @@ impl Observer for AlertBank {
                         self.raise(CheckerId(2), cycle, router, e.port, e.vc);
                     } else {
                         let in_dir = Direction::ALL[(e.port as usize).min(4)];
-                        if !turn_legal(alg, in_dir, out) {
+                        let dest = Coord::new(e.dest_x as u8, e.dest_y as u8);
+                        // Region-aware bound: under degraded routing
+                        // (fenced ports, fault-region detours) the legal
+                        // output is re-derived from the recorded routing
+                        // registers, and only that exact direction is
+                        // excused from the XY turn/progress model — the
+                        // checkers stay armed off the happy path instead
+                        // of disarming wholesale, so a misroute *inside* a
+                        // detour region is still caught.
+                        let excused = match degraded_expectation(e, alg, mesh, cur, dest) {
+                            Some(expected) => out == expected,
+                            None => false,
+                        };
+                        if !turn_legal(alg, in_dir, out) && !excused {
                             self.raise(CheckerId(1), cycle, router, e.port, e.vc);
                         }
-                        if e.head_valid && !e.buf_empty {
-                            let dest = Coord::new(e.dest_x as u8, e.dest_y as u8);
-                            if !productive(mesh, cur, dest, out) {
-                                self.raise(CheckerId(3), cycle, router, e.port, e.vc);
-                            }
+                        if e.head_valid
+                            && !e.buf_empty
+                            && !productive(mesh, cur, dest, out)
+                            && !excused
+                        {
+                            self.raise(CheckerId(3), cycle, router, e.port, e.vc);
                         }
                     }
                 }

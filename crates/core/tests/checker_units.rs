@@ -42,6 +42,8 @@ fn legal_rc() -> RcEvent {
         head_valid: true,
         buf_empty: false,
         out_dir: 1, // East
+        avoid_mask: 0,
+        region_next: noc_types::record::REGION_NONE,
     }
 }
 
@@ -96,6 +98,118 @@ fn inv3_non_minimal_route() {
     });
     feed(&mut b, &r);
     assert!(fired(&b).contains(&3));
+}
+
+#[test]
+fn inv1_3_degraded_route_around_fence_is_excused() {
+    // Router 27 = (3,3), destination (5,3): XY says East, but East is
+    // fenced (bit 1), so the fence-avoiding routing function detours —
+    // North (bit 0) is the first productive alternative for a same-row
+    // destination... there is none productive besides East, so the
+    // non-minimal escape picks North. Whatever it picks, the recorded
+    // output matching the re-derived expectation must stay silent even
+    // though the turn/progress model would object.
+    let mesh = NocConfig::paper_baseline().mesh;
+    let cur = mesh.coord(NodeId(27));
+    let dest = noc_types::Coord::new(5, 3);
+    let avoid = [false, true, false, false, false]; // East fenced
+    let expected =
+        noc_sim::routing::route_avoiding(noc_types::RoutingAlgorithm::XY, mesh, cur, dest, &avoid);
+    assert_ne!(expected.bits(), 1, "the detour must leave the XY path");
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent {
+        port: 0, // arrived from North: plus the detour turn is Y→X-free
+        dest_x: 5,
+        out_dir: expected.bits(),
+        avoid_mask: 0b10,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(
+        fired(&b).is_empty(),
+        "a fault-free degraded route must not assert: {:?}",
+        fired(&b)
+    );
+}
+
+#[test]
+fn inv1_3_misroute_inside_detour_is_still_detected() {
+    // Same fenced-East scenario, but the RC output wire is faulted to
+    // West — neither the XY answer nor the detour's. The armed checkers
+    // must catch it: the progress checker sees an unproductive hop that
+    // the degraded expectation refuses to excuse.
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent {
+        port: 4,
+        dest_x: 5,
+        out_dir: 3, // West: away from (5,3)
+        avoid_mask: 0b10,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(
+        fired(&b).contains(&3),
+        "misroute inside a detour must fire inv3: {:?}",
+        fired(&b)
+    );
+}
+
+#[test]
+fn inv1_3_region_table_detour_is_excused_and_misroute_detected() {
+    // Fault-region tables installed: the recorded table entry is the
+    // expectation. A matching non-minimal output is excused...
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent {
+        port: 4,
+        dest_x: 5,
+        out_dir: 0, // North — non-minimal for (5,3)
+        region_next: 0,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(
+        fired(&b).is_empty(),
+        "region-table detour must not assert: {:?}",
+        fired(&b)
+    );
+
+    // ...while an output disagreeing with the table entry is caught.
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent {
+        port: 4,
+        dest_x: 5,
+        out_dir: 3, // West, but the table says North
+        region_next: 0,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(
+        fired(&b).contains(&3),
+        "table-divergent output must fire inv3: {:?}",
+        fired(&b)
+    );
+
+    // The in-table no-route sentinel (7) decodes to a local eject: an
+    // ejecting output is excused, anything else is not.
+    let mut b = bank();
+    let mut r = rec(27);
+    r.rc.push(RcEvent {
+        port: 4,
+        dest_x: 5,
+        out_dir: 4, // Local eject of an unroutable destination
+        region_next: 7,
+        ..legal_rc()
+    });
+    feed(&mut b, &r);
+    assert!(
+        fired(&b).is_empty(),
+        "sentinel eject must not assert: {:?}",
+        fired(&b)
+    );
 }
 
 #[test]

@@ -26,10 +26,12 @@
 //!    row per epoch. The final severing splits the mesh: the campaign
 //!    must end in [`AgingOutcome::Partitioned`], never a stall.
 //!
-//! Checker 1 (turn legality) and checker 3 (minimal progress) are
-//! disabled: up\*/down\* detours around regions are deliberately
-//! non-minimal and take turns XY forbids; the per-VC worm-age monitor
-//! and the settle watchdog back the deadlock risk instead.
+//! Checker 1 (turn legality) and checker 3 (minimal progress) stay
+//! armed: both are region-aware, excusing an RC execution only when its
+//! output matches the fault-region table entry (or fence-avoiding route)
+//! recorded alongside it — up\*/down\* detours raise nothing while a
+//! misroute inside a detour still fires. The per-VC worm-age monitor
+//! and the settle watchdog back the deadlock risk.
 //!
 //! **Exactly-once with orphan accounting.** Once a destination is
 //! absorbed into a region or severed into another component, traffic to
@@ -46,16 +48,19 @@
 //! Divergence (a changed binary, a foreign checkpoint) is an error, not
 //! a silent fork.
 
+use crate::campaign::jsonl;
+use crate::campaign::CampaignError;
 use crate::recovery::{containment_covered, DeliveryVerdict};
 use fault::Watchdog;
 use noc_sim::{ArqConfig, Network, RecoveryPolicy, RecoveryStats, Transport};
 use noc_types::{
     Coord, Cycle, Direction, FaultKind, NocConfig, NodeId, RoutingAlgorithm, SimError, SiteRef,
 };
-use nocalert::{info, AlertBank, CheckerId};
+use nocalert::{info, AlertBank};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::path::Path;
 
 /// Everything configurable about one aging campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -479,10 +484,9 @@ impl AgingHarness {
         let mut net = Network::new(opts.noc.clone());
         net.enable_recovery(opts.policy);
         let mut bank = AlertBank::new(&opts.noc);
-        // Region detours are non-minimal and take XY-illegal turns by
-        // design; the worm-age monitor + settle watchdog back deadlock.
-        bank.disable(CheckerId(1));
-        bank.disable(CheckerId(3));
+        // The full bank stays armed across epochs: region detours are
+        // excused per RC execution by the region-aware turn/progress
+        // checkers, which stay live for misroutes inside the detours.
         let mut transport = Transport::new(&opts.noc, opts.arq);
         let mut consumed = 0usize;
 
@@ -700,6 +704,62 @@ impl Cursor {
         }
         self.failed_seen = transport.failed().len();
         (delta, orphans)
+    }
+}
+
+/// The aging campaign's durable epoch log: `meta.json` pins the
+/// [`AgingOptions`], `epochs.jsonl` holds one [`EpochReport`] per line,
+/// appended and flushed as each epoch settles. Durability semantics are
+/// the shared [`jsonl`] substrate's (torn tails repaired, mid-file
+/// corruption refused, mismatched configurations refused) — resume feeds
+/// the loaded rows to [`AgingHarness::run`], which re-simulates the
+/// prefix and verifies each row bit-for-bit.
+#[derive(Debug)]
+pub struct EpochLog {
+    appender: jsonl::Appender,
+}
+
+impl EpochLog {
+    /// Opens (creating if needed) an epoch-log directory pinned to
+    /// `opts`, returning previously completed rows plus the append
+    /// handle. Without `resume`, a directory that already holds rows is
+    /// refused.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on I/O failures or a populated
+    /// directory without `resume`, [`CampaignError::CheckpointMismatch`]
+    /// for a foreign configuration, [`CampaignError::ShardCorrupt`] for
+    /// mid-file damage.
+    pub fn open(
+        dir: &Path,
+        opts: &AgingOptions,
+        resume: bool,
+    ) -> Result<(Vec<EpochReport>, EpochLog), CampaignError> {
+        jsonl::ensure_meta(dir, 1, opts)?;
+        let path = dir.join("epochs.jsonl");
+        let (rows, _torn) = jsonl::load_file::<EpochReport>(&path)?;
+        if !resume && !rows.is_empty() {
+            return Err(CampaignError::Checkpoint {
+                path: dir.to_path_buf(),
+                detail: format!(
+                    "directory already holds {} completed epochs; pass resume=true to continue or point at a fresh directory",
+                    rows.len()
+                ),
+            });
+        }
+        let appender = jsonl::Appender::open(&path)?;
+        Ok((rows, EpochLog { appender }))
+    }
+
+    /// Appends one settled epoch and flushes it — the log's kill-safety
+    /// granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on serialization or I/O failures.
+    pub fn append(&mut self, row: &EpochReport) -> Result<(), CampaignError> {
+        self.appender.append(row)
     }
 }
 

@@ -32,6 +32,7 @@
 //! the bank's record — detection stands, reaction is what the attacker
 //! starves.
 
+use crate::campaign::jsonl;
 use crate::campaign::resilience::catch_payload;
 use crate::campaign::CampaignError;
 use crate::recovery::{verify_delivery, DeliveryVerdict, RecoveryOptions, RecoveryOutcome};
@@ -40,12 +41,10 @@ use noc_sim::{
     AttackIntent, AttackStats, ControlCapture, Network, RecoveryStats, Transport, TransportStats,
 };
 use noc_types::{AttackKind, AttackSpec, Cycle, NocConfig, SimError};
-use nocalert::{info, AlertBank, CheckerId};
+use nocalert::{info, AlertBank};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -255,13 +254,9 @@ impl AttackHarness {
         let mut net = Network::new(self.cfg.clone());
         net.enable_recovery(self.opts.policy);
         let mut bank = AlertBank::new(&self.cfg);
-        // Same checker exclusions as the recovery harness: degraded
-        // routing around fenced ports legitimately violates the turn
-        // model, and fault-region detours are non-minimal by design.
-        bank.disable(CheckerId(1));
-        if self.cfg.routing == noc_types::RoutingAlgorithm::FaultRegion {
-            bank.disable(CheckerId(3));
-        }
+        // The full bank stays armed, as in the recovery harness: the
+        // turn/progress checkers are region-aware and excuse degraded
+        // routes per RC execution instead of disarming.
         let mut transport = Transport::new(&self.cfg, self.opts.arq);
         if let Some(f) = fault {
             f.validate_in(&net)?;
@@ -467,6 +462,10 @@ impl AttackHarness {
                         ctx.skipped += 1;
                         continue;
                     };
+                    // Injected downstream of the attacker's egress filter:
+                    // a full-rate attacker must not swallow the forgery it
+                    // just asked for on its way out.
+                    net.mark_attack_injection(pid);
                     transport.register_forged_control(
                         pid,
                         net.cycle(),
@@ -495,6 +494,7 @@ impl AttackHarness {
                         ctx.skipped += 1;
                         continue;
                     };
+                    net.mark_attack_injection(pid);
                     transport.register_forged_control(pid, net.cycle(), cap);
                     ctx.performed += 1;
                 }
@@ -620,7 +620,8 @@ pub struct AttackCampaignReport {
     pub reports: Vec<AttackCellReport>,
     /// Cells restored from the journal instead of re-run.
     pub resumed: usize,
-    /// Torn or unparseable journal lines skipped on resume.
+    /// Torn trailing journal lines skipped on resume (mid-shard
+    /// corruption is refused as a structured error, never skipped).
     pub corrupt_lines: usize,
     /// True when cancellation stopped the sweep before every cell ran.
     pub interrupted: bool,
@@ -667,126 +668,29 @@ impl AttackCampaignOptions {
     }
 }
 
-const META_NAME: &str = "meta.json";
-
 /// The attack campaign's journal: `meta.json` pins the configuration,
 /// `shard-w<worker>.jsonl` holds one [`AttackCellReport`] per line,
-/// appended and flushed as each cell completes. Same kill-safety
-/// semantics as [`crate::campaign::Checkpoint`]: a torn trailing line is
-/// detected, repaired on the next open, and the cell re-runs.
+/// appended and flushed as each cell completes. The durability semantics
+/// (kill-safety, torn-tail repair, mid-shard refusal) are the shared
+/// [`jsonl`] substrate's, identical to [`crate::campaign::Checkpoint`].
 #[derive(Debug, Clone)]
 struct Journal {
     dir: PathBuf,
 }
 
-fn jr_err(path: &Path, detail: impl std::fmt::Display) -> CampaignError {
-    CampaignError::Checkpoint {
-        path: path.to_path_buf(),
-        detail: detail.to_string(),
-    }
-}
-
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct JournalMeta {
-    version: u32,
-    config: AttackCampaignConfig,
-}
-
 impl Journal {
     fn open(dir: impl Into<PathBuf>, cc: &AttackCampaignConfig) -> Result<Journal, CampaignError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| jr_err(&dir, e))?;
-        let meta_path = dir.join(META_NAME);
-        if meta_path.exists() {
-            let text = fs::read_to_string(&meta_path).map_err(|e| jr_err(&meta_path, e))?;
-            let meta: JournalMeta =
-                serde_json::from_str(&text).map_err(|e| jr_err(&meta_path, e))?;
-            if meta.config != *cc {
-                return Err(CampaignError::CheckpointMismatch { path: dir });
-            }
-        } else {
-            let meta = JournalMeta {
-                version: 1,
-                config: cc.clone(),
-            };
-            let text = serde_json::to_string_pretty(&meta).map_err(|e| jr_err(&meta_path, e))?;
-            fs::write(&meta_path, text).map_err(|e| jr_err(&meta_path, e))?;
-        }
+        jsonl::ensure_meta(&dir, 1, cc)?;
         Ok(Journal { dir })
     }
 
     fn load(&self) -> Result<(Vec<AttackCellReport>, usize), CampaignError> {
-        let mut shards: Vec<PathBuf> = fs::read_dir(&self.dir)
-            .map_err(|e| jr_err(&self.dir, e))?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
-            })
-            .collect();
-        shards.sort();
-        let mut reports = Vec::new();
-        let mut corrupt = 0usize;
-        for shard in shards {
-            let mut text = String::new();
-            File::open(&shard)
-                .and_then(|mut f| f.read_to_string(&mut text))
-                .map_err(|e| jr_err(&shard, e))?;
-            let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-            if complete_len < text.len() {
-                corrupt += 1; // torn trailing line (killed mid-write)
-            }
-            for line in text[..complete_len].lines() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<AttackCellReport>(line) {
-                    Ok(r) => reports.push(r),
-                    Err(_) => corrupt += 1,
-                }
-            }
-        }
-        Ok((reports, corrupt))
+        jsonl::load_shards(&self.dir)
     }
 
-    fn shard_writer(&self, worker: usize) -> Result<JournalWriter, CampaignError> {
-        let path = self.dir.join(format!("shard-w{worker}.jsonl"));
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| jr_err(&path, e))?;
-        let len = file.seek(SeekFrom::End(0)).map_err(|e| jr_err(&path, e))?;
-        if len > 0 {
-            let mut tail = [0u8; 1];
-            let mut check = File::open(&path).map_err(|e| jr_err(&path, e))?;
-            check
-                .seek(SeekFrom::End(-1))
-                .and_then(|_| check.read_exact(&mut tail))
-                .map_err(|e| jr_err(&path, e))?;
-            if tail[0] != b'\n' {
-                file.write_all(b"\n").map_err(|e| jr_err(&path, e))?;
-            }
-        }
-        Ok(JournalWriter { path, file })
-    }
-}
-
-#[derive(Debug)]
-struct JournalWriter {
-    path: PathBuf,
-    file: File,
-}
-
-impl JournalWriter {
-    fn append(&mut self, report: &AttackCellReport) -> Result<(), CampaignError> {
-        let mut line = serde_json::to_string(report).map_err(|e| jr_err(&self.path, e))?;
-        line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|_| self.file.flush())
-            .map_err(|e| jr_err(&self.path, e))
+    fn shard_writer(&self, worker: usize) -> Result<jsonl::Appender, CampaignError> {
+        jsonl::Appender::open_shard(&self.dir, worker)
     }
 }
 
@@ -892,7 +796,7 @@ impl AttackCampaign {
             // takes cells `w`, `w+workers`, …, so the shard a cell lands
             // in is a pure function of its index and the worker count.
             let workers = threads.min(todo.len());
-            let mut writers: Vec<Option<JournalWriter>> = Vec::new();
+            let mut writers: Vec<Option<jsonl::Appender>> = Vec::new();
             for i in 0..workers {
                 writers.push(match &journal {
                     Some(j) => Some(j.shard_writer(i)?),
@@ -965,6 +869,7 @@ impl AttackCampaign {
 mod tests {
     use super::*;
     use fault::Watchdog;
+    use std::fs;
 
     fn noc() -> NocConfig {
         let mut cfg = NocConfig::small_test();
@@ -1068,13 +973,13 @@ mod tests {
 
     #[test]
     fn ack_spoof_never_fakes_exactly_once() {
-        // every=2, not every=1: the forged ACK worms the attacker injects
-        // leave through its own compromised links, so an attacker that
-        // swallows *every* passing packet eats its own forgeries before
-        // any NIC can reject them (self-defeating, and verified vacuous
-        // for the spoof half of the model).
+        // Full rate: the attacker swallows *every* passing data worm and
+        // forges an ACK for each. Its forgeries are injected downstream of
+        // its own egress filter, so every one genuinely reaches a NIC and
+        // must be rejected by the keyed-tag check — the loudest possible
+        // exercise of the spoof-hardened ARQ path.
         let run = harness()
-            .run(&spec(AttackKind::AckSpoof { every: 2 }), None)
+            .run(&spec(AttackKind::AckSpoof { every: 1 }), None)
             .expect("valid cell");
         assert!(run.attack.packets_dropped > 0, "{run:?}");
         assert!(run.intents_performed > 0, "forged ACKs must be injected");
@@ -1085,8 +990,9 @@ mod tests {
         assert!(run.suspicions > 0, "forgeries must be attributed");
         // The pinned property: a forged ACK never closes a window without
         // delivery, so any ExactlyOnce verdict is genuine and any loss is
-        // loud.
-        assert_ne!(run.class, AttackClass::UndetectedLoss, "{run:?}");
+        // loud. The full-rate cell's classification is pinned exactly —
+        // the black-holed worms raise genuine bank evidence.
+        assert_eq!(run.class, AttackClass::DetectedByBank, "{run:?}");
         if run.verdict == DeliveryVerdict::ExactlyOnce {
             assert_eq!(run.transport.delivered, run.transport.offered);
         }
@@ -1200,6 +1106,40 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, CampaignError::CheckpointMismatch { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_refuses_mid_shard_corruption_but_repairs_torn_tail() {
+        let dir =
+            std::env::temp_dir().join(format!("nocalert-attack-poison-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cc = AttackCampaignConfig {
+            noc: noc(),
+            opts: small_opts(),
+        };
+        let journal = Journal::open(&dir, &cc).expect("fresh journal");
+        let shard = dir.join("shard-w0.jsonl");
+
+        // A torn trailing fragment alone is a kill signature: skipped,
+        // counted, never an error.
+        fs::write(&shard, b"{\"cell\":{\"sp").unwrap();
+        let (reports, corrupt) = journal.load().expect("torn tail is benign");
+        assert!(reports.is_empty());
+        assert_eq!(corrupt, 1);
+
+        // A complete-but-unparseable line is file damage: every row after
+        // it would silently vanish on resume, so loading must refuse with
+        // the shard and line pinpointed.
+        fs::write(&shard, b"{\"cell\": garbage}\n").unwrap();
+        let err = journal.load().unwrap_err();
+        match err {
+            CampaignError::ShardCorrupt { path, line, .. } => {
+                assert_eq!(path, shard);
+                assert_eq!(line, 1);
+            }
+            other => panic!("expected ShardCorrupt, got {other:?}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

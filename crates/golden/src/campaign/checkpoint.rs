@@ -10,41 +10,22 @@
 //!   serialized [`SiteReport`], appended and flushed as soon as the site
 //!   finishes. Workers write disjoint files, so no locking is needed.
 //!
-//! Kill-safety: because every line is appended and flushed individually,
-//! a `kill -9` loses at most the in-flight site. A torn final line is
-//! detected on resume (no trailing newline), terminated so subsequent
-//! appends start clean, and skipped by the parser; the site simply
-//! re-runs. Which shard a report lands in depends on worker count, but
-//! aggregation reassembles reports in input-site order, so shard layout
-//! never affects results.
+//! The durability semantics (kill-safety, torn-tail repair, mid-shard
+//! refusal) live in the shared [`super::jsonl`] substrate; this module
+//! is the [`SiteReport`]-typed view over it. Which shard a report lands
+//! in depends on worker count, but aggregation reassembles reports in
+//! input-site order, so shard layout never affects results.
 
 use super::error::CampaignError;
+use super::jsonl::{self, Appender};
 use super::outcome::SiteReport;
 use super::CampaignConfig;
-use serde::{Deserialize, Serialize};
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-
-const META_NAME: &str = "meta.json";
-
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct Meta {
-    version: u32,
-    config: CampaignConfig,
-}
 
 /// An open checkpoint directory.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     dir: PathBuf,
-}
-
-fn ck_err(path: &Path, detail: impl std::fmt::Display) -> CampaignError {
-    CampaignError::Checkpoint {
-        path: path.to_path_buf(),
-        detail: detail.to_string(),
-    }
 }
 
 impl Checkpoint {
@@ -60,22 +41,7 @@ impl Checkpoint {
     /// to a different campaign configuration.
     pub fn open(dir: impl Into<PathBuf>, cc: &CampaignConfig) -> Result<Checkpoint, CampaignError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| ck_err(&dir, e))?;
-        let meta_path = dir.join(META_NAME);
-        if meta_path.exists() {
-            let text = fs::read_to_string(&meta_path).map_err(|e| ck_err(&meta_path, e))?;
-            let meta: Meta = serde_json::from_str(&text).map_err(|e| ck_err(&meta_path, e))?;
-            if meta.config != *cc {
-                return Err(CampaignError::CheckpointMismatch { path: dir });
-            }
-        } else {
-            let meta = Meta {
-                version: 1,
-                config: cc.clone(),
-            };
-            let text = serde_json::to_string_pretty(&meta).map_err(|e| ck_err(&meta_path, e))?;
-            fs::write(&meta_path, text).map_err(|e| ck_err(&meta_path, e))?;
-        }
+        jsonl::ensure_meta(&dir, 1, cc)?;
         Ok(Checkpoint { dir })
     }
 
@@ -84,88 +50,52 @@ impl Checkpoint {
         &self.dir
     }
 
-    /// Loads every complete, parseable report from every shard, in shard
-    /// name + line order. Torn or corrupt lines are skipped (the second
-    /// element counts them); duplicate specs are the caller's concern
-    /// (keep the last).
+    /// Loads every complete report from every shard, in shard name +
+    /// line order. A torn trailing line (no final newline — a mid-write
+    /// kill) is skipped and counted by the second element; duplicate
+    /// specs are the caller's concern (keep the last).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::ShardCorrupt`] when a line *inside* the
+    /// complete, newline-terminated prefix fails to parse: that is file
+    /// damage, not a kill signature, and silently dropping it would also
+    /// drop every row after it from the resumed campaign.
     pub fn load_reports(&self) -> Result<(Vec<SiteReport>, usize), CampaignError> {
-        let mut shards: Vec<PathBuf> = fs::read_dir(&self.dir)
-            .map_err(|e| ck_err(&self.dir, e))?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
-            })
-            .collect();
-        shards.sort();
-        let mut reports = Vec::new();
-        let mut corrupt = 0usize;
-        for shard in shards {
-            let mut text = String::new();
-            File::open(&shard)
-                .and_then(|mut f| f.read_to_string(&mut text))
-                .map_err(|e| ck_err(&shard, e))?;
-            let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
-            if complete_len < text.len() {
-                corrupt += 1; // torn trailing line (killed mid-write)
-            }
-            for line in text[..complete_len].lines() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<SiteReport>(line) {
-                    Ok(r) => reports.push(r),
-                    Err(_) => corrupt += 1,
-                }
-            }
-        }
-        Ok((reports, corrupt))
+        jsonl::load_shards(&self.dir)
     }
 
     /// Opens this worker's shard for appending. A torn trailing line
-    /// from a previous killed run is newline-terminated first so the
-    /// next append starts on a clean line.
+    /// from a previous killed run is truncated away first: the in-flight
+    /// site re-runs anyway, and newline-terminating the fragment instead
+    /// would leave a complete-but-unparseable line that a later load
+    /// rightly refuses as mid-shard corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on I/O failures.
     pub fn shard_writer(&self, worker: usize) -> Result<ShardWriter, CampaignError> {
-        let path = self.dir.join(format!("shard-w{worker}.jsonl"));
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| ck_err(&path, e))?;
-        let len = file.seek(SeekFrom::End(0)).map_err(|e| ck_err(&path, e))?;
-        if len > 0 {
-            let mut tail = [0u8; 1];
-            let mut check = File::open(&path).map_err(|e| ck_err(&path, e))?;
-            check
-                .seek(SeekFrom::End(-1))
-                .and_then(|_| check.read_exact(&mut tail))
-                .map_err(|e| ck_err(&path, e))?;
-            if tail[0] != b'\n' {
-                file.write_all(b"\n").map_err(|e| ck_err(&path, e))?;
-            }
-        }
-        Ok(ShardWriter { path, file })
+        Ok(ShardWriter {
+            inner: Appender::open_shard(&self.dir, worker)?,
+        })
     }
 }
 
 /// Append handle for one worker's shard.
 #[derive(Debug)]
 pub struct ShardWriter {
-    path: PathBuf,
-    file: File,
+    inner: Appender,
 }
 
 impl ShardWriter {
     /// Appends one report as a single JSONL line and flushes it to the OS
     /// immediately — the checkpoint's kill-safety granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on serialization or I/O failures.
     pub fn append(&mut self, report: &SiteReport) -> Result<(), CampaignError> {
-        let mut line = serde_json::to_string(report).map_err(|e| ck_err(&self.path, e))?;
-        line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|_| self.file.flush())
-            .map_err(|e| ck_err(&self.path, e))
+        self.inner.append(report)
     }
 }
 
@@ -176,6 +106,8 @@ mod tests {
     use fault::FaultSpec;
     use noc_types::site::{SignalKind, SiteRef};
     use noc_types::NocConfig;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write;
 
     fn cc() -> CampaignConfig {
         CampaignConfig {
@@ -256,13 +188,42 @@ mod tests {
         let (reports, corrupt) = ck.load_reports().unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(corrupt, 1);
-        // Re-opening the shard writer repairs the torn tail; the next
-        // append must parse cleanly.
+        // Re-opening the shard writer truncates the torn tail; the next
+        // append parses cleanly and the fragment is gone for good.
         let mut w = ck.shard_writer(0).unwrap();
         w.append(&report(2)).unwrap();
         let (reports, corrupt) = ck.load_reports().unwrap();
         assert_eq!(reports.len(), 2);
-        assert_eq!(corrupt, 1, "the torn fragment is still counted");
+        assert_eq!(corrupt, 0, "the repaired shard is pristine");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_shard_corruption_is_refused_not_shrunk() {
+        let dir = tmpdir("poison");
+        let ck = Checkpoint::open(&dir, &cc()).unwrap();
+        let mut w = ck.shard_writer(0).unwrap();
+        w.append(&report(1)).unwrap();
+        drop(w);
+        // Poison a complete (newline-terminated) line mid-shard, then
+        // append a perfectly good report after it. Resuming must refuse
+        // with the shard and line pinpointed — not load report 1, drop
+        // the poison, and quietly forget report 2 ever ran.
+        let shard = dir.join("shard-w0.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"{\"spec\": 12 garbage}\n").unwrap();
+        drop(f);
+        let mut w = ck.shard_writer(0).unwrap();
+        w.append(&report(2)).unwrap();
+        drop(w);
+        let err = ck.load_reports().unwrap_err();
+        match err {
+            CampaignError::ShardCorrupt { path, line, .. } => {
+                assert_eq!(path, shard);
+                assert_eq!(line, 2, "poison sits on the second line");
+            }
+            other => panic!("expected ShardCorrupt, got {other:?}"),
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -48,6 +48,19 @@ pub enum CampaignError {
         /// The checkpoint directory.
         path: PathBuf,
     },
+    /// A checkpoint shard holds an unparseable line *before* its torn
+    /// tail. A torn final line is the expected signature of a mid-write
+    /// kill and is repaired on resume, but corruption inside the
+    /// complete prefix means rows after it would silently vanish from
+    /// the campaign — resuming must refuse, not shrink.
+    ShardCorrupt {
+        /// The shard file.
+        path: PathBuf,
+        /// 1-based line number of the first unparseable row.
+        line: usize,
+        /// Parse-failure detail for that row.
+        detail: String,
+    },
     /// A campaign worker thread died outside the per-run panic isolation
     /// boundary (a harness bug, not an experiment outcome).
     WorkerLost {
@@ -78,6 +91,12 @@ impl fmt::Display for CampaignError {
             CampaignError::CheckpointMismatch { path } => write!(
                 f,
                 "checkpoint at {} was written under a different campaign configuration",
+                path.display()
+            ),
+            CampaignError::ShardCorrupt { path, line, detail } => write!(
+                f,
+                "checkpoint shard {} is corrupt at line {line}: {detail} \
+                 (refusing to resume — rows after the corruption would be dropped)",
                 path.display()
             ),
             CampaignError::WorkerLost { detail } => {
@@ -126,6 +145,14 @@ mod tests {
             path: PathBuf::from("/tmp/ck"),
         };
         assert!(e.to_string().contains("/tmp/ck"));
+
+        let e = CampaignError::ShardCorrupt {
+            path: PathBuf::from("/tmp/ck/shard-w0.jsonl"),
+            line: 3,
+            detail: "expected value".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("shard-w0.jsonl") && s.contains("line 3") && s.contains("refusing"));
     }
 
     #[test]

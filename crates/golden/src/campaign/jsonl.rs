@@ -1,0 +1,301 @@
+//! The shared JSONL shard substrate behind every durable campaign
+//! artifact: fault-campaign checkpoints ([`super::checkpoint`]), attack
+//! journals ([`crate::attack`]), recovery journals ([`crate::recovery`]),
+//! and aging epoch logs ([`crate::aging`]). One implementation, one set
+//! of durability semantics:
+//!
+//! * **append + flush per row** — a `kill -9` loses at most the
+//!   in-flight row;
+//! * **torn trailing line** (no final newline) is the expected signature
+//!   of a mid-write kill: skipped by the loader, counted, and truncated
+//!   away when the shard is reopened for writing. Newline-terminating
+//!   the fragment instead would leave a complete-but-unparseable line a
+//!   later load must refuse;
+//! * **mid-file corruption** — an unparseable line *inside* the
+//!   complete, newline-terminated prefix — is file damage, not a kill
+//!   signature, and loading refuses it as
+//!   [`CampaignError::ShardCorrupt`] rather than silently dropping the
+//!   row and every row after it;
+//! * **`meta.json` config pinning** — a shard directory records the
+//!   campaign configuration it was written under, and opening it with a
+//!   different configuration is refused as
+//!   [`CampaignError::CheckpointMismatch`] (mixing rows computed under
+//!   different configurations would corrupt aggregates).
+
+use super::error::CampaignError;
+use serde::{Deserialize, Serialize, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the metadata file pinning a shard directory's configuration.
+pub const META_NAME: &str = "meta.json";
+
+fn io_err(path: &Path, detail: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Checkpoint {
+        path: path.to_path_buf(),
+        detail: detail.to_string(),
+    }
+}
+
+/// Creates `dir` if needed and pins it to `config`: a fresh directory
+/// gets a `meta.json` of `{"version": version, "config": <config>}`,
+/// an existing one must carry a matching config.
+///
+/// # Errors
+///
+/// [`CampaignError::Checkpoint`] on I/O or parse failures,
+/// [`CampaignError::CheckpointMismatch`] when the directory belongs to a
+/// different campaign configuration.
+pub fn ensure_meta<C>(dir: &Path, version: u32, config: &C) -> Result<(), CampaignError>
+where
+    C: Serialize + Deserialize + PartialEq,
+{
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let meta_path = dir.join(META_NAME);
+    if meta_path.exists() {
+        let text = fs::read_to_string(&meta_path).map_err(|e| io_err(&meta_path, e))?;
+        let doc: Value = Value::parse_json(&text).map_err(|e| io_err(&meta_path, e))?;
+        let found: C =
+            serde::de_field(&doc, "config", "meta").map_err(|e| io_err(&meta_path, e))?;
+        if found != *config {
+            return Err(CampaignError::CheckpointMismatch {
+                path: dir.to_path_buf(),
+            });
+        }
+    } else {
+        let meta = Value::Object(vec![
+            ("version".to_string(), version.to_value()),
+            ("config".to_string(), config.to_value()),
+        ]);
+        let mut text = String::new();
+        meta.write_json_pretty(&mut text);
+        fs::write(&meta_path, text).map_err(|e| io_err(&meta_path, e))?;
+    }
+    Ok(())
+}
+
+/// Parses every complete row of one JSONL file, in line order. Returns
+/// the rows plus a flag for a torn trailing line (no final newline — a
+/// mid-write kill), which is skipped rather than parsed. A missing file
+/// reads as empty.
+///
+/// # Errors
+///
+/// [`CampaignError::ShardCorrupt`] when a line inside the complete,
+/// newline-terminated prefix fails to parse, [`CampaignError::Checkpoint`]
+/// on I/O failures.
+pub fn load_file<T: Deserialize>(path: &Path) -> Result<(Vec<T>, bool), CampaignError> {
+    if !path.exists() {
+        return Ok((Vec::new(), false));
+    }
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| io_err(path, e))?;
+    let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let torn = complete_len < text.len();
+    let mut rows = Vec::new();
+    for (idx, line) in text[..complete_len].lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<T>(line) {
+            Ok(r) => rows.push(r),
+            Err(e) => {
+                return Err(CampaignError::ShardCorrupt {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    detail: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok((rows, torn))
+}
+
+/// Loads every complete row from every `shard-*.jsonl` file in `dir`, in
+/// shard name + line order. The second element counts torn trailing
+/// lines across shards; duplicate rows are the caller's concern (keep
+/// the last).
+///
+/// # Errors
+///
+/// As [`load_file`], per shard.
+pub fn load_shards<T: Deserialize>(dir: &Path) -> Result<(Vec<T>, usize), CampaignError> {
+    let mut shards: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| io_err(dir, e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    shards.sort();
+    let mut rows = Vec::new();
+    let mut corrupt = 0usize;
+    for shard in shards {
+        let (mut r, torn) = load_file(&shard)?;
+        rows.append(&mut r);
+        if torn {
+            corrupt += 1;
+        }
+    }
+    Ok((rows, corrupt))
+}
+
+/// Append handle for one JSONL file; rows are flushed to the OS one by
+/// one — the substrate's kill-safety granularity.
+#[derive(Debug)]
+pub struct Appender {
+    path: PathBuf,
+    file: File,
+}
+
+impl Appender {
+    /// Opens `path` for appending. A torn trailing line from a previous
+    /// killed run is truncated away first: the in-flight row re-runs
+    /// anyway, and newline-terminating the fragment instead would leave
+    /// a complete-but-unparseable line that a later load rightly refuses
+    /// as mid-file corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on I/O failures.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Appender, CampaignError> {
+        let path = path.into();
+        if path.exists() {
+            let mut text = String::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| io_err(&path, e))?;
+            let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            if complete_len < text.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_len(complete_len as u64))
+                    .map_err(|e| io_err(&path, e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        Ok(Appender { path, file })
+    }
+
+    /// Opens the conventional per-worker shard file `shard-w<worker>.jsonl`
+    /// in `dir` (the layout [`load_shards`] reassembles).
+    ///
+    /// # Errors
+    ///
+    /// As [`Appender::open`].
+    pub fn open_shard(dir: &Path, worker: usize) -> Result<Appender, CampaignError> {
+        Appender::open(dir.join(format!("shard-w{worker}.jsonl")))
+    }
+
+    /// Appends one row as a single JSONL line and flushes it to the OS
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] on serialization or I/O failures.
+    pub fn append<T: Serialize>(&mut self, row: &T) -> Result<(), CampaignError> {
+        let mut line = serde_json::to_string(row).map_err(|e| io_err(&self.path, e))?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.flush())
+            .map_err(|e| io_err(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Row {
+        id: u32,
+        tag: String,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Cfg {
+        knob: u32,
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("nocalert-jsonl-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn meta_pins_config_and_refuses_mismatch() {
+        let dir = tmpdir("meta");
+        ensure_meta(&dir, 1, &Cfg { knob: 7 }).unwrap();
+        ensure_meta(&dir, 1, &Cfg { knob: 7 }).unwrap();
+        let err = ensure_meta(&dir, 1, &Cfg { knob: 8 }).unwrap_err();
+        assert!(matches!(err, CampaignError::CheckpointMismatch { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_roundtrip_torn_tail_and_corruption() {
+        let dir = tmpdir("rows");
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = Appender::open_shard(&dir, 0).unwrap();
+        w.append(&Row {
+            id: 1,
+            tag: "a".into(),
+        })
+        .unwrap();
+        drop(w);
+        let shard = dir.join("shard-w0.jsonl");
+        // A torn fragment is skipped, counted, and repaired on reopen.
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"{\"id\":2,\"ta").unwrap();
+        drop(f);
+        let (rows, corrupt) = load_shards::<Row>(&dir).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(corrupt, 1);
+        let mut w = Appender::open_shard(&dir, 0).unwrap();
+        w.append(&Row {
+            id: 3,
+            tag: "c".into(),
+        })
+        .unwrap();
+        drop(w);
+        let (rows, corrupt) = load_shards::<Row>(&dir).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(corrupt, 0, "the repaired shard is pristine");
+        // Mid-file corruption is refused with the line pinpointed.
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"{\"id\": garbage}\n{\"id\":4,\"tag\":\"d\"}\n")
+            .unwrap();
+        drop(f);
+        let err = load_shards::<Row>(&dir).unwrap_err();
+        match err {
+            CampaignError::ShardCorrupt { path, line, .. } => {
+                assert_eq!(path, shard);
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected ShardCorrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let (rows, torn) = load_file::<Row>(&dir.join("nope.jsonl")).unwrap();
+        assert!(rows.is_empty());
+        assert!(!torn);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

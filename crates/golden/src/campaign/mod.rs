@@ -35,6 +35,7 @@
 pub(crate) mod batch;
 pub mod checkpoint;
 pub mod error;
+pub mod jsonl;
 pub mod outcome;
 pub(crate) mod resilience;
 
@@ -128,7 +129,8 @@ pub struct CampaignReport {
     pub reports: Vec<SiteReport>,
     /// Sites skipped because a resumed checkpoint already held them.
     pub resumed: usize,
-    /// Torn/corrupt checkpoint lines skipped while resuming.
+    /// Torn trailing checkpoint lines skipped while resuming (mid-shard
+    /// corruption is a [`CampaignError::ShardCorrupt`], never skipped).
     pub corrupt_lines: usize,
     /// True when cancellation stopped the sweep before every site ran.
     pub interrupted: bool,

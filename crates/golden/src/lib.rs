@@ -37,13 +37,14 @@
 pub mod aging;
 pub mod attack;
 pub mod campaign;
+pub mod job;
 pub mod oracle;
 pub mod recovery;
 pub mod stats;
 
 pub use aging::{
     verdict_of, AgingError, AgingHarness, AgingOptions, AgingOutcome, AgingReport, EpochFault,
-    EpochReport,
+    EpochLog, EpochReport,
 };
 pub use attack::{
     classify as classify_attack, covered_fault_for, effective_interference, standard_cells,
@@ -55,8 +56,10 @@ pub use campaign::{
     Detector, DetectorOutcome, Determinism, Outcome, ResilienceOptions, RunOutcome, RunResult,
     SiteReport,
 };
+pub use job::{digest_rows, GoldenCache, JobDriver};
 pub use oracle::{classify, GoldenReference, RunLog, Verdict, ViolationKind};
 pub use recovery::{
-    containment_covered, verify_delivery, DeliveryVerdict, RecoveryHarness, RecoveryOptions,
-    RecoveryOutcome, RecoveryRun,
+    containment_covered, standard_recovery_specs, verify_delivery, DeliveryVerdict,
+    RecoveryCampaign, RecoveryCampaignConfig, RecoveryCampaignOptions, RecoveryCampaignReport,
+    RecoveryHarness, RecoveryOptions, RecoveryOutcome, RecoveryRun, RecoverySiteReport,
 };

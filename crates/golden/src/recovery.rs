@@ -18,21 +18,28 @@
 //! are mapped across the link to the downstream input VC inside
 //! `Network::notify_alert`. The network-level end-to-end invariance 32
 //! (`module == None`) is detection without localization and is not fed to
-//! containment. Invariance 1 (turn legality) is disabled in this harness:
-//! once a port is fenced, degraded routing deliberately takes turns the
-//! XY turn model forbids, and the watchdog — not the turn filter — is the
-//! deadlock backstop.
+//! containment. The turn/progress checkers (invariances 1 and 3) stay
+//! armed throughout: they are region-aware — once a port is fenced (or
+//! fault-region tables install detours), each RC execution is excused
+//! only when its output matches the active routing function's answer,
+//! re-derived from the recorded fence/region registers — so a misroute
+//! inside a degraded route is still caught.
 
+use crate::campaign::jsonl;
 use crate::campaign::resilience::catch_payload;
+use crate::campaign::CampaignError;
 use fault::{FaultSpec, Hang, HangKind, Watchdog};
 use noc_sim::{
     ArqConfig, ContainmentEvent, DeliveryRecord, Network, RecoveryPolicy, RecoveryStats, Transport,
     TransportStats,
 };
 use noc_types::{Cycle, NocConfig, SimError};
-use nocalert::{info, AlertBank, CheckerId};
+use nocalert::{info, AlertBank};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Everything configurable about one recovery rollout.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -140,6 +147,10 @@ pub struct RecoveryRun {
     pub deliveries: Vec<DeliveryRecord>,
     /// Assertions the checker bank raised.
     pub alerts: u64,
+    /// Distinct checker ids that asserted, ascending (Table-1 numbering).
+    pub checkers: Vec<u8>,
+    /// Cycle of the first bank assertion, if any fired.
+    pub first_alert_at: Option<Cycle>,
     /// Observable fault activations.
     pub fault_hits: u64,
     /// Final simulation cycle.
@@ -274,15 +285,10 @@ impl RecoveryHarness {
         net.enable_recovery(self.opts.policy);
         prepare(&mut net);
         let mut bank = AlertBank::new(&self.cfg);
-        // Degraded routing around fenced ports legitimately violates the
-        // turn model; the watchdog backs the deadlock risk instead.
-        bank.disable(CheckerId(1));
-        // Fault-region (up*/down*) detours are non-minimal by design, so
-        // the minimal-progress checker would feed false alerts straight
-        // into containment.
-        if self.cfg.routing == noc_types::RoutingAlgorithm::FaultRegion {
-            bank.disable(CheckerId(3));
-        }
+        // The full bank stays armed: the turn/progress checkers (inv 1/3)
+        // are region-aware — degraded routes around fenced ports and
+        // fault-region detours are excused per-RC-execution against the
+        // recorded routing registers, not by disarming the checkers.
         let mut transport = Transport::new(&self.cfg, self.opts.arq);
         if let Some(s) = spec {
             net.arm_fault(s.site, s.kind, s.start);
@@ -366,6 +372,8 @@ impl RecoveryHarness {
             trace: net.recovery_trace().to_vec(),
             deliveries: transport.records().to_vec(),
             alerts: bank.assertions().len() as u64,
+            checkers: bank.asserted_set().iter().map(|c| c.0).collect(),
+            first_alert_at: bank.assertions().first().map(|e| e.cycle),
             fault_hits: net.fault_hits(),
             end_cycle: net.cycle(),
         }
@@ -390,6 +398,8 @@ impl RecoveryHarness {
                 trace: Vec::new(),
                 deliveries: Vec::new(),
                 alerts: 0,
+                checkers: Vec::new(),
+                first_alert_at: None,
                 fault_hits: 0,
                 end_cycle: 0,
             },
@@ -417,6 +427,288 @@ impl RecoveryHarness {
             }
         }
         transport.post_step(net);
+    }
+}
+
+/// The standard recovery work-list: every containment-covered fault
+/// site crossed with all five fault classes (transient, intermittent,
+/// permanent, stuck-at-0, stuck-at-1), site-major. The five specs of a
+/// site carry distinct [`noc_types::FaultKind`]s, so each spec is a
+/// unique journal key. `start` is the injection instant; `period`/`duty`
+/// shape the intermittent class.
+pub fn standard_recovery_specs(
+    cfg: &NocConfig,
+    start: Cycle,
+    period: u32,
+    duty: u32,
+) -> Vec<FaultSpec> {
+    fault::enumerate_sites(cfg)
+        .into_iter()
+        .filter(|s| containment_covered(s.signal))
+        .flat_map(|site| {
+            [
+                FaultSpec::transient(site, start),
+                FaultSpec::intermittent(site, period, duty, start),
+                FaultSpec::permanent(site, start),
+                FaultSpec::stuck_at(site, false, start),
+                FaultSpec::stuck_at(site, true, start),
+            ]
+        })
+        .collect()
+}
+
+/// Everything that identifies a recovery campaign: rollouts computed
+/// under different configurations cannot be mixed, so the journal
+/// refuses a directory whose config differs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCampaignConfig {
+    /// Network configuration.
+    pub noc: NocConfig,
+    /// Closed-loop rollout options.
+    pub opts: RecoveryOptions,
+}
+
+/// One journal line: a fault spec and its completed rollout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySiteReport {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// Its rollout result.
+    pub run: RecoveryRun,
+}
+
+/// Aggregated campaign result, in input-spec order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCampaignReport {
+    /// One report per input spec (specs missing after a cancelled sweep
+    /// are absent and flagged via `interrupted`).
+    pub reports: Vec<RecoverySiteReport>,
+    /// Specs restored from the journal instead of re-run.
+    pub resumed: usize,
+    /// Torn trailing journal lines skipped on resume (mid-shard
+    /// corruption is refused as a structured error, never skipped).
+    pub corrupt_lines: usize,
+    /// True when cancellation stopped the sweep before every spec ran.
+    pub interrupted: bool,
+}
+
+impl RecoveryCampaignReport {
+    /// Rollouts whose delivery verdict was exactly-once.
+    pub fn exactly_once(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.run.verdict == DeliveryVerdict::ExactlyOnce)
+            .count()
+    }
+}
+
+/// Resilience knobs of the recovery sweep (mirrors
+/// [`crate::campaign::ResilienceOptions`]).
+#[derive(Debug, Default)]
+pub struct RecoveryCampaignOptions {
+    /// Journal directory for kill-safe incremental progress.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load previously completed specs from the journal instead of
+    /// refusing a populated directory.
+    pub resume: bool,
+    /// Cooperative cancellation flag, checked between rollouts.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RecoveryCampaignOptions {
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// The recovery journal: `meta.json` pins the configuration,
+/// `shard-w<worker>.jsonl` holds one [`RecoverySiteReport`] per line.
+/// Durability semantics are the shared [`jsonl`] substrate's.
+#[derive(Debug, Clone)]
+struct RecoveryJournal {
+    dir: PathBuf,
+}
+
+impl RecoveryJournal {
+    fn open(
+        dir: impl Into<PathBuf>,
+        cc: &RecoveryCampaignConfig,
+    ) -> Result<RecoveryJournal, CampaignError> {
+        let dir = dir.into();
+        jsonl::ensure_meta(&dir, 1, cc)?;
+        Ok(RecoveryJournal { dir })
+    }
+}
+
+/// The recovery sweep driver: panic isolation per rollout, optional
+/// JSONL journalling with resume, cooperative cancellation, and
+/// round-robin worker sharding. Reports are reassembled in input-spec
+/// order, so the aggregate is bit-identical for any worker count.
+#[derive(Debug, Clone)]
+pub struct RecoveryCampaign {
+    cc: RecoveryCampaignConfig,
+    harness: RecoveryHarness,
+}
+
+impl RecoveryCampaign {
+    /// Builds the campaign after validating the rollout options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecoveryOptions::validate`] failures.
+    pub fn try_new(cc: RecoveryCampaignConfig) -> Result<RecoveryCampaign, CampaignError> {
+        let harness =
+            RecoveryHarness::try_new(cc.noc.clone(), cc.opts).map_err(CampaignError::Substrate)?;
+        Ok(RecoveryCampaign { cc, harness })
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &RecoveryCampaignConfig {
+        &self.cc
+    }
+
+    /// Runs every spec, `threads`-wide. One report per input spec, in
+    /// input order; specs already present in a resumed journal are not
+    /// re-run.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O and configuration-mismatch failures; per-rollout
+    /// crashes are *outcomes*, not errors.
+    pub fn run_specs(
+        &self,
+        specs: &[FaultSpec],
+        threads: usize,
+        opts: &RecoveryCampaignOptions,
+    ) -> Result<RecoveryCampaignReport, CampaignError> {
+        let journal = match &opts.checkpoint_dir {
+            Some(dir) => Some(RecoveryJournal::open(dir, &self.cc)?),
+            None => None,
+        };
+        let mut done: HashMap<FaultSpec, RecoverySiteReport> = HashMap::new();
+        let mut corrupt_lines = 0usize;
+        if let Some(j) = &journal {
+            let (reports, corrupt) = jsonl::load_shards::<RecoverySiteReport>(&j.dir)?;
+            if !opts.resume && !reports.is_empty() {
+                return Err(CampaignError::Checkpoint {
+                    path: j.dir.clone(),
+                    detail: format!(
+                        "directory already holds {} completed rollouts; pass resume=true to continue or point at a fresh directory",
+                        reports.len()
+                    ),
+                });
+            }
+            if opts.resume {
+                corrupt_lines = corrupt;
+                for r in reports {
+                    done.insert(r.spec, r); // later shards win on duplicates
+                }
+            }
+        }
+        let resumed = specs.iter().filter(|s| done.contains_key(s)).count();
+        let todo: Vec<FaultSpec> = specs
+            .iter()
+            .copied()
+            .filter(|s| !done.contains_key(s))
+            .collect();
+
+        let run_spec = |spec: &FaultSpec| -> RecoverySiteReport {
+            RecoverySiteReport {
+                spec: *spec,
+                run: self.harness.run_isolated(Some(spec)),
+            }
+        };
+
+        let mut fresh: Vec<RecoverySiteReport> = Vec::new();
+        if threads <= 1 || todo.len() < 2 {
+            let mut writer = match &journal {
+                Some(j) => Some(jsonl::Appender::open_shard(&j.dir, 0)?),
+                None => None,
+            };
+            for spec in &todo {
+                if opts.cancelled() {
+                    break;
+                }
+                let rep = run_spec(spec);
+                if let Some(w) = &mut writer {
+                    w.append(&rep)?;
+                }
+                fresh.push(rep);
+            }
+        } else {
+            // Round-robin sharding, like the fault campaigns: worker `w`
+            // takes specs `w`, `w+workers`, …, so the shard a rollout
+            // lands in is a pure function of its index and the worker
+            // count.
+            let workers = threads.min(todo.len());
+            let mut writers: Vec<Option<jsonl::Appender>> = Vec::new();
+            for i in 0..workers {
+                writers.push(match &journal {
+                    Some(j) => Some(jsonl::Appender::open_shard(&j.dir, i)?),
+                    None => None,
+                });
+            }
+            let todo = &todo;
+            let run_spec = &run_spec;
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = writers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, mut writer)| {
+                        scope.spawn(move || -> Result<Vec<RecoverySiteReport>, CampaignError> {
+                            let mut out = Vec::new();
+                            for spec in todo.iter().skip(w).step_by(workers) {
+                                if opts.cancelled() {
+                                    break;
+                                }
+                                let rep = run_spec(spec);
+                                if let Some(wr) = &mut writer {
+                                    wr.append(&rep)?;
+                                }
+                                out.push(rep);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                let mut results = Vec::new();
+                for h in handles {
+                    results.push(h.join());
+                }
+                results
+            });
+            for r in results {
+                match r {
+                    Ok(Ok(v)) => fresh.extend(v),
+                    Ok(Err(e)) => return Err(e),
+                    Err(p) => {
+                        return Err(CampaignError::WorkerLost {
+                            detail: format!("{p:?}"),
+                        })
+                    }
+                }
+            }
+        }
+
+        for r in fresh {
+            done.insert(r.spec, r);
+        }
+        let mut reports = Vec::with_capacity(specs.len());
+        let mut interrupted = false;
+        for spec in specs {
+            match done.get(spec) {
+                Some(r) => reports.push(r.clone()),
+                None => interrupted = true,
+            }
+        }
+        Ok(RecoveryCampaignReport {
+            reports,
+            resumed,
+            corrupt_lines,
+            interrupted,
+        })
     }
 }
 
@@ -464,6 +756,58 @@ mod tests {
         assert!(run.transport.offered > 0);
         assert_eq!(run.transport.retransmits, 0);
         assert_eq!(run.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn campaign_resume_is_bit_identical_at_any_worker_count() {
+        let mut cfg = NocConfig::small_test();
+        cfg.injection_rate = 0.05;
+        let cc = RecoveryCampaignConfig {
+            noc: cfg.clone(),
+            opts: small_opts(),
+        };
+        let campaign = RecoveryCampaign::try_new(cc).expect("valid");
+        let specs: Vec<FaultSpec> = standard_recovery_specs(&cfg, 1_200, 50, 10)
+            .into_iter()
+            .take(4)
+            .collect();
+        assert_eq!(specs.len(), 4);
+        let dir = std::env::temp_dir().join(format!("nocalert-rcamp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RecoveryCampaignOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..RecoveryCampaignOptions::default()
+        };
+        let first = campaign.run_specs(&specs, 2, &opts).expect("first run");
+        assert_eq!(first.reports.len(), 4);
+        assert!(!first.interrupted);
+
+        // Populated dir without resume is refused.
+        let err = campaign.run_specs(&specs, 1, &opts).unwrap_err();
+        assert!(matches!(err, CampaignError::Checkpoint { .. }), "{err:?}");
+
+        // Resume at a different worker count restores everything
+        // bit-identically without re-running.
+        let resumed = campaign
+            .run_specs(
+                &specs,
+                3,
+                &RecoveryCampaignOptions {
+                    checkpoint_dir: Some(dir.clone()),
+                    resume: true,
+                    cancel: None,
+                },
+            )
+            .expect("resume");
+        assert_eq!(resumed.resumed, 4);
+        assert_eq!(resumed.reports, first.reports);
+
+        // A memory-only run at yet another worker count agrees too.
+        let direct = campaign
+            .run_specs(&specs, 1, &RecoveryCampaignOptions::default())
+            .expect("direct");
+        assert_eq!(direct.reports, first.reports);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   mesh is a topology fact, not a routing failure.
 
 use noc_sim::{ArqConfig, Network, Transport};
-use noc_types::{Coord, Direction, NocConfig, RoutingAlgorithm};
+use noc_types::site::SignalKind;
+use noc_types::{Coord, Direction, FaultKind, NocConfig, RoutingAlgorithm, SiteRef};
+use nocalert::AlertBank;
 use nocalert_golden::{
     verify_delivery, DeliveryVerdict, RecoveryHarness, RecoveryOptions, RecoveryOutcome,
 };
@@ -82,6 +84,92 @@ fn all_pairs_deliver_exactly_once_under_each_single_severed_link() {
         );
         assert_eq!(t.stats().offered, u64::from(nodes) * (u64::from(nodes) - 1));
     }
+}
+
+/// Steps net + bank + transport until quiet (the bank is observational,
+/// so quiescence is still the transport's business).
+fn settle_with_bank(net: &mut Network, bank: &mut AlertBank, t: &mut Transport, budget: u64) {
+    for _ in 0..budget {
+        if t.quiescent() && net.is_drained() {
+            return;
+        }
+        net.step_observed(&mut (&mut *bank, &mut *t));
+        t.post_step(net);
+    }
+}
+
+#[test]
+fn armed_checkers_raise_nothing_on_fault_free_detours() {
+    // The region-aware turn/progress checkers must stay silent across
+    // *every* single-severed-link detour topology: all-pairs traffic, a
+    // fully armed bank, zero assertions. This is the no-false-positive
+    // half of keeping inv1/inv3 armed under degraded routing.
+    let cfg = region_cfg();
+    let mesh = cfg.mesh;
+    for (router, dir) in [(5u16, Direction::East), (9u16, Direction::North)] {
+        let mut net = Network::new(cfg.clone());
+        let mut bank = AlertBank::new(&cfg);
+        let mut t = Transport::new(&cfg, ArqConfig::default_policy());
+        assert!(net.sever_link(router, dir));
+        let nodes = mesh.len() as u16;
+        for src in 0..nodes {
+            for dest in 0..nodes {
+                if src != dest {
+                    net.enqueue_packet(src, dest, 0, 5).expect("valid pair");
+                }
+            }
+        }
+        settle_with_bank(&mut net, &mut bank, &mut t, 120_000);
+        assert_eq!(verify_delivery(&t), DeliveryVerdict::ExactlyOnce);
+        assert!(
+            bank.assertions().is_empty(),
+            "fault-free detours must not assert ({router}, {dir:?}): {:?}",
+            bank.asserted_set()
+        );
+    }
+}
+
+#[test]
+fn rc_misroute_inside_detour_topology_is_detected() {
+    // The coverage half: with region detours installed, a stuck RC
+    // output-direction wire — a genuine misroute on the degraded path —
+    // must still fire the (armed, region-aware) turn/progress checkers.
+    // Before the fix both were disabled wholesale under FaultRegion and
+    // this exact scenario was a silent coverage hole.
+    let cfg = region_cfg();
+    let mesh = cfg.mesh;
+    let mut net = Network::new(cfg.clone());
+    let mut bank = AlertBank::new(&cfg);
+    let mut t = Transport::new(&cfg, ArqConfig::default_policy());
+    assert!(net.sever_link(5, Direction::East));
+    // Router 5's East link is dead, so its RC consults the detour tables;
+    // stick a direction bit on its Local ingress — freshly injected
+    // packets are misrouted at the first hop.
+    net.arm_fault(
+        SiteRef {
+            router: 5,
+            port: Direction::Local.index() as u8,
+            vc: 0,
+            signal: SignalKind::RcOutDir,
+            bit: 1,
+        },
+        FaultKind::StuckAt1,
+        0,
+    );
+    let nodes = mesh.len() as u16;
+    for src in 0..nodes {
+        for dest in 0..nodes {
+            if src != dest {
+                net.enqueue_packet(src, dest, 0, 5).expect("valid pair");
+            }
+        }
+    }
+    settle_with_bank(&mut net, &mut bank, &mut t, 120_000);
+    let fired = bank.asserted_set();
+    assert!(
+        fired.iter().any(|c| c.0 == 1 || c.0 == 3),
+        "a misroute inside the detour topology must fire inv1/inv3: {fired:?}"
+    );
 }
 
 #[test]

@@ -28,7 +28,7 @@ use noc_types::{AttackKind, AttackSpec, Cycle, Direction, NodeId, PacketId};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::router::LinkFlit;
 
@@ -135,6 +135,13 @@ pub struct Adversary {
     captured: Vec<PacketId>,
     /// Next ring slot to overwrite.
     capture_at: usize,
+    /// Packets fabricated *on the attacker's behalf* (forged controls,
+    /// replays) currently leaving through its own egress links. Exempt
+    /// from every manipulation rule: an attacker does not eat, corrupt or
+    /// re-capture its own forgeries — without this, `every: 1` spoofing
+    /// models swallow their forged controls before any NIC can reject
+    /// them, and full-rate replay self-amplifies on its own copies.
+    own: BTreeSet<u64>,
     intents: Vec<AttackIntent>,
     stats: AttackStats,
     vcs_per_port: u8,
@@ -151,6 +158,7 @@ impl Adversary {
             plans: BTreeMap::new(),
             captured: Vec::new(),
             capture_at: 0,
+            own: BTreeSet::new(),
             intents: Vec::new(),
             stats: AttackStats::default(),
             vcs_per_port: vcs_per_port.max(1),
@@ -177,6 +185,14 @@ impl Adversary {
     /// Queued out-of-band actions (drained by the harness).
     pub fn take_intents(&mut self) -> Vec<AttackIntent> {
         std::mem::take(&mut self.intents)
+    }
+
+    /// Marks `pid` as fabricated on this attacker's behalf (a forged
+    /// control or replay the harness just injected at its node), so the
+    /// egress filter lets it leave untouched. Entries clear when the
+    /// worm's tail passes the link.
+    pub fn mark_own(&mut self, pid: PacketId) {
+        self.own.insert(pid.0);
     }
 
     /// Periodic victim selection: returns true on every `every`-th
@@ -227,6 +243,16 @@ impl Adversary {
         let pid = lf.flit.packet.0;
         let is_head = lf.flit.is_head();
         let is_tail = lf.flit.kind.is_tail();
+        // The attacker's own fabrications pass the egress filter untouched:
+        // no capture, no periodic-counter advance, no plan. This is what
+        // lets the `every: 1` spoofing models actually deliver their
+        // forgeries instead of eating them on the way out.
+        if self.own.contains(&pid) {
+            if is_tail {
+                self.own.remove(&pid);
+            }
+            return Some(lf);
+        }
         if is_head {
             self.capture(lf.flit.packet);
         }
@@ -425,6 +451,53 @@ mod tests {
             other => panic!("expected ForgeAck, got {other:?}"),
         }
         assert!(adv.take_intents().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn own_forgeries_pass_the_egress_filter_untouched() {
+        // The full-rate spoofing attacker must not swallow the forged
+        // controls injected on its own behalf — nor advance its periodic
+        // counter or capture ring on them.
+        let mut adv = Adversary::new(spec(AttackKind::AckSpoof { every: 1 }), 2);
+        adv.mark_own(PacketId(100));
+        for lf in worm(100, 3) {
+            let out = adv
+                .on_link_flit(Direction::East, Some(NodeId(6)), lf)
+                .expect("own forgery must leave the router");
+            assert!(!out.flit.corrupted);
+        }
+        assert_eq!(adv.stats().packets_dropped, 0);
+        assert_eq!(adv.stats().controls_forged, 0);
+        assert!(adv.captured.is_empty(), "own packets are never captured");
+        assert!(adv.own.is_empty(), "own marks clear at the tail");
+        // The very next victim is still the counter's first candidate.
+        for lf in worm(101, 3) {
+            assert!(adv
+                .on_link_flit(Direction::East, Some(NodeId(6)), lf)
+                .is_none());
+        }
+        assert_eq!(adv.stats().controls_forged, 1);
+    }
+
+    #[test]
+    fn replay_never_amplifies_on_its_own_copies() {
+        // A full-rate replay attacker sees its own replayed copies leave
+        // through the same links; without the egress exemption each copy
+        // would be re-captured and re-replayed, amplifying forever.
+        let mut adv = Adversary::new(spec(AttackKind::CtlReplay { every: 1 }), 2);
+        for lf in worm(1, 1) {
+            adv.on_link_flit(Direction::East, Some(NodeId(6)), lf);
+        }
+        for lf in worm(2, 1) {
+            adv.on_link_flit(Direction::East, Some(NodeId(6)), lf);
+        }
+        let before = adv.stats().controls_replayed;
+        adv.mark_own(PacketId(50));
+        for lf in worm(50, 1) {
+            adv.on_link_flit(Direction::East, Some(NodeId(6)), lf);
+        }
+        assert_eq!(adv.stats().controls_replayed, before);
+        assert!(!adv.captured.contains(&PacketId(50)));
     }
 
     #[test]

@@ -440,6 +440,17 @@ impl Network {
             .unwrap_or_default()
     }
 
+    /// Tells the armed attacker that `pid` was just fabricated on its
+    /// behalf (a forged control or replay injected at its node), so its
+    /// egress filter lets the worm leave untouched instead of re-applying
+    /// the drop/corrupt/capture rules to its own forgery. No-op when no
+    /// attacker is armed.
+    pub fn mark_attack_injection(&mut self, pid: PacketId) {
+        if let Some(adv) = self.attacker.as_mut() {
+            adv.mark_own(pid);
+        }
+    }
+
     /// True when `router` is administratively out of service: absorbed
     /// into a fault region, or escalated to malicious by suspicion
     /// scoring.

@@ -1137,8 +1137,8 @@ impl Router {
                 (dx as u8).min(cfg.mesh.width().saturating_sub(1).max(dx as u8)),
                 (dy as u8).min(cfg.mesh.height().saturating_sub(1).max(dy as u8)),
             );
-            let region_dir = if self.region_next_up.is_empty() {
-                None
+            let region_bits = if self.region_next_up.is_empty() {
+                noc_types::record::REGION_NONE
             } else {
                 // Fault-region tables installed: phase is derived from the
                 // arrival port (a down-hop arrival commits the packet),
@@ -1153,15 +1153,18 @@ impl Router {
                 } else {
                     &self.region_next_up
                 };
-                let bits = row
-                    .get(di)
+                row.get(di)
                     .copied()
-                    .unwrap_or(crate::fault_region::NO_ROUTE);
+                    .unwrap_or(crate::fault_region::NO_ROUTE)
+            };
+            let region_dir = if region_bits == noc_types::record::REGION_NONE {
+                None
+            } else {
                 // The sentinel decodes to None → eject locally: the flit
                 // is unroutable (destination absorbed or partitioned off)
                 // and black-holing it at the ingress hands the loss to the
                 // ARQ transport instead of wedging a region boundary.
-                Some(Direction::from_bits(bits as u64).unwrap_or(Direction::Local))
+                Some(Direction::from_bits(region_bits as u64).unwrap_or(Direction::Local))
             };
             let dir = if let Some(d) = region_dir {
                 if d != route(cfg.routing, self.coord, dest_c) {
@@ -1191,6 +1194,15 @@ impl Router {
                 SignalKind::BufEmpty,
                 vcref.buffer.is_empty(),
             );
+            // The degraded-routing registers the checkers re-derive the
+            // active routing function from (DESIGN.md §13): the fence mask
+            // and the region-table entry RC consulted this cycle.
+            let mut avoid_mask = 0u8;
+            for (i, &a) in self.avoid.iter().enumerate() {
+                if a {
+                    avoid_mask |= 1 << i;
+                }
+            }
             rec.rc.push(RcEvent {
                 port: p,
                 vc: v,
@@ -1199,6 +1211,8 @@ impl Router {
                 head_valid,
                 buf_empty: empty_w,
                 out_dir: out_raw,
+                avoid_mask,
+                region_next: region_bits,
             });
         }
     }

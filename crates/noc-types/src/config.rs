@@ -258,7 +258,8 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(message: &'static str) -> ConfigError {
+    /// A new validation error with the given description.
+    pub fn new(message: &'static str) -> ConfigError {
         ConfigError { message }
     }
 }

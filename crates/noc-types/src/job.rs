@@ -1,0 +1,292 @@
+//! The campaign-service job and incident schema (DESIGN.md §15).
+//!
+//! `nocalertd` accepts campaign work over HTTP as a [`JobSpec`], tracks
+//! it through the [`JobState`] lifecycle, and streams [`JobEvent`]s
+//! (state changes, progress, clustered [`Incident`]s) back to clients.
+//! Everything here is plain serializable data with no simulator
+//! dependencies: it is the wire contract between the service, its
+//! clients, and the durable `job.json`/`result.json` records, so the
+//! types live in `noc-types` where both sides can reach them.
+//!
+//! An [`Incident`] is the service's deduplicated view of one fault
+//! site's (or attack cell's) story: the checker firings, the containment
+//! actions they triggered, and the delivery outcome, clustered into a
+//! single timeline instead of a raw alert firehose. Incidents are
+//! emitted in canonical (input-site) order once a job completes, so the
+//! event stream for a given spec is bit-identical across runs, worker
+//! counts, and kill/resume cycles — the same determinism contract the
+//! underlying campaigns honour.
+
+use crate::config::{ConfigError, NocConfig};
+use crate::error::SimError;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Which campaign family a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Transient-fault detection sweep over enumerated sites
+    /// (the paper's Section 5.3 campaign).
+    Transient,
+    /// Closed-loop containment/ARQ recovery sweep over covered sites ×
+    /// fault classes.
+    Recovery,
+    /// Compromised-router attack matrix (DESIGN.md §14).
+    Attack,
+    /// Accumulating permanent faults over epochs (DESIGN.md §13).
+    Aging,
+}
+
+/// One campaign job, as submitted to the service.
+///
+/// The spec pins everything that determines the campaign's results: the
+/// network configuration (whose `seed` drives all traffic), the window
+/// geometry, and the work-list cap. `threads` only shapes execution —
+/// results are bit-identical for any value, which is what makes the
+/// service's aggregates comparable to a direct `bench` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Campaign family.
+    pub kind: JobKind,
+    /// Network configuration (including traffic seed).
+    pub noc: NocConfig,
+    /// Fault-free warm-up cycles before the measurement window.
+    pub warmup: Cycle,
+    /// Active window length: injection window for sweeps, epoch length
+    /// for aging.
+    pub window: Cycle,
+    /// Cap on the work-list (fault sites, attack cells, or aging
+    /// epochs). `None` runs the full standard list.
+    pub limit: Option<u32>,
+    /// Worker threads the service shards the campaign across.
+    pub threads: u32,
+}
+
+impl JobSpec {
+    /// Validates the spec: the network configuration must be
+    /// self-consistent, the window non-degenerate, and at least one
+    /// worker requested.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.noc.validate()?;
+        if self.window == 0 {
+            return Err(SimError::Config(ConfigError::new(
+                "job window must be at least 1 cycle",
+            )));
+        }
+        if self.threads == 0 {
+            return Err(SimError::Config(ConfigError::new(
+                "job threads must be at least 1",
+            )));
+        }
+        if self.limit == Some(0) {
+            return Err(SimError::Config(ConfigError::new(
+                "a zero-site job is vacuous; omit the limit to run the full list",
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted, waiting for a worker slot.
+    Queued,
+    /// A worker is executing the campaign.
+    Running,
+    /// Finished; `result.json` holds the [`JobResult`].
+    Completed,
+    /// The campaign returned a structured error (recorded verbatim).
+    Failed,
+    /// Cancelled by a client; partial shards remain for resume.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states no worker will advance further.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One containment action inside an incident timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainmentStep {
+    /// Cycle the action was applied.
+    pub cycle: Cycle,
+    /// Router whose input VC was targeted.
+    pub router: u16,
+    /// Input port of the targeted VC.
+    pub port: u8,
+    /// The targeted VC.
+    pub vc: u8,
+    /// Escalation level applied (`"Squash"` / `"Reset"` / `"Disable"`).
+    pub action: String,
+    /// Flits destroyed by the action.
+    pub flits_dropped: u32,
+}
+
+/// One clustered incident: a fault site's (or attack cell's) full story
+/// from first checker firing to delivery outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Position in the job's canonical (input-order) incident list.
+    pub id: u32,
+    /// Human-readable subject: the fault site or attack cell.
+    pub subject: String,
+    /// Cycle of the first evidence (checker firing or suspicion), when
+    /// any fired.
+    pub first_cycle: Option<Cycle>,
+    /// Final cycle of the rollout.
+    pub last_cycle: Cycle,
+    /// Distinct checker ids that fired, ascending (deduped from the raw
+    /// alert stream).
+    pub checkers: Vec<u8>,
+    /// Total checker-bank assertions behind those firings.
+    pub alerts: u64,
+    /// Containment actions, in application order.
+    pub containment: Vec<ContainmentStep>,
+    /// Delivery/outcome verdict rendering (e.g. `"ExactlyOnce"`,
+    /// `"detected latency=3"`, an attack class).
+    pub delivery: String,
+}
+
+/// Aggregated result of a completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// FNV-1a digest (hex) over the canonical serialization of every
+    /// per-site report, in input order — the bit-identity comparator
+    /// between service runs and direct `bench` runs.
+    pub digest: String,
+    /// One-line human summary of the campaign aggregate.
+    pub summary: String,
+    /// Clustered incidents in canonical order.
+    pub incidents: Vec<Incident>,
+    /// Sites/cells restored from checkpoint shards instead of re-run.
+    pub resumed: u32,
+    /// True when cancellation stopped the sweep before every site ran.
+    pub interrupted: bool,
+}
+
+/// One event on a job's progress/alert feed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// The job entered a new lifecycle state.
+    State(JobState),
+    /// Sites/cells completed so far out of the job's work-list.
+    Progress {
+        /// Completed units.
+        done: u32,
+        /// Total units in the work-list.
+        total: u32,
+    },
+    /// A clustered incident (emitted in canonical order at completion).
+    Incident(Incident),
+}
+
+/// A job's queryable status, as served by `GET /jobs/<id>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Service-assigned job id.
+    pub id: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Error detail when `state` is [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Recovery,
+            noc: NocConfig::small_test(),
+            warmup: 200,
+            window: 1_000,
+            limit: Some(4),
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let s = spec();
+        let text = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<JobSpec>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert!(spec().validate().is_ok());
+        let mut bad = spec();
+        bad.window = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.threads = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.limit = Some(0);
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.noc.vcs_per_port = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn events_and_results_round_trip() {
+        let incident = Incident {
+            id: 0,
+            subject: "router 5 port 2 vc 1".into(),
+            first_cycle: Some(310),
+            last_cycle: 2_000,
+            checkers: vec![3, 17],
+            alerts: 9,
+            containment: vec![ContainmentStep {
+                cycle: 315,
+                router: 5,
+                port: 2,
+                vc: 1,
+                action: "Squash".into(),
+                flits_dropped: 2,
+            }],
+            delivery: "ExactlyOnce".into(),
+        };
+        for ev in [
+            JobEvent::State(JobState::Running),
+            JobEvent::Progress { done: 3, total: 8 },
+            JobEvent::Incident(incident.clone()),
+        ] {
+            let text = serde_json::to_string(&ev).unwrap();
+            assert_eq!(serde_json::from_str::<JobEvent>(&text).unwrap(), ev);
+        }
+        let result = JobResult {
+            digest: "deadbeef".into(),
+            summary: "4 sites, all detected".into(),
+            incidents: vec![incident],
+            resumed: 0,
+            interrupted: false,
+        };
+        let text = serde_json::to_string(&result).unwrap();
+        assert_eq!(serde_json::from_str::<JobResult>(&text).unwrap(), result);
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.terminal());
+        assert!(!JobState::Running.terminal());
+        assert!(JobState::Completed.terminal());
+        assert!(JobState::Failed.terminal());
+        assert!(JobState::Cancelled.terminal());
+    }
+}

@@ -46,6 +46,7 @@ pub mod config;
 pub mod error;
 pub mod flit;
 pub mod geometry;
+pub mod job;
 pub mod record;
 pub mod region;
 pub mod site;
@@ -56,6 +57,9 @@ pub use config::{BufferPolicy, NocConfig, RoutingAlgorithm, TrafficPattern};
 pub use error::SimError;
 pub use flit::{Flit, FlitKind, FlitOrigin, PacketId};
 pub use geometry::{Coord, Direction, Mesh, NodeId};
+pub use job::{
+    ContainmentStep, Incident, JobEvent, JobKind, JobResult, JobSpec, JobState, JobStatus,
+};
 pub use record::{CycleRecord, EjectEvent};
 pub use region::FaultRect;
 pub use site::{FaultKind, ModuleClass, SignalDir, SignalKind, SiteRef};

@@ -18,6 +18,12 @@ use crate::geometry::NodeId;
 use crate::Cycle;
 use serde::{Deserialize, Serialize};
 
+/// Sentinel for [`RcEvent::region_next`]: no fault-region tables are
+/// installed on the router, so RC used the baseline (or fence-avoiding)
+/// routing function. Distinct from every 3-bit direction code and from the
+/// in-table no-route sentinel (7).
+pub const REGION_NONE: u8 = 0xff;
+
 /// One Routing-Computation execution (at most one per input port per cycle
 /// under correct operation — invariance 31 checks exactly that).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,6 +42,18 @@ pub struct RcEvent {
     pub buf_empty: bool,
     /// Raw 3-bit output-direction wire (post-fault; may encode 5–7).
     pub out_dir: u64,
+    /// Fenced-direction register mask (bit d set = output direction d is
+    /// fenced by containment). Non-zero means RC routed around damage with
+    /// the fence-avoiding routing function; the turn/progress checkers
+    /// recompute their bound from it instead of disarming.
+    pub avoid_mask: u8,
+    /// The fault-region table entry RC used this cycle (raw 3-bit code;
+    /// the in-table no-route sentinel 7 decodes to a local eject), or
+    /// [`REGION_NONE`] when no region tables are installed. Like
+    /// `avoid_mask` this mirrors a register the checkers can see — it lets
+    /// them re-derive the active routing function's answer and stay armed
+    /// on up*/down* detour paths.
+    pub region_next: u8,
 }
 
 /// One local (intra-port) arbitration: VA1 or SA1.
@@ -309,6 +327,8 @@ mod tests {
             head_valid: true,
             buf_empty: false,
             out_dir: 1,
+            avoid_mask: 0,
+            region_next: REGION_NONE,
         });
         r.reads.push(ReadEvent {
             port: 1,

@@ -1,0 +1,377 @@
+//! The durable multi-tenant job registry.
+//!
+//! Every job owns a directory under `data_dir/jobs/<id>/`:
+//!
+//! * `job.json` — the submitted [`JobSpec`] plus the current
+//!   [`JobState`], rewritten on every lifecycle transition;
+//! * `checkpoint/` — the campaign engines' JSONL shard directory
+//!   (written by [`golden::JobDriver`], flushed per completed unit);
+//! * `result.json` — the [`JobResult`] aggregate, written once on
+//!   completion.
+//!
+//! The registry's in-memory side is a map of [`JobHandle`]s, each
+//! carrying a live event feed (a vector + condvar) that SSE consumers
+//! tail. On restart, [`Registry::open`] reloads every `job.json`,
+//! rebuilds handles, and reports which jobs were left non-terminal —
+//! the server re-enqueues those with resume enabled so their shards
+//! are restored instead of re-run.
+
+use noc_types::{JobEvent, JobResult, JobSpec, JobState, JobStatus};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+fn data_err(path: &Path, detail: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {detail}", path.display()),
+    )
+}
+
+/// The mutable half of a job: lifecycle state plus the event feed.
+#[derive(Debug)]
+struct Feed {
+    state: JobState,
+    error: Option<String>,
+    events: Vec<JobEvent>,
+}
+
+/// One job's live handle: immutable spec + the guarded feed.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// Service-assigned id (`job-0001`, …).
+    pub id: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// True when this handle was recovered from disk after a restart —
+    /// the worker passes it through as the driver's resume flag.
+    pub recovered: bool,
+    /// Cooperative cancellation flag shared with the running driver.
+    pub cancel: Arc<AtomicBool>,
+    feed: Mutex<Feed>,
+    cond: Condvar,
+}
+
+impl JobHandle {
+    fn new(id: String, spec: JobSpec, state: JobState, recovered: bool) -> JobHandle {
+        JobHandle {
+            id,
+            spec,
+            recovered,
+            cancel: Arc::new(AtomicBool::new(false)),
+            feed: Mutex::new(Feed {
+                state,
+                error: None,
+                events: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn feed(&self) -> std::sync::MutexGuard<'_, Feed> {
+        self.feed.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The job's current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.feed().state
+    }
+
+    /// The job's queryable status.
+    pub fn status(&self) -> JobStatus {
+        let feed = self.feed();
+        JobStatus {
+            id: self.id.clone(),
+            spec: self.spec.clone(),
+            state: feed.state,
+            error: feed.error.clone(),
+        }
+    }
+
+    /// Appends an event to the feed and wakes every tailing consumer.
+    pub fn push_event(&self, event: JobEvent) {
+        self.feed().events.push(event);
+        self.cond.notify_all();
+    }
+
+    /// Transitions the lifecycle state (recording `error` for
+    /// [`JobState::Failed`]) and appends the matching state event.
+    pub fn set_state(&self, state: JobState, error: Option<String>) {
+        {
+            let mut feed = self.feed();
+            feed.state = state;
+            feed.error = error;
+            feed.events.push(JobEvent::State(state));
+        }
+        self.cond.notify_all();
+    }
+
+    /// A non-blocking copy of every event emitted so far.
+    pub fn events_snapshot(&self) -> Vec<JobEvent> {
+        self.feed().events.clone()
+    }
+
+    /// Blocks until the feed holds events past `from` or the job is
+    /// terminal; returns the new events and whether the feed is fully
+    /// drained on a terminal job (the consumer's stop condition).
+    pub fn wait_events(&self, from: usize) -> (Vec<JobEvent>, bool) {
+        let mut feed = self.feed();
+        loop {
+            if feed.events.len() > from || feed.state.terminal() {
+                let start = from.min(feed.events.len());
+                let events = feed.events[start..].to_vec();
+                let drained = feed.state.terminal() && start + events.len() == feed.events.len();
+                return (events, drained);
+            }
+            let (next, _timeout) = self
+                .cond
+                .wait_timeout(feed, Duration::from_millis(500))
+                .unwrap_or_else(PoisonError::into_inner);
+            feed = next;
+        }
+    }
+}
+
+/// The durable job registry.
+#[derive(Debug)]
+pub struct Registry {
+    data_dir: PathBuf,
+    jobs: Mutex<HashMap<String, Arc<JobHandle>>>,
+    next_id: Mutex<u64>,
+}
+
+impl Registry {
+    /// Opens (creating if needed) a registry under `data_dir` and
+    /// reloads every persisted job. Returns the registry plus the ids
+    /// of jobs that were left non-terminal by a previous process, in
+    /// id order — the server re-enqueues them with resume enabled.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unreadable `job.json` records.
+    pub fn open(data_dir: &Path) -> io::Result<(Registry, Vec<String>)> {
+        let jobs_dir = data_dir.join("jobs");
+        fs::create_dir_all(&jobs_dir)?;
+        let mut handles = HashMap::new();
+        let mut max_id = 0u64;
+        let mut pending = Vec::new();
+        let mut entries: Vec<PathBuf> = fs::read_dir(&jobs_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let record = dir.join("job.json");
+            let text = match fs::read_to_string(&record) {
+                Ok(t) => t,
+                // A directory without a record is debris from a crash
+                // between mkdir and the first persist; skip it.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let status: JobStatus =
+                serde_json::from_str(&text).map_err(|e| data_err(&record, e))?;
+            if let Some(n) = status
+                .id
+                .strip_prefix("job-")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_id = max_id.max(n);
+            }
+            let recovered = !status.state.terminal();
+            // A non-terminal job found on disk goes back to the queue.
+            let state = if recovered {
+                JobState::Queued
+            } else {
+                status.state
+            };
+            if recovered {
+                pending.push(status.id.clone());
+            }
+            let handle = Arc::new(JobHandle::new(
+                status.id.clone(),
+                status.spec,
+                state,
+                recovered,
+            ));
+            handles.insert(status.id, handle);
+        }
+        pending.sort();
+        let registry = Registry {
+            data_dir: data_dir.to_path_buf(),
+            jobs: Mutex::new(handles),
+            next_id: Mutex::new(max_id + 1),
+        };
+        for id in &pending {
+            registry.persist(id)?;
+        }
+        Ok((registry, pending))
+    }
+
+    fn jobs(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<JobHandle>>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The job's directory under the registry.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.data_dir.join("jobs").join(id)
+    }
+
+    /// Creates a queued job for `spec`, persists its record, and
+    /// returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the job directory or record.
+    pub fn create(&self, spec: JobSpec) -> io::Result<Arc<JobHandle>> {
+        let id = {
+            let mut next = self.next_id.lock().unwrap_or_else(PoisonError::into_inner);
+            let id = format!("job-{:04}", *next);
+            *next += 1;
+            id
+        };
+        fs::create_dir_all(self.job_dir(&id))?;
+        let handle = Arc::new(JobHandle::new(id.clone(), spec, JobState::Queued, false));
+        self.jobs().insert(id.clone(), Arc::clone(&handle));
+        self.persist(&id)?;
+        Ok(handle)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<JobHandle>> {
+        self.jobs().get(id).cloned()
+    }
+
+    /// Every job's status, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let mut statuses: Vec<JobStatus> = self.jobs().values().map(|h| h.status()).collect();
+        statuses.sort_by(|a, b| a.id.cmp(&b.id));
+        statuses
+    }
+
+    /// Rewrites a job's durable `job.json` from its live status.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; an unknown id.
+    pub fn persist(&self, id: &str) -> io::Result<()> {
+        let handle = self
+            .get(id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no job {id}")))?;
+        let record = self.job_dir(id).join("job.json");
+        let text =
+            serde_json::to_string_pretty(&handle.status()).map_err(|e| data_err(&record, e))?;
+        fs::write(&record, text)
+    }
+
+    /// Writes a completed job's `result.json`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn write_result(&self, id: &str, result: &JobResult) -> io::Result<()> {
+        let path = self.job_dir(id).join("result.json");
+        let text = serde_json::to_string_pretty(result).map_err(|e| data_err(&path, e))?;
+        fs::write(&path, text)
+    }
+
+    /// Reads a job's `result.json`, if it exists yet.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than the file not existing; an unreadable
+    /// record.
+    pub fn read_result(&self, id: &str) -> io::Result<Option<JobResult>> {
+        let path = self.job_dir(id).join("result.json");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let result = serde_json::from_str(&text).map_err(|e| data_err(&path, e))?;
+        Ok(Some(result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_types::{JobKind, NocConfig};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::Transient,
+            noc: NocConfig::paper_baseline(),
+            warmup: 100,
+            window: 1_000,
+            limit: Some(2),
+            threads: 1,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "nocalert-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn create_persist_reload_requeues_non_terminal_jobs() {
+        let dir = temp_dir("reload");
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let (reg, pending) = Registry::open(&dir).unwrap();
+            assert!(pending.is_empty());
+            let a = reg.create(spec()).unwrap();
+            let b = reg.create(spec()).unwrap();
+            assert_eq!(a.id, "job-0001");
+            assert_eq!(b.id, "job-0002");
+            // Job a completes; job b is still running when we "crash".
+            a.set_state(JobState::Completed, None);
+            reg.persist(&a.id).unwrap();
+            b.set_state(JobState::Running, None);
+            reg.persist(&b.id).unwrap();
+            reg.write_result(
+                &a.id,
+                &JobResult {
+                    digest: "00".into(),
+                    summary: "s".into(),
+                    incidents: Vec::new(),
+                    resumed: 0,
+                    interrupted: false,
+                },
+            )
+            .unwrap();
+        }
+        let (reg, pending) = Registry::open(&dir).unwrap();
+        assert_eq!(pending, vec!["job-0002".to_string()]);
+        let b = reg.get("job-0002").unwrap();
+        assert_eq!(b.state(), JobState::Queued);
+        assert!(b.recovered);
+        let a = reg.get("job-0001").unwrap();
+        assert_eq!(a.state(), JobState::Completed);
+        assert!(reg.read_result("job-0001").unwrap().is_some());
+        // New ids continue past the reloaded maximum.
+        assert_eq!(reg.create(spec()).unwrap().id, "job-0003");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn event_feed_wakes_tailing_consumers() {
+        let handle = JobHandle::new("job-0001".into(), spec(), JobState::Running, false);
+        handle.push_event(JobEvent::Progress { done: 1, total: 2 });
+        let (events, drained) = handle.wait_events(0);
+        assert_eq!(events.len(), 1);
+        assert!(!drained);
+        handle.set_state(JobState::Completed, None);
+        let (events, drained) = handle.wait_events(1);
+        assert_eq!(events, vec![JobEvent::State(JobState::Completed)]);
+        assert!(drained);
+    }
+}

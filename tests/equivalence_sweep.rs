@@ -21,7 +21,10 @@
 //! The detection snapshots were generated before the hot-path overhaul
 //! and are intentionally left untouched by it. The `recovery_classes`
 //! snapshot postdates the BufEmpty stall fix (the fix legitimately
-//! changes intermittent-fault outcomes — that is its point).
+//! changes intermittent-fault outcomes — that is its point) and the
+//! `RecoveryRun` schema extension that added the `checkers` /
+//! `first_alert_at` fields for service incident clustering (purely
+//! additive; every simulation figure stayed bit-identical).
 
 use fault::FaultSpec;
 use golden::stats::{breakdown, checker_shares, latency_cdf, simultaneity_cdf};
